@@ -1,0 +1,19 @@
+//! Criterion bench for the polyhedral dependence analysis (the PPCG
+//! substitute in the toolchain of Figure 5.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_dependence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dependence");
+    for (name, program) in prem_kernels::all_large() {
+        let stmts = prem_ir::lower(&program).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(prem_polyhedral::analyze_dependences(&stmts)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dependence);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for the greedy baseline — the Figure 6.3 table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prem_core::{optimize_app_greedy, LoopTree, Platform};
+use prem_sim::SimCost;
+use std::hint::black_box;
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("greedy");
+    g.sample_size(10);
+    for (name, program) in prem_kernels::all_large() {
+        let tree = LoopTree::build(&program).unwrap();
+        let cost = SimCost::new(&program);
+        let platform = Platform::default();
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(optimize_app_greedy(&tree, &program, &platform, &cost)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_greedy);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Algorithm 1 + 2 — the heuristic optimizer runtime
+//! underlying the Figure 6.2 table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prem_core::{optimize_app, LoopTree, OptimizerOptions, Platform};
+use prem_sim::SimCost;
+use std::hint::black_box;
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizer");
+    g.sample_size(10);
+    for (name, program) in [
+        ("lstm_small", prem_kernels::LstmConfig { nt: 8, ns: 650, np: 700 }.build()),
+        ("maxpool", prem_kernels::PoolConfig::large(prem_kernels::PoolOp::Max).build()),
+    ] {
+        let tree = LoopTree::build(&program).unwrap();
+        let cost = SimCost::new(&program);
+        let platform = Platform::default();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(optimize_app(
+                    &tree,
+                    &program,
+                    &platform,
+                    &cost,
+                    &OptimizerOptions::default(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for schedule construction + makespan evaluation (the
+//! inner loop of the optimizer, §4.2's DAG traversal).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prem_core::{build_schedule, evaluate, AnalyticCost, Component, CostProvider, LoopTree, Platform, Solution};
+use std::hint::black_box;
+
+fn bench_schedule(c: &mut Criterion) {
+    let program = prem_kernels::LstmConfig { nt: 4, ns: 650, np: 700 }.build();
+    let tree = LoopTree::build(&program).unwrap();
+    let t = &tree.roots[0];
+    let comp = Component::extract(&tree, &program, &[&t.children[0], &t.children[0].children[0]]);
+    let cost = AnalyticCost::new(&program);
+    let model = cost.exec_model(&comp);
+    let platform = Platform::default().with_cores(3).with_spm_bytes(2 << 20);
+    let mut g = c.benchmark_group("schedule");
+    for (label, k) in [("12_segments", vec![109i64, 350]), ("650_segments", vec![3, 350]), ("4550_segments", vec![3, 50])] {
+        let sol = Solution { k, r: vec![3, 1] };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let s = build_schedule(&comp, &sol, &platform, &model).unwrap();
+                black_box(evaluate(&s))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedule);
+criterion_main!(benches);

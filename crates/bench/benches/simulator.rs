@@ -1,0 +1,24 @@
+//! Criterion bench for the discrete-event PREM machine simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prem_core::{build_schedule, AnalyticCost, Component, CostProvider, LoopTree, Platform, Solution};
+use prem_sim::simulate;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let program = prem_kernels::LstmConfig { nt: 4, ns: 650, np: 700 }.build();
+    let tree = LoopTree::build(&program).unwrap();
+    let t = &tree.roots[0];
+    let comp = Component::extract(&tree, &program, &[&t.children[0], &t.children[0].children[0]]);
+    let cost = AnalyticCost::new(&program);
+    let model = cost.exec_model(&comp);
+    let platform = Platform::default().with_cores(3).with_spm_bytes(2 << 20);
+    let sol = Solution { k: vec![3, 350], r: vec![3, 1] };
+    let sched = build_schedule(&comp, &sol, &platform, &model).unwrap();
+    c.bench_function("simulate_650_segments", |b| {
+        b.iter(|| black_box(simulate(&sched)))
+    });
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

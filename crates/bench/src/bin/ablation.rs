@@ -1,0 +1,115 @@
+//! Ablation study of the optimizer's design choices (DESIGN.md §6):
+//!
+//! * `max_iter` — the paper picked 3 coordinate-descent sweeps (§4.3);
+//! * convex ternary search vs full scan inside `find_minimum`;
+//! * the non-dominated filter on thread-group assignments;
+//! * the two-level SPM prototype of Chapter 7.
+//!
+//! Usage: `cargo run -p prem-bench --release --bin ablation`
+
+use prem_core::{
+    build_schedule, evaluate_two_level, nondominated_thread_groups, optimize_component, Component,
+    CostProvider, LoopTree, OptimizerOptions, Platform, TwoLevelConfig,
+};
+use prem_sim::SimCost;
+
+fn chain<'a>(tree: &'a LoopTree) -> Vec<&'a prem_core::LoopTreeNode> {
+    let mut chain = Vec::new();
+    let mut node = &tree.roots[0];
+    loop {
+        chain.push(node);
+        match node.children.first() {
+            Some(c) if node.children.len() == 1 && c.tilable => node = c,
+            _ => break,
+        }
+    }
+    chain
+}
+
+fn main() {
+    let cfg = prem_kernels::CnnConfig::googlenet_study();
+    let program = cfg.build();
+    let tree = LoopTree::build(&program).expect("lowers");
+    let comp = Component::extract(&tree, &program, &chain(&tree));
+    let cost = SimCost::new(&program);
+    let model = cost.exec_model(&comp);
+    let platform = Platform::default().with_bus_gbytes(1.0 / 32.0);
+
+    println!("Ablations on the CNN study component @ 1/32 GB/s\n");
+
+    println!("1) coordinate-descent sweeps (paper: max_iter = 3)");
+    println!("{:>9} {:>14} {:>8} {:>9}", "max_iter", "makespan ns", "evals", "time s");
+    for max_iter in [1usize, 2, 3, 5] {
+        let t0 = std::time::Instant::now();
+        let opts = OptimizerOptions {
+            max_iter,
+            ..OptimizerOptions::default()
+        };
+        let r = optimize_component(&comp, &platform, &model, &opts).expect("feasible");
+        println!(
+            "{max_iter:>9} {:>14.5e} {:>8} {:>9.2}",
+            r.result.makespan_ns,
+            r.evals,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    println!("\n2) find_minimum: ternary (convex assumption, §4.3) vs full scan");
+    println!("{:>9} {:>14} {:>8} {:>9}", "mode", "makespan ns", "evals", "time s");
+    for convex in [true, false] {
+        let t0 = std::time::Instant::now();
+        let opts = OptimizerOptions {
+            convex_search: convex,
+            ..OptimizerOptions::default()
+        };
+        let r = optimize_component(&comp, &platform, &model, &opts).expect("feasible");
+        println!(
+            "{:>9} {:>14.5e} {:>8} {:>9.2}",
+            if convex { "ternary" } else { "scan" },
+            r.result.makespan_ns,
+            r.evals,
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    println!("\n3) thread-group assignment space (non-dominated filter, §4.3)");
+    let nd = nondominated_thread_groups(&comp, platform.cores);
+    let all: i64 = {
+        // Count all valid assignments for comparison.
+        fn rec(comp: &Component, p: i64, j: usize, used: i64) -> i64 {
+            if j == comp.depth() {
+                return 1;
+            }
+            let max_r = if comp.levels[j].parallel {
+                (p / used).min(comp.levels[j].count).max(1)
+            } else {
+                1
+            };
+            (1..=max_r).map(|r| rec(comp, p, j + 1, used * r)).sum()
+        }
+        rec(&comp, platform.cores as i64, 0, 1)
+    };
+    println!("   all valid assignments: {all}");
+    println!("   non-dominated        : {}", nd.len());
+
+    println!("\n4) two-level SPM prototype (Ch. 7): heuristic best solution re-timed");
+    let best = optimize_component(&comp, &platform, &model, &OptimizerOptions::default())
+        .expect("feasible");
+    let sched = build_schedule(&comp, &best.solution, &platform, &model).expect("feasible");
+    let single = prem_core::evaluate(&sched).makespan_ns;
+    for l2_mb in [1i64, 2, 8] {
+        let cfg2 = TwoLevelConfig {
+            l2_bytes: l2_mb << 20,
+            ..TwoLevelConfig::default()
+        };
+        match evaluate_two_level(&sched, &platform, &cfg2) {
+            Some(two) => println!(
+                "   L2 = {l2_mb} MiB: {:.5e} ns ({:.2}x vs single-level {:.5e})",
+                two.makespan_ns,
+                single / two.makespan_ns,
+                single
+            ),
+            None => println!("   L2 = {l2_mb} MiB: segment working set exceeds a partition"),
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 6.1 — Makespan of the PolyBench-NN forward passes, normalized by
+//! the ideal single-core case, as a function of memory bandwidth
+//! (1/16 … 16 GB/s), for: the heuristic on 1 core, the heuristic on 8 cores
+//! and the greedy baseline on 8 cores.
+//!
+//! Also reports the maximum API-call overhead share (§6.2 states 4.37 %).
+//!
+//! Usage: `cargo run -p prem-bench --release --bin fig6_1 [--quick]`
+
+use prem_bench::{fig61_bus_speeds, ideal, large_suite, parallel_map, run_point, write_csv, Strategy};
+use prem_core::Platform;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let suite = large_suite();
+    let speeds = if quick {
+        vec![1.0 / 16.0, 1.0, 16.0]
+    } else {
+        fig61_bus_speeds()
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    println!("Figure 6.1 — normalized makespan (log10 scale like the paper's y-axis)");
+    println!("{:<8} {:>9} | {:>12} {:>12} {:>12} | {:>7}", "kernel", "GB/s", "ours-1core", "ours-8core", "greedy-8c", "api%");
+    let mut rows = Vec::new();
+    let mut max_api_share = 0.0f64;
+
+    for bench in &suite {
+        let base = ideal(bench);
+        let points: Vec<f64> = speeds.clone();
+        let results = parallel_map(points, threads, |&gb| {
+            let p1 = Platform::default().with_cores(1).with_bus_gbytes(gb);
+            let p8 = Platform::default().with_bus_gbytes(gb);
+            let ours1 = run_point(bench, &p1, Strategy::Heuristic);
+            let ours8 = run_point(bench, &p8, Strategy::Heuristic);
+            let greedy = run_point(bench, &p8, Strategy::Greedy);
+            (gb, ours1, ours8, greedy)
+        });
+        for (gb, ours1, ours8, greedy) in results {
+            let n1 = ours1.outcome.makespan_ns / base;
+            let n8 = ours8.outcome.makespan_ns / base;
+            let ng = greedy.outcome.makespan_ns / base;
+            // Share of per-core busy time spent in API calls (§6.2's
+            // "maximum API overhead").
+            let busy: f64 = ours8
+                .outcome
+                .components
+                .iter()
+                .map(|c| (c.result.exec_ns + c.result.api_ns) * c.exec_count as f64)
+                .sum();
+            let api_share = ours8.outcome.total_api_ns() / busy.max(1.0);
+            max_api_share = max_api_share.max(api_share);
+            println!(
+                "{:<8} {:>9.4} | {:>12.4} {:>12.4} {:>12.4} | {:>6.2}%",
+                bench.name,
+                gb,
+                n1,
+                n8,
+                ng,
+                api_share * 100.0
+            );
+            rows.push(format!(
+                "{},{gb},{n1},{n8},{ng},{},{},{}",
+                bench.name, ours1.seconds, ours8.seconds, greedy.seconds
+            ));
+        }
+        println!();
+    }
+
+    println!("max API overhead share: {:.2}% (paper: ≤ 4.37%)", max_api_share * 100.0);
+    let path = write_csv(
+        "fig6_1.csv",
+        "kernel,bus_gbytes,ours1,ours8,greedy8,t_ours1_s,t_ours8_s,t_greedy_s",
+        &rows,
+    )
+    .expect("write csv");
+    println!("wrote {}", path.display());
+}

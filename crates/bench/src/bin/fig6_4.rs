@@ -1,0 +1,56 @@
+//! Figure 6.4 — Makespan vs SPM size for the PolyBench-NN kernels, with the
+//! infinite-SPM makespan as the reference line.
+//!
+//! Usage: `cargo run -p prem-bench --release --bin fig6_4 [--quick]`
+
+use prem_bench::{large_suite, parallel_map, run_point, write_csv, Strategy};
+use prem_core::Platform;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // log2(SPM bytes) sweep: 16 KiB … 4 MiB (plus "infinite" = 1 GiB).
+    let sizes: Vec<i64> = if quick {
+        vec![1 << 15, 1 << 17, 1 << 20]
+    } else {
+        (14..=22).map(|e| 1i64 << e).collect()
+    };
+    let suite = large_suite();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    println!("Figure 6.4 — makespan (ns) vs per-core SPM size, 8 cores, default 16 GB/s bus");
+    let mut rows = Vec::new();
+    for bench in &suite {
+        let infinite = run_point(
+            bench,
+            &Platform::default().with_spm_bytes(1 << 30),
+            Strategy::Heuristic,
+        );
+        println!(
+            "{:<9} infinite-SPM makespan: {:.4e} ns",
+            bench.name, infinite.outcome.makespan_ns
+        );
+        let results = parallel_map(sizes.clone(), threads, |&spm| {
+            let p = Platform::default().with_spm_bytes(spm);
+            let r = run_point(bench, &p, Strategy::Heuristic);
+            (spm, r.outcome.makespan_ns)
+        });
+        for (spm, makespan) in results {
+            let status = if makespan.is_finite() {
+                format!("{makespan:.4e}")
+            } else {
+                "infeasible".to_string()
+            };
+            println!("  log2(SPM)={:<3} ({:>8} B): {status}", (spm as f64).log2() as i64, spm);
+            rows.push(format!("{},{spm},{makespan}", bench.name));
+        }
+        rows.push(format!(
+            "{},inf,{}",
+            bench.name, infinite.outcome.makespan_ns
+        ));
+        println!();
+    }
+    let path = write_csv("fig6_4.csv", "kernel,spm_bytes,makespan_ns", &rows).expect("write csv");
+    println!("wrote {}", path.display());
+}

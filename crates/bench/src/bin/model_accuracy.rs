@@ -1,0 +1,45 @@
+//! §6.1 validation — the analytic timing model's makespan must stay within
+//! 5 % of the discrete-event machine simulation for every kernel and several
+//! bus speeds (the paper verified the same bound against gem5).
+//!
+//! Usage: `cargo run -p prem-bench --release --bin model_accuracy`
+
+use prem_bench::{large_suite, run_point, Strategy};
+use prem_core::{build_schedule, evaluate, Platform};
+use prem_sim::simulate;
+
+fn main() {
+    let suite = large_suite();
+    let mut worst: f64 = 0.0;
+    println!("§6.1 — analytic model vs discrete-event simulation");
+    println!(
+        "{:<9} {:>9} {:<14} {:>14} {:>14} {:>8}",
+        "kernel", "GB/s", "component", "predicted ns", "simulated ns", "err"
+    );
+    for bench in &suite {
+        for gb in [16.0, 1.0, 1.0 / 16.0] {
+            let p = Platform::default().with_bus_gbytes(gb);
+            let run = run_point(bench, &p, Strategy::Heuristic);
+            for c in &run.outcome.components {
+                let model = bench.cost.cpu.fit(&c.component);
+                let sched = build_schedule(&c.component, &c.solution, &p, &model)
+                    .expect("chosen solution is feasible");
+                let predicted = evaluate(&sched).makespan_ns;
+                let sim = simulate(&sched);
+                let err = (predicted - sim.makespan_ns).abs() / sim.makespan_ns;
+                worst = worst.max(err);
+                println!(
+                    "{:<9} {:>9.4} {:<14} {:>14.4e} {:>14.4e} {:>7.2}%",
+                    bench.name,
+                    gb,
+                    c.level_names.join(","),
+                    predicted,
+                    sim.makespan_ns,
+                    err * 100.0
+                );
+            }
+        }
+    }
+    println!("\nworst relative error: {:.2}% (paper bound: 5%)", worst * 100.0);
+    assert!(worst < 0.05, "model accuracy bound violated");
+}

@@ -1,0 +1,47 @@
+//! Figures 6.2 / 6.3 (tables) — min/max/average running time of generating
+//! the Figure 6.1 sweep with the optimization heuristic (6.2) and with the
+//! greedy approach (6.3).
+//!
+//! Usage: `cargo run -p prem-bench --release --bin tab6_2_6_3 [--quick]`
+
+use prem_bench::{fig61_bus_speeds, large_suite, parallel_map, run_point, write_csv, Strategy};
+use prem_core::Platform;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let suite = large_suite();
+    let speeds = if quick {
+        vec![1.0 / 16.0, 1.0, 16.0]
+    } else {
+        fig61_bus_speeds()
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    let mut rows = Vec::new();
+    for strategy in [Strategy::Heuristic, Strategy::Greedy] {
+        let label = match strategy {
+            Strategy::Heuristic => "Figure 6.2 — Optimization Heuristic runtime",
+            Strategy::Greedy => "Figure 6.3 — Greedy Approach runtime",
+        };
+        println!("{label}");
+        println!("{:<10} {:>12} {:>12} {:>12}", "kernel", "min (s)", "max (s)", "avg (s)");
+        for bench in &suite {
+            let times = parallel_map(speeds.clone(), threads, |&gb| {
+                let p8 = Platform::default().with_bus_gbytes(gb);
+                run_point(bench, &p8, strategy).seconds
+            });
+            let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = times.iter().cloned().fold(0.0, f64::max);
+            let avg = times.iter().sum::<f64>() / times.len() as f64;
+            println!("{:<10} {:>12.3} {:>12.3} {:>12.3}", bench.name, min, max, avg);
+            rows.push(format!("{:?},{},{min},{max},{avg}", strategy, bench.name));
+        }
+        println!();
+    }
+    let path = write_csv("tab6_2_6_3.csv", "strategy,kernel,min_s,max_s,avg_s", &rows)
+        .expect("write csv");
+    println!("wrote {}", path.display());
+    println!("(paper, Xeon 3.5 GHz + single-process Python: heuristic minutes, greedy ≤ 0.6 s)");
+}

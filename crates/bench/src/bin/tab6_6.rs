@@ -1,0 +1,44 @@
+//! Figure 6.6 (table) — Best tiling and parallelization selections for the
+//! GoogLeNet 3×3-filter CNN shapes at the very slow bus speed of
+//! 1/512 GB/s (batch 1, stride 1).
+//!
+//! Usage: `cargo run -p prem-bench --release --bin tab6_6`
+
+use prem_bench::{fmt_selection, parallel_map, write_csv};
+use prem_core::{optimize_app, LoopTree, OptimizerOptions, Platform};
+use prem_sim::SimCost;
+
+fn main() {
+    let shapes = prem_kernels::googlenet::study_shapes();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let platform = Platform::default().with_bus_gbytes(1.0 / 512.0);
+
+    println!("Figure 6.6 — best selections for GoogLeNet CNN shapes @ 1/512 GB/s");
+    println!(
+        "{:<24} | {:<60} | {:>13}",
+        "NK/NP/NQ/NC", "selection", "makespan (ns)"
+    );
+    let results = parallel_map(shapes, threads, |cfg| {
+        let program = cfg.build();
+        let tree = LoopTree::build(&program).expect("lowers");
+        let cost = SimCost::new(&program);
+        let out = optimize_app(&tree, &program, &platform, &cost, &OptimizerOptions::default());
+        (*cfg, out)
+    });
+    let mut rows = Vec::new();
+    for (cfg, out) in &results {
+        let shape = format!("{} / {} / {} / {}", cfg.nk, cfg.np, cfg.nq, cfg.nc);
+        let sel = out
+            .components
+            .first()
+            .map(fmt_selection)
+            .unwrap_or_else(|| "<none>".into());
+        println!("{:<24} | {:<60} | {:>13.4e}", shape, sel, out.makespan_ns);
+        rows.push(format!("{shape},{sel},{}", out.makespan_ns));
+    }
+    let path = write_csv("tab6_6.csv", "shape,selection,makespan_ns", &rows).expect("write csv");
+    println!("wrote {}", path.display());
+    println!("(paper: selections differ per shape — e.g. 128/28/28/96 → R 4/2/1, K 32/14/28/5)");
+}

@@ -1,0 +1,170 @@
+//! Shared harness for the evaluation binaries that regenerate every table
+//! and figure of the paper (Chapter 6). See EXPERIMENTS.md for the index.
+
+#![warn(missing_docs)]
+
+use prem_core::{
+    ideal_makespan, optimize_app, optimize_app_greedy, AppOutcome, LoopTree, OptimizerOptions,
+    Platform,
+};
+use prem_ir::Program;
+use prem_sim::SimCost;
+use std::time::Instant;
+
+/// The five PolyBench-NN kernels with their analysis artifacts.
+pub struct Bench {
+    /// Kernel name.
+    pub name: &'static str,
+    /// The kernel program.
+    pub program: Program,
+    /// Its loop tree.
+    pub tree: LoopTree,
+    /// The profiled-and-fitted cost provider (gem5-substitute workflow).
+    pub cost: SimCost,
+}
+
+/// Builds the LARGE-size suite of Figure 6.1.
+pub fn large_suite() -> Vec<Bench> {
+    prem_kernels::all_large()
+        .into_iter()
+        .map(|(name, program)| {
+            let tree = LoopTree::build(&program).expect("kernels lower");
+            let cost = SimCost::new(&program);
+            Bench {
+                name,
+                program,
+                tree,
+                cost,
+            }
+        })
+        .collect()
+}
+
+/// One optimization run with its wall-clock time.
+pub struct TimedRun {
+    /// The outcome.
+    pub outcome: AppOutcome,
+    /// Wall-clock seconds the optimizer took.
+    pub seconds: f64,
+}
+
+/// Scheduling strategy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// The paper's heuristic (Algorithms 1 + 2).
+    Heuristic,
+    /// The greedy baseline of §6.2.
+    Greedy,
+}
+
+/// Runs one (kernel, platform, strategy) point.
+pub fn run_point(bench: &Bench, platform: &Platform, strategy: Strategy) -> TimedRun {
+    let t0 = Instant::now();
+    let outcome = match strategy {
+        Strategy::Heuristic => optimize_app(
+            &bench.tree,
+            &bench.program,
+            platform,
+            &bench.cost,
+            &OptimizerOptions::default(),
+        ),
+        Strategy::Greedy => optimize_app_greedy(&bench.tree, &bench.program, platform, &bench.cost),
+    };
+    TimedRun {
+        outcome,
+        seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Ideal single-core makespan (unlimited SPM, zero-cost transfers).
+pub fn ideal(bench: &Bench) -> f64 {
+    ideal_makespan(&bench.tree, &bench.cost)
+}
+
+/// The bus-speed sweep of Figure 6.1: 1/16 … 16 GB/s in ×2 steps.
+pub fn fig61_bus_speeds() -> Vec<f64> {
+    (-4..=4).map(|e| 2f64.powi(e)).collect()
+}
+
+/// Runs a closure over items on `threads` OS threads, preserving order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads.max(1) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                **slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("computed")).collect()
+}
+
+/// Writes a CSV file under `results/`, creating the directory.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let mut text = String::from(header);
+    text.push('\n');
+    for r in rows {
+        text.push_str(r);
+        text.push('\n');
+    }
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Formats a solution's `K`/`R` vectors with level names.
+pub fn fmt_selection(report: &prem_core::ComponentReport) -> String {
+    let ks: Vec<String> = report
+        .level_names
+        .iter()
+        .zip(&report.solution.k)
+        .map(|(n, k)| format!("{n}:{k}"))
+        .collect();
+    let rs: Vec<String> = report
+        .level_names
+        .iter()
+        .zip(&report.solution.r)
+        .map(|(n, r)| format!("{n}:{r}"))
+        .collect();
+    format!("R{{{}}} K{{{}}}", rs.join(", "), ks.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<i32> = (0..37).collect();
+        let out = parallel_map(items, 4, |&x| x * 2);
+        assert_eq!(out, (0..37).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bus_sweep_matches_paper_range() {
+        let s = fig61_bus_speeds();
+        assert_eq!(s.len(), 9);
+        assert_eq!(s[0], 1.0 / 16.0);
+        assert_eq!(s[8], 16.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! C rendering of IR expressions, conditions and accesses.
+
+use prem_ir::{AssignKind, BinOp, CmpOp, Cond, Expr, IdxExpr, Program, Statement};
+
+/// Resolves loop ids to their C variable names.
+pub fn loop_name(program: &Program, id: usize) -> String {
+    program
+        .find_loop(id)
+        .map(|l| l.name.clone())
+        .unwrap_or_else(|| format!("l{id}"))
+}
+
+/// Renders an index expression as C.
+pub fn idx_to_c(program: &Program, e: &IdxExpr) -> String {
+    format!("{}", e.display_with(|id| loop_name(program, id)))
+}
+
+/// Renders an index expression, substituting custom names for some loops
+/// (used when tiled counters replace original variables).
+pub fn idx_to_c_with<F>(e: &IdxExpr, names: F) -> String
+where
+    F: Fn(usize) -> String,
+{
+    format!("{}", e.display_with(names))
+}
+
+/// Renders a condition as C.
+pub fn cond_to_c(program: &Program, c: &Cond) -> String {
+    if c.atoms.is_empty() {
+        return "1".to_string();
+    }
+    c.atoms
+        .iter()
+        .map(|a| {
+            let op = match a.op {
+                CmpOp::Eq => "==",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+            };
+            format!("{} {op} 0", idx_to_c(program, &a.lhs))
+        })
+        .collect::<Vec<_>>()
+        .join(" && ")
+}
+
+/// Renders an access, letting `rewrite` map each (array, dim, index
+/// expression) to the final C index text (identity for plain emission,
+/// buffer-relative for PREM emission).
+pub fn access_to_c<F>(program: &Program, array: usize, indices: &[IdxExpr], rewrite: &F) -> String
+where
+    F: Fn(usize, usize, &IdxExpr) -> String,
+{
+    let mut out = program.array(array).name.clone();
+    for (d, e) in indices.iter().enumerate() {
+        out.push('[');
+        out.push_str(&rewrite(array, d, e));
+        out.push(']');
+    }
+    out
+}
+
+/// Renders a right-hand-side expression.
+pub fn expr_to_c<F>(program: &Program, e: &Expr, rewrite: &F) -> String
+where
+    F: Fn(usize, usize, &IdxExpr) -> String,
+{
+    match e {
+        Expr::Load(a) => access_to_c(program, a.array, &a.indices, rewrite),
+        Expr::Const(c) => {
+            if *c == f64::MIN {
+                "-FLT_MAX".to_string()
+            } else if c.fract() == 0.0 && c.abs() < 1e15 {
+                format!("{:.1}f", c)
+            } else {
+                format!("{c}f")
+            }
+        }
+        Expr::Index(i) => format!("({})", idx_to_c(program, i)),
+        Expr::Bin(op, a, b) => {
+            let l = expr_to_c(program, a, rewrite);
+            let r = expr_to_c(program, b, rewrite);
+            match op.c_infix() {
+                Some(sym) => format!("({l} {sym} {r})"),
+                None => match op {
+                    BinOp::Max => format!("MAX({l}, {r})"),
+                    BinOp::Min => format!("MIN({l}, {r})"),
+                    _ => unreachable!(),
+                },
+            }
+        }
+        Expr::Neg(a) => format!("(-{})", expr_to_c(program, a, rewrite)),
+    }
+}
+
+/// Renders a full statement.
+pub fn stmt_to_c<F>(program: &Program, s: &Statement, rewrite: &F) -> String
+where
+    F: Fn(usize, usize, &IdxExpr) -> String,
+{
+    let target = access_to_c(program, s.target.array, &s.target.indices, rewrite);
+    let op = match s.kind {
+        AssignKind::Assign => "=",
+        AssignKind::AddAssign => "+=",
+    };
+    format!("{target} {op} {};", expr_to_c(program, &s.rhs, rewrite))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_ir::{ElemType, ProgramBuilder};
+
+    #[test]
+    fn renders_expressions() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("a", vec![8], ElemType::F32);
+        let i = b.begin_loop("i", 0, 1, 8);
+        b.stmt(
+            a,
+            vec![IdxExpr::var(i).plus_const(1)],
+            AssignKind::AddAssign,
+            Expr::mul(Expr::load(a, vec![IdxExpr::var(i)]), Expr::Const(2.0)),
+        );
+        b.end_loop();
+        let p = b.finish();
+        let identity = |_: usize, _: usize, e: &IdxExpr| idx_to_c(&p, e);
+        let mut text = String::new();
+        p.visit_statements(|s, _, _| text = stmt_to_c(&p, s, &identity));
+        assert_eq!(text, "a[i + 1] += (a[i] * 2.0f);");
+    }
+}

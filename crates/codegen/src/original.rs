@@ -1,0 +1,74 @@
+//! Plain C emission of the original (untransformed) kernel.
+
+use crate::cexpr::{cond_to_c, idx_to_c, stmt_to_c};
+use prem_ir::{IdxExpr, Node, Program};
+
+/// Emits the original program as a C function `void <name>_original(void)`
+/// over globally declared arrays.
+pub fn emit_original_c(program: &Program) -> String {
+    let mut out = String::new();
+    out.push_str("#include <stdint.h>\n#include <float.h>\n\n");
+    out.push_str("#define MAX(a, b) ((a) > (b) ? (a) : (b))\n");
+    out.push_str("#define MIN(a, b) ((a) < (b) ? (a) : (b))\n\n");
+    for a in &program.arrays {
+        out.push_str(&format!("{a};\n"));
+    }
+    out.push_str(&format!("\nvoid {}_original(void) {{\n", program.name));
+    let identity = |_: usize, _: usize, e: &IdxExpr| idx_to_c(program, e);
+    emit_nodes(program, &program.body, 1, &identity, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+pub(crate) fn emit_nodes<F>(
+    program: &Program,
+    nodes: &[Node],
+    indent: usize,
+    rewrite: &F,
+    out: &mut String,
+) where
+    F: Fn(usize, usize, &IdxExpr) -> String,
+{
+    let pad = "    ".repeat(indent);
+    for n in nodes {
+        match n {
+            Node::Loop(l) => {
+                out.push_str(&format!(
+                    "{pad}for (int {v} = {b}; {v} <= {e}; {v} += {s}) {{\n",
+                    v = l.name,
+                    b = l.begin,
+                    e = l.last(),
+                    s = l.stride
+                ));
+                emit_nodes(program, &l.body, indent + 1, rewrite, out);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Node::If(i) => {
+                out.push_str(&format!("{pad}if ({}) {{\n", cond_to_c(program, &i.cond)));
+                emit_nodes(program, &i.body, indent + 1, rewrite, out);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Node::Stmt(s) => {
+                out.push_str(&format!("{pad}{}\n", stmt_to_c(program, s, rewrite)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_kernels::CnnConfig;
+
+    #[test]
+    fn cnn_emits_compilable_shape() {
+        let p = CnnConfig::small().build();
+        let c = emit_original_c(&p);
+        assert!(c.contains("void cnn_original(void)"));
+        assert!(c.contains("float out_F[1][4][6][6];"));
+        assert!(c.contains("for (int n = 0; n <= 0; n += 1)"));
+        assert!(c.contains("out_F[n][k][p][q] +="));
+        // Balanced braces.
+        assert_eq!(c.matches('{').count(), c.matches('}').count());
+    }
+}

@@ -1,0 +1,179 @@
+//! Emission of the *tiled-only* intermediate form — the Listing 3.2 stage of
+//! the compilation flow, before PREM API insertion: per-thread tiled loops
+//! with the `threadID()`-derived group bounds, plus the original element
+//! loops and statements (main-memory accesses, no buffers).
+
+use crate::cexpr::{idx_to_c, stmt_to_c};
+use crate::original::emit_nodes;
+use crate::prem::{EmitComponent, EmitError};
+use prem_core::Platform;
+use prem_ir::{IdxExpr, Node, Program};
+
+/// Emits the tiled (but not yet PREM-ized) program, Listing 3.2 style.
+///
+/// # Errors
+///
+/// Returns [`EmitError`] if a component's innermost loop is missing from the
+/// program.
+pub fn emit_tiled_c(
+    program: &Program,
+    components: &[EmitComponent],
+    platform: &Platform,
+) -> Result<String, EmitError> {
+    let mut out = String::new();
+    out.push_str("#include <stdint.h>\n#include <float.h>\n\n");
+    out.push_str("#define MAX(a, b) ((a) > (b) ? (a) : (b))\n");
+    out.push_str("#define MIN(a, b) ((a) < (b) ? (a) : (b))\n");
+    out.push_str("extern int threadID(void);\n\n");
+    for a in &program.arrays {
+        out.push_str(&format!("{a};\n"));
+    }
+    out.push_str(&format!("\nvoid {}_tiled(void) {{\n", program.name));
+    emit_nodes_tiled(program, &program.body, components, platform, 1, &mut out)?;
+    out.push_str("}\n");
+    Ok(out)
+}
+
+fn emit_nodes_tiled(
+    program: &Program,
+    nodes: &[Node],
+    components: &[EmitComponent],
+    platform: &Platform,
+    indent: usize,
+    out: &mut String,
+) -> Result<(), EmitError> {
+    let pad = "    ".repeat(indent);
+    for n in nodes {
+        match n {
+            Node::Loop(l) => {
+                if let Some(ec) = components
+                    .iter()
+                    .find(|c| c.component.levels[0].loop_id == l.id)
+                {
+                    emit_tiled_component(program, ec, indent, out)?;
+                    continue;
+                }
+                out.push_str(&format!(
+                    "{pad}for (int {v} = {b}; {v} <= {e}; {v} += {s}) {{\n",
+                    v = l.name,
+                    b = l.begin,
+                    e = l.last(),
+                    s = l.stride
+                ));
+                emit_nodes_tiled(program, &l.body, components, platform, indent + 1, out)?;
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Node::If(i) => {
+                out.push_str(&format!(
+                    "{pad}if ({}) {{\n",
+                    crate::cexpr::cond_to_c(program, &i.cond)
+                ));
+                emit_nodes_tiled(program, &i.body, components, platform, indent + 1, out)?;
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Node::Stmt(s) => {
+                let identity = |_: usize, _: usize, e: &IdxExpr| idx_to_c(program, e);
+                out.push_str(&format!("{pad}{}\n", stmt_to_c(program, s, &identity)));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn emit_tiled_component(
+    program: &Program,
+    ec: &EmitComponent,
+    indent: usize,
+    out: &mut String,
+) -> Result<(), EmitError> {
+    let comp = &ec.component;
+    let sol = &ec.solution;
+    let pad = "    ".repeat(indent);
+    let names: Vec<&str> = comp.levels.iter().map(|l| l.name.as_str()).collect();
+    out.push_str(&format!(
+        "{pad}/* tiled component ({}) — {} */\n",
+        names.join(", "),
+        sol
+    ));
+
+    let m = sol.m(comp);
+    let z = sol.z(comp);
+    let mut inner_pad = pad.clone();
+    for (j, lv) in comp.levels.iter().enumerate() {
+        let prod_from_j: i64 = sol.r[j..].iter().product();
+        let prod_after_j: i64 = sol.r[j + 1..].iter().product();
+        out.push_str(&format!(
+            "{inner_pad}for (int {n}_t = ((threadID() % {prod_from_j}) / {prod_after_j})*{zj}; {n}_t < MIN({mj}, ((threadID() % {prod_from_j}) / {prod_after_j} + 1)*{zj}); {n}_t++) {{\n",
+            n = lv.name,
+            zj = z[j],
+            mj = m[j]
+        ));
+        inner_pad.push_str("    ");
+    }
+    for (j, lv) in comp.levels.iter().enumerate() {
+        let last = lv.begin + lv.stride * (lv.count - 1);
+        out.push_str(&format!(
+            "{inner_pad}for (int {n} = {b} + {s}*({n}_t*{k}); {n} <= MIN({last}, {b} + {s}*(({n}_t+1)*{k} - 1)); {n} += {s}) {{\n",
+            n = lv.name,
+            b = lv.begin,
+            s = lv.stride,
+            k = sol.k[j]
+        ));
+        inner_pad.push_str("    ");
+    }
+
+    let innermost = comp.levels.last().expect("non-empty component");
+    let body = &program
+        .find_loop(innermost.loop_id)
+        .ok_or(EmitError::MissingLoop(innermost.loop_id))?
+        .body;
+    let identity = |_: usize, _: usize, e: &IdxExpr| idx_to_c(program, e);
+    emit_nodes(program, body, indent + 2 * comp.levels.len(), &identity, out);
+
+    for _ in 0..2 * comp.levels.len() {
+        inner_pad.truncate(inner_pad.len() - 4);
+        out.push_str(&format!("{inner_pad}}}\n"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_core::{Component, LoopTree, Solution};
+
+    #[test]
+    fn tiled_lstm_matches_listing_3_2_structure() {
+        let program = prem_kernels::LstmConfig {
+            nt: 10,
+            ns: 650,
+            np: 700,
+        }
+        .build();
+        let tree = LoopTree::build(&program).unwrap();
+        let t = &tree.roots[0];
+        let comp = Component::extract(
+            &tree,
+            &program,
+            &[&t.children[0], &t.children[0].children[0]],
+        );
+        let ec = EmitComponent {
+            component: comp,
+            solution: Solution {
+                k: vec![109, 350],
+                r: vec![3, 1],
+            },
+        };
+        let platform = Platform::default().with_cores(3);
+        let code = emit_tiled_c(&program, std::slice::from_ref(&ec), &platform).unwrap();
+        // Listing 3.2's structure: thread-derived tiled bounds and
+        // MIN-clipped element loops.
+        assert!(code.contains("s1_0_t"));
+        assert!(code.contains("p_t"));
+        assert!(code.contains("MIN(6,"));
+        assert!(code.contains("MIN(649,"));
+        assert!(code.contains("s1_0_t*109"));
+        assert!(code.contains("p_t*350"));
+        assert_eq!(code.matches('{').count(), code.matches('}').count());
+    }
+}

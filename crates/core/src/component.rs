@@ -1,0 +1,623 @@
+//! Tilable components (§3.4): perfectly nested loop chains extracted from
+//! the loop tree, with per-array access summaries used for canonical data
+//! element ranges, buffer attributes and SPM sizing.
+
+use crate::looptree::{LoopTree, LoopTreeNode};
+use prem_ir::{AssignKind, Program, Statement};
+use prem_polyhedral::{DepKind, Dependence, Interval};
+use std::collections::BTreeMap;
+
+/// One tiled level of a component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompLevel {
+    /// Loop id in the IR / loop tree.
+    pub loop_id: usize,
+    /// Source name.
+    pub name: String,
+    /// Iteration count `N` (counter space `0..N`).
+    pub count: i64,
+    /// Begin index of the source loop.
+    pub begin: i64,
+    /// Source stride.
+    pub stride: i64,
+    /// Whether tiles of this level may run on different thread groups.
+    pub parallel: bool,
+    /// Whether the level may be tiled with arbitrary tile sizes (`false`
+    /// forces a single tile `K = N`).
+    pub tilable: bool,
+}
+
+/// R/W attribute of a streaming buffer (§5.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufferAttr {
+    /// Read-only: loaded, never written back.
+    Ro,
+    /// Write-only: never loaded, written back.
+    Wo,
+    /// Read-write: loaded and written back.
+    Rw,
+}
+
+/// Contribution of one access to one array dimension: coefficients on the
+/// component-level counters plus the interval contributed by everything else
+/// (constant, fixed outer counters at a representative value, and deeper
+/// private counters at their full ranges).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimContrib {
+    /// Coefficient per component level (outermost first).
+    pub comp_coeffs: Vec<i64>,
+    /// Guard-tightened counter bounds of the access's statement at each
+    /// component level: the access only happens inside these (e.g. the
+    /// `t > 0` guard of the LSTM recurrence, or `p == 0` initializations).
+    pub level_bounds: Vec<Interval>,
+    /// Base interval from non-component terms.
+    pub base: Interval,
+}
+
+impl DimContrib {
+    /// Index interval of this contribution when the component counters range
+    /// over the given per-level intervals; empty if the guards exclude the
+    /// whole tile.
+    pub fn bounds(&self, level_ranges: &[Interval]) -> Interval {
+        let mut acc = self.base;
+        for ((c, r), g) in self
+            .comp_coeffs
+            .iter()
+            .zip(level_ranges)
+            .zip(&self.level_bounds)
+        {
+            let clipped = r.intersect(g);
+            if clipped.is_empty() {
+                return Interval::empty();
+            }
+            if *c != 0 {
+                acc = acc + clipped.scale(*c);
+            }
+        }
+        acc
+    }
+}
+
+/// Contribution of a fixed outer loop to an array dimension's canonical
+/// range: the scheduler pins the loop at its lower bound `lo`; the machine
+/// simulator shifts the range by `coeff · (value − lo)` per outer iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OuterTerm {
+    /// Outer loop id.
+    pub loop_id: usize,
+    /// Coefficient of the loop's counter in the index expression.
+    pub coeff: i64,
+    /// Lower bound the scheduler pinned the counter at.
+    pub lo: i64,
+}
+
+/// Per-array access summary within a component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayUse {
+    /// Array id in the program.
+    pub array: prem_ir::ArrayId,
+    /// Array name.
+    pub name: String,
+    /// Array shape.
+    pub dims: Vec<i64>,
+    /// Element size in bytes.
+    pub elem_bytes: i64,
+    /// Buffer attribute.
+    pub attr: BufferAttr,
+    /// Per array dimension, the contributions of every access.
+    pub contribs: Vec<Vec<DimContrib>>,
+    /// Component levels whose tile index influences this array's canonical
+    /// range (per level: true if some contribution has a non-zero
+    /// coefficient there).
+    pub affected_by: Vec<bool>,
+    /// Per array dimension, the outer-loop terms shared by every access
+    /// (ranges shift rigidly with outer iterations).
+    pub outer_terms: Vec<Vec<OuterTerm>>,
+    /// `false` if accesses disagree on outer-loop coefficients, in which case
+    /// canonical ranges are only valid for the scheduler's pinned outer
+    /// values and the machine simulator must reject the program.
+    pub outer_uniform: bool,
+}
+
+impl ArrayUse {
+    /// Canonical data element range (§5.3.1) of the array when component
+    /// counters range over `level_ranges`: the rectangular hull across all
+    /// accesses.
+    pub fn canonical_range(&self, level_ranges: &[Interval]) -> Vec<Interval> {
+        self.contribs
+            .iter()
+            .map(|dim| {
+                let mut hull = Interval::empty();
+                for c in dim {
+                    hull = hull.hull(&c.bounds(level_ranges));
+                }
+                hull
+            })
+            .collect()
+    }
+}
+
+/// Per-statement work summary used by analytic execution-cost providers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StmtWork {
+    /// Statement id.
+    pub stmt: usize,
+    /// Worst-case instances of the statement per single iteration of the
+    /// innermost component level (product of folded deeper loop spans).
+    pub instances_per_iter: u64,
+    /// Arithmetic operations per instance.
+    pub ops_per_instance: u64,
+}
+
+/// A tilable component: the unit the optimizer schedules (§3.4).
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Kernel name (for diagnostics).
+    pub kernel: String,
+    /// Tiled levels, outermost first.
+    pub levels: Vec<CompLevel>,
+    /// Ids of all statements inside the component (including folded loops).
+    pub stmts: Vec<usize>,
+    /// Execution count `I` of the component (the first level's `l.I`).
+    pub exec_count: u64,
+    /// Arrays accessed, with canonical-range machinery.
+    pub arrays: Vec<ArrayUse>,
+    /// Active intra-component dependences, with `shared`-position of each
+    /// component level precomputed.
+    pub deps: Vec<ComponentDep>,
+    /// Work summaries for cost providers.
+    pub work: Vec<StmtWork>,
+    /// Loop iterations executed by folded (sub-leaf) loops per single
+    /// iteration of the innermost component level — their control overhead
+    /// belongs to `W`.
+    pub folded_iters_per_iter: u64,
+}
+
+/// A dependence restricted to a component: the distance interval per
+/// component level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentDep {
+    /// Array involved.
+    pub array: prem_ir::ArrayId,
+    /// Dependence kind.
+    pub kind: DepKind,
+    /// Distance interval per component level (outermost first); `[0,0]` when
+    /// the level is beyond the dependence's shared prefix.
+    pub dist: Vec<Interval>,
+}
+
+impl ComponentDep {
+    /// The outermost component level with a (possibly) non-zero distance, or
+    /// `None` when the dependence stays within a single innermost iteration.
+    pub fn carry_level(&self) -> Option<usize> {
+        self.dist.iter().position(|d| !d.is_zero())
+    }
+}
+
+impl Component {
+    /// Extracts a component from a perfect chain of loop-tree nodes
+    /// (outermost first). The chain must be non-empty; everything below the
+    /// last node is folded into the leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain` is empty.
+    pub fn extract(tree: &LoopTree, program: &Program, chain: &[&LoopTreeNode]) -> Component {
+        assert!(!chain.is_empty(), "component chain must be non-empty");
+        let levels: Vec<CompLevel> = chain
+            .iter()
+            .map(|n| CompLevel {
+                loop_id: n.loop_id,
+                name: n.name.clone(),
+                count: n.count,
+                begin: n.begin,
+                stride: n.stride,
+                parallel: n.parallel,
+                tilable: n.tilable,
+            })
+            .collect();
+        let stmts = chain.last().unwrap().subtree_stmts();
+        let exec_count = chain[0].exec_count;
+
+        // Active dependences restricted to component levels.
+        let active = tree.active_deps(chain[0].loop_id, &stmts);
+        let deps: Vec<ComponentDep> = active
+            .iter()
+            .map(|d| ComponentDep {
+                array: d.array,
+                kind: d.kind,
+                dist: levels
+                    .iter()
+                    .map(|lv| {
+                        d.level_of(lv.loop_id)
+                            .map(|p| d.dist_at(p))
+                            .unwrap_or(Interval::zero())
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        let statements = collect_statements(program);
+        let arrays = build_array_uses(tree, program, &stmts, &levels, &statements, &active);
+        let work = build_work(tree, &stmts, &levels, &statements);
+        let mut folded = 0u64;
+        fn count_folded(nodes: &[LoopTreeNode], mult: u64, acc: &mut u64) {
+            for n in nodes {
+                let per_parent = mult.saturating_mul(n.count as u64);
+                *acc = acc.saturating_add(per_parent);
+                count_folded(&n.children, per_parent, acc);
+            }
+        }
+        count_folded(&chain.last().unwrap().children, 1, &mut folded);
+
+        Component {
+            kernel: program.name.clone(),
+            levels,
+            stmts,
+            exec_count,
+            arrays,
+            deps,
+            work,
+            folded_iters_per_iter: folded,
+        }
+    }
+
+    /// Number of levels `L`.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Worst-case arithmetic work per innermost component iteration.
+    pub fn ops_per_innermost_iter(&self) -> u64 {
+        self.work
+            .iter()
+            .map(|w| w.instances_per_iter * w.ops_per_instance.max(1))
+            .sum()
+    }
+}
+
+/// Collects statement references indexed by id.
+pub(crate) fn collect_statements(program: &Program) -> Vec<Statement> {
+    let mut v: Vec<Option<Statement>> = vec![None; program.stmt_count];
+    program.visit_statements(|s, _, _| {
+        v[s.id] = Some(s.clone());
+    });
+    v.into_iter().map(|s| s.expect("statement present")).collect()
+}
+
+fn build_work(
+    tree: &LoopTree,
+    stmts: &[usize],
+    levels: &[CompLevel],
+    statements: &[Statement],
+) -> Vec<StmtWork> {
+    let innermost = levels.last().expect("non-empty chain").loop_id;
+    stmts
+        .iter()
+        .map(|&sid| {
+            let poly = &tree.stmts[sid];
+            let inner_pos = poly
+                .loops
+                .iter()
+                .position(|l| l.var == innermost)
+                .expect("statement under component levels");
+            let bounds = poly.tightened_bounds();
+            let mut inst = 1u64;
+            for b in &bounds[inner_pos + 1..] {
+                inst = inst.saturating_mul(b.len());
+            }
+            StmtWork {
+                stmt: sid,
+                instances_per_iter: inst,
+                ops_per_instance: statements[sid].op_count(),
+            }
+        })
+        .collect()
+}
+
+fn build_array_uses(
+    tree: &LoopTree,
+    program: &Program,
+    stmts: &[usize],
+    levels: &[CompLevel],
+    statements: &[Statement],
+    active: &[&Dependence],
+) -> Vec<ArrayUse> {
+    #[derive(Default)]
+    struct Acc {
+        contribs: Vec<Vec<DimContrib>>,
+        read: bool,
+        written: bool,
+        read_hull: Vec<Interval>,
+        write_hulls: Vec<(usize, Vec<Interval>)>, // (stmt id, hull)
+        outer_terms: Vec<Vec<OuterTerm>>,
+        outer_uniform: bool,
+        outer_seen: bool,
+    }
+    let mut per_array: BTreeMap<usize, Acc> = BTreeMap::new();
+
+    for &sid in stmts {
+        let poly = &tree.stmts[sid];
+        let bounds = poly.tightened_bounds();
+        // Position of each component level within this statement's loop list.
+        let level_pos: Vec<usize> = levels
+            .iter()
+            .map(|lv| {
+                poly.loops
+                    .iter()
+                    .position(|l| l.var == lv.loop_id)
+                    .expect("component level encloses statement")
+            })
+            .collect();
+        let comp_start_pos = level_pos[0];
+
+        for acc in &poly.accesses {
+            let entry = per_array.entry(acc.array).or_default();
+            let ndims = acc.indices.len();
+            if entry.contribs.is_empty() {
+                entry.contribs = vec![Vec::new(); ndims];
+                entry.read_hull = vec![Interval::empty(); ndims];
+                entry.outer_terms = vec![Vec::new(); ndims];
+                entry.outer_uniform = true;
+            }
+            let level_bounds: Vec<Interval> =
+                level_pos.iter().map(|&lp| bounds[lp]).collect();
+            let mut full_hull = Vec::with_capacity(ndims);
+            for (d, idx) in acc.indices.iter().enumerate() {
+                let mut comp_coeffs = vec![0i64; levels.len()];
+                let mut base = Interval::point(idx.constant_term());
+                let mut full = base;
+                let mut outer = Vec::new();
+                for (pos, b) in bounds.iter().enumerate() {
+                    let c = idx.coeff(pos);
+                    if c == 0 {
+                        continue;
+                    }
+                    if let Some(j) = level_pos.iter().position(|&lp| lp == pos) {
+                        comp_coeffs[j] = c;
+                        full = full + b.scale(c);
+                        continue;
+                    }
+                    if pos < comp_start_pos {
+                        // Fixed outer counter: representative value (shapes
+                        // are identical across outer iterations as long as
+                        // every access agrees on the coefficient).
+                        base = base.shift(c * b.lo);
+                        full = full.shift(c * b.lo);
+                        outer.push(OuterTerm {
+                            loop_id: poly.loops[pos].var,
+                            coeff: c,
+                            lo: b.lo,
+                        });
+                    } else {
+                        // Deeper (folded / private) counter: full range.
+                        base = base + b.scale(c);
+                        full = full + b.scale(c);
+                    }
+                }
+                if entry.outer_seen {
+                    if entry.outer_terms[d] != outer {
+                        entry.outer_uniform = false;
+                    }
+                } else {
+                    entry.outer_terms[d] = outer;
+                }
+                entry.contribs[d].push(DimContrib {
+                    comp_coeffs,
+                    level_bounds: level_bounds.clone(),
+                    base,
+                });
+                full_hull.push(full);
+            }
+            entry.outer_seen = true;
+            if acc.is_write {
+                entry.written = true;
+                entry.write_hulls.push((sid, full_hull));
+            } else {
+                entry.read = true;
+                for (h, f) in entry.read_hull.iter_mut().zip(&full_hull) {
+                    *h = h.hull(f);
+                }
+            }
+        }
+    }
+
+    per_array
+        .into_iter()
+        .map(|(array, acc)| {
+            let decl = program.array(array);
+            let attr = classify(array, &acc.read_hull, &acc.write_hulls, acc.read, acc.written, statements, active);
+            let affected_by = (0..levels.len())
+                .map(|j| {
+                    acc.contribs
+                        .iter()
+                        .any(|dim| dim.iter().any(|c| c.comp_coeffs[j] != 0))
+                })
+                .collect();
+            ArrayUse {
+                array,
+                name: decl.name.clone(),
+                dims: decl.dims.clone(),
+                elem_bytes: decl.elem.size_bytes(),
+                attr,
+                contribs: acc.contribs,
+                affected_by,
+                outer_terms: acc.outer_terms,
+                outer_uniform: acc.outer_uniform,
+            }
+        })
+        .collect()
+}
+
+/// Buffer attribute classification (§5.3.2): RO if never written; WO if never
+/// read, or if a covering first-write exists (an `=` statement whose write
+/// hull covers every read and that no read precedes); RW otherwise.
+fn classify(
+    array: usize,
+    read_hull: &[Interval],
+    write_hulls: &[(usize, Vec<Interval>)],
+    read: bool,
+    written: bool,
+    statements: &[Statement],
+    active: &[&Dependence],
+) -> BufferAttr {
+    if !written {
+        return BufferAttr::Ro;
+    }
+    if !read {
+        return BufferAttr::Wo;
+    }
+    // Look for a covering Assign statement W.
+    for (sid, hull) in write_hulls {
+        let stmt = &statements[*sid];
+        if stmt.kind != AssignKind::Assign || stmt.target.array != array {
+            continue;
+        }
+        // W must not read the array itself.
+        if stmt.rhs.loads().iter().any(|a| a.array == array) {
+            continue;
+        }
+        // Coverage: W's write hull contains the hull of all reads.
+        let covers = read_hull
+            .iter()
+            .zip(hull)
+            .all(|(r, w)| r.is_empty() || (w.lo <= r.lo && r.hi <= w.hi));
+        if !covers {
+            continue;
+        }
+        // No read of the array may precede W's write of the same element:
+        // no active anti dependence on this array into W.
+        let preceded = active
+            .iter()
+            .any(|d| d.array == array && d.kind == DepKind::Anti && d.dst == *sid);
+        if !preceded {
+            return BufferAttr::Wo;
+        }
+    }
+    BufferAttr::Rw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_ir::{CmpOp, Cond, ElemType, Expr, IdxExpr, ProgramBuilder};
+
+    /// LSTM-like component kernel:
+    /// for t { for s1 { for p { if(p==0) i[s1]=0; i[s1]+=U[s1][p]*inp[t][p] } } }
+    fn lstm_component_kernel(nt: i64, ns: i64, np: i64) -> (Program, LoopTree) {
+        let mut b = ProgramBuilder::new("lstmish");
+        let i_arr = b.array("i", vec![ns], ElemType::F32);
+        let u = b.array("U", vec![ns, np], ElemType::F32);
+        let inp = b.array("inp", vec![nt, np], ElemType::F32);
+        let t = b.begin_loop("t", 0, 1, nt);
+        let s1 = b.begin_loop("s1", 0, 1, ns);
+        let p = b.begin_loop("p", 0, 1, np);
+        b.begin_if(Cond::atom(IdxExpr::var(p), CmpOp::Eq));
+        b.stmt(i_arr, vec![IdxExpr::var(s1)], AssignKind::Assign, Expr::Const(0.0));
+        b.end_if();
+        b.stmt(
+            i_arr,
+            vec![IdxExpr::var(s1)],
+            AssignKind::AddAssign,
+            Expr::mul(
+                Expr::load(u, vec![IdxExpr::var(s1), IdxExpr::var(p)]),
+                Expr::load(inp, vec![IdxExpr::var(t), IdxExpr::var(p)]),
+            ),
+        );
+        b.end_loop();
+        b.end_loop();
+        let _ = t;
+        b.end_loop();
+        let program = b.finish();
+        let tree = LoopTree::build(&program).unwrap();
+        (program, tree)
+    }
+
+    fn extract_s1_p(program: &Program, tree: &LoopTree) -> Component {
+        let t = &tree.roots[0];
+        let s1 = &t.children[0];
+        let p = &s1.children[0];
+        Component::extract(tree, program, &[s1, p])
+    }
+
+    #[test]
+    fn component_structure() {
+        let (program, tree) = lstm_component_kernel(10, 650, 700);
+        let comp = extract_s1_p(&program, &tree);
+        assert_eq!(comp.depth(), 2);
+        assert_eq!(comp.levels[0].name, "s1");
+        assert!(comp.levels[0].parallel);
+        assert!(!comp.levels[1].parallel);
+        assert_eq!(comp.exec_count, 10);
+        assert_eq!(comp.stmts, vec![0, 1]);
+    }
+
+    #[test]
+    fn buffer_attributes_match_paper() {
+        let (program, tree) = lstm_component_kernel(10, 650, 700);
+        let comp = extract_s1_p(&program, &tree);
+        let by_name = |n: &str| comp.arrays.iter().find(|a| a.name == n).unwrap();
+        // i is written first (p == 0) then accumulated: WO per §3.5.
+        assert_eq!(by_name("i").attr, BufferAttr::Wo);
+        assert_eq!(by_name("U").attr, BufferAttr::Ro);
+        assert_eq!(by_name("inp").attr, BufferAttr::Ro);
+    }
+
+    #[test]
+    fn canonical_ranges_match_listing_3_2() {
+        let (program, tree) = lstm_component_kernel(10, 650, 700);
+        let comp = extract_s1_p(&program, &tree);
+        // Tile s1 ∈ [0,108], p ∈ [0,349] — the seg_{0,1} of Table 3.1.
+        let ranges = [Interval::new(0, 108), Interval::new(0, 349)];
+        let u = comp.arrays.iter().find(|a| a.name == "U").unwrap();
+        assert_eq!(
+            u.canonical_range(&ranges),
+            vec![Interval::new(0, 108), Interval::new(0, 349)]
+        );
+        let i = comp.arrays.iter().find(|a| a.name == "i").unwrap();
+        assert_eq!(i.canonical_range(&ranges), vec![Interval::new(0, 108)]);
+        // inp's first dim is the fixed outer t: extent 1.
+        let inp = comp.arrays.iter().find(|a| a.name == "inp").unwrap();
+        let r = inp.canonical_range(&ranges);
+        assert_eq!(r[0].len(), 1);
+        assert_eq!(r[1], Interval::new(0, 349));
+    }
+
+    #[test]
+    fn affected_by_levels() {
+        let (program, tree) = lstm_component_kernel(10, 650, 700);
+        let comp = extract_s1_p(&program, &tree);
+        let u = comp.arrays.iter().find(|a| a.name == "U").unwrap();
+        assert_eq!(u.affected_by, vec![true, true]);
+        let i = comp.arrays.iter().find(|a| a.name == "i").unwrap();
+        assert_eq!(i.affected_by, vec![true, false]);
+        let inp = comp.arrays.iter().find(|a| a.name == "inp").unwrap();
+        assert_eq!(inp.affected_by, vec![false, true]);
+    }
+
+    #[test]
+    fn component_deps_carry_at_p() {
+        let (program, tree) = lstm_component_kernel(10, 650, 700);
+        let comp = extract_s1_p(&program, &tree);
+        assert!(!comp.deps.is_empty());
+        for d in &comp.deps {
+            assert!(d.dist[0].is_zero(), "all deps keep s1 fixed: {d:?}");
+        }
+        assert!(comp
+            .deps
+            .iter()
+            .any(|d| d.carry_level() == Some(1) && d.dist[1].lo >= 1));
+    }
+
+    #[test]
+    fn work_summary() {
+        let (program, tree) = lstm_component_kernel(10, 650, 700);
+        let comp = extract_s1_p(&program, &tree);
+        // Both statements are at the innermost level: one instance per iter.
+        for w in &comp.work {
+            assert_eq!(w.instances_per_iter, 1);
+        }
+        // Stmt 1 has mul + implicit add = 2 ops.
+        assert_eq!(comp.work[1].ops_per_instance, 2);
+    }
+}

@@ -1,0 +1,146 @@
+//! Platform configuration and PREM API worst-case costs (§6.1, Table 6.1).
+
+/// Worst-case execution times of the PREM API calls, in nanoseconds at 1 GHz
+/// (Table 6.1, measured in the RTOS of Soliman et al. and normalized).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiCosts {
+    /// `allocate_buffer`
+    pub allocate_buffer: f64,
+    /// `dispatch`
+    pub dispatch: f64,
+    /// DMA interrupt handler, charged once per DMA transfer.
+    pub dma_int_handler: f64,
+    /// `allocate`
+    pub allocate: f64,
+    /// `end_segment`
+    pub end_segment: f64,
+    /// `deallocate`
+    pub deallocate: f64,
+    /// `allocate2d`
+    pub allocate2d: f64,
+    /// `deallocate_buffer`
+    pub deallocate_buffer: f64,
+    /// `swap_buffer` (1-D)
+    pub swap_buffer: f64,
+    /// `swap2d_buffer` — also used for `swapnd_buffer`, which §6.1 assumes
+    /// has the same cost due to structural similarity.
+    pub swap2d_buffer: f64,
+}
+
+impl Default for ApiCosts {
+    fn default() -> Self {
+        ApiCosts {
+            allocate_buffer: 1139.0,
+            dispatch: 861.0,
+            dma_int_handler: 1187.0,
+            allocate: 1503.0,
+            end_segment: 1878.0,
+            deallocate: 861.0,
+            allocate2d: 1103.0,
+            deallocate_buffer: 776.0,
+            swap_buffer: 1914.0,
+            swap2d_buffer: 1248.0,
+        }
+    }
+}
+
+impl ApiCosts {
+    /// Cost of a swap call for data of the given array dimensionality
+    /// (`swap_buffer` for 1-D, `swap2d_buffer`/`swapnd_buffer` otherwise).
+    pub fn swap_cost(&self, ndims: usize) -> f64 {
+        if ndims <= 1 {
+            self.swap_buffer
+        } else {
+            self.swap2d_buffer
+        }
+    }
+}
+
+/// Target platform parameters (§6.1 defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Number of processing cores `P`.
+    pub cores: usize,
+    /// Core frequency in Hz (1 GHz default; times are reported in ns, so one
+    /// cycle is one ns at the default frequency).
+    pub freq_hz: f64,
+    /// Per-core SPM size in bytes (both streaming partitions together).
+    pub spm_bytes: i64,
+    /// Main-memory data access granularity `sizeof(G)` in bytes (one burst).
+    pub granularity_bytes: i64,
+    /// DMA per-data-line overhead `T_DMA^overhead` in ns.
+    pub dma_line_overhead_ns: f64,
+    /// Bus bandwidth in bytes per second.
+    pub bus_bytes_per_sec: f64,
+    /// API call costs.
+    pub api: ApiCosts,
+}
+
+impl Default for Platform {
+    fn default() -> Self {
+        Platform {
+            cores: 8,
+            freq_hz: 1.0e9,
+            spm_bytes: 128 * 1024,
+            granularity_bytes: 64,
+            dma_line_overhead_ns: 40.0,
+            bus_bytes_per_sec: 16.0e9,
+            api: ApiCosts::default(),
+        }
+    }
+}
+
+impl Platform {
+    /// Returns a copy with the bus speed set in GiB-per-second-style GB/s
+    /// (the paper sweeps 1/16 … 16 GByte/s).
+    pub fn with_bus_gbytes(mut self, gbytes_per_sec: f64) -> Self {
+        self.bus_bytes_per_sec = gbytes_per_sec * 1.0e9;
+        self
+    }
+
+    /// Returns a copy with the given per-core SPM size in bytes.
+    pub fn with_spm_bytes(mut self, bytes: i64) -> Self {
+        self.spm_bytes = bytes;
+        self
+    }
+
+    /// Returns a copy with the given core count.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Bus time per burst transfer, `T_BUS^overhead · sizeof(G)` in ns.
+    pub fn bus_ns_per_burst(&self) -> f64 {
+        self.granularity_bytes as f64 / self.bus_bytes_per_sec * 1.0e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = Platform::default();
+        assert_eq!(p.cores, 8);
+        assert_eq!(p.spm_bytes, 131072);
+        assert_eq!(p.granularity_bytes, 64);
+        assert_eq!(p.dma_line_overhead_ns, 40.0);
+        // 16 GB/s → 0.0625 ns/byte → 4 ns per 64-byte burst.
+        assert!((p.bus_ns_per_burst() - 4.0).abs() < 1e-12);
+        assert_eq!(p.api.swap_cost(1), 1914.0);
+        assert_eq!(p.api.swap_cost(3), 1248.0);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let p = Platform::default()
+            .with_bus_gbytes(0.5)
+            .with_spm_bytes(64 * 1024)
+            .with_cores(4);
+        assert_eq!(p.bus_bytes_per_sec, 0.5e9);
+        assert_eq!(p.spm_bytes, 65536);
+        assert_eq!(p.cores, 4);
+    }
+}

@@ -1,0 +1,316 @@
+//! Two-level SPM hierarchy prototype (Chapter 7, future work).
+//!
+//! The thesis proposes inserting a larger, platform-level L2 SPM between
+//! main memory and the per-core L1 SPMs: *"the required data of multiple
+//! segments can be loaded into L2 SPM at once and later again load into L1
+//! SPM when the data is required"*, hiding the main-memory transfer time
+//! behind the execution of whole blocks of segments.
+//!
+//! This module evaluates a standard single-level [`ComponentSchedule`] under
+//! that hierarchy:
+//!
+//! * per core, consecutive segments are greedily grouped into **blocks**
+//!   whose transferred bytes fit one L2 partition (the L2 is double-buffered
+//!   like the L1s);
+//! * one bulk DRAM→L2 transfer per block runs on the main-memory bus and is
+//!   pipelined with the execution of the previous block (blocks of all cores
+//!   are serialized round-robin on the single DRAM channel);
+//! * the per-segment L1 batches are re-timed against the faster L2→L1 bus.
+//!
+//! The makespan recurrence extends the single-level one with the extra
+//! "block transferred" gate on the first segment of each block.
+
+use crate::config::Platform;
+use crate::segments::ComponentSchedule;
+use crate::timing::transfer_time_ns;
+
+/// Configuration of the two-level hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoLevelConfig {
+    /// L2 SPM size in bytes (both double-buffer partitions together).
+    pub l2_bytes: i64,
+    /// L2 → L1 bandwidth in bytes per second (typically ≫ DRAM bandwidth).
+    pub l2_bus_bytes_per_sec: f64,
+    /// Per-line overhead of the L2-side DMA in ns.
+    pub l2_line_overhead_ns: f64,
+}
+
+impl Default for TwoLevelConfig {
+    fn default() -> Self {
+        TwoLevelConfig {
+            l2_bytes: 2 << 20,
+            l2_bus_bytes_per_sec: 64.0e9,
+            l2_line_overhead_ns: 10.0,
+        }
+    }
+}
+
+/// Result of the two-level evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoLevelResult {
+    /// Makespan of one component execution in ns.
+    pub makespan_ns: f64,
+    /// Blocks per core.
+    pub blocks_per_core: Vec<usize>,
+    /// Total bytes staged through the L2.
+    pub staged_bytes: i64,
+}
+
+/// Evaluates a component schedule on the two-level hierarchy.
+///
+/// The same schedule (tiling, swaps, batch structure) is reused; only the
+/// timing of memory phases changes. Returns `None` when a single segment's
+/// working set exceeds an L2 partition (the hierarchy cannot stage it).
+pub fn evaluate_two_level(
+    schedule: &ComponentSchedule,
+    platform: &Platform,
+    cfg: &TwoLevelConfig,
+) -> Option<TwoLevelResult> {
+    let l2_partition = cfg.l2_bytes / 2;
+    let l2_platform = Platform {
+        bus_bytes_per_sec: cfg.l2_bus_bytes_per_sec,
+        dma_line_overhead_ns: cfg.l2_line_overhead_ns,
+        ..platform.clone()
+    };
+
+    let cores = &schedule.cores;
+    let ncores = cores.len();
+
+    // Block decomposition per core: greedy over batch bytes.
+    // blocks[i] = list of (first_batch, last_batch, dram_bytes, dram_time).
+    let mut blocks: Vec<Vec<(usize, usize, i64)>> = Vec::with_capacity(ncores);
+    let mut staged_bytes = 0i64;
+    for core in cores {
+        let nbatches = core.batches.len();
+        let mut core_blocks = Vec::new();
+        let mut start = 1usize;
+        let mut acc = 0i64;
+        for j in 1..nbatches {
+            let b = core.batches[j].bytes;
+            if b > l2_partition {
+                return None; // one segment's traffic exceeds an L2 partition
+            }
+            if acc + b > l2_partition && acc > 0 {
+                core_blocks.push((start, j - 1, acc));
+                start = j;
+                acc = 0;
+            }
+            acc += b;
+        }
+        if start < nbatches {
+            core_blocks.push((start, nbatches - 1, acc));
+        }
+        staged_bytes += core_blocks.iter().map(|b| b.2).sum::<i64>();
+        blocks.push(core_blocks);
+    }
+
+    // Re-time L1 batches against the L2 bus.
+    let l1_time: Vec<Vec<f64>> = cores
+        .iter()
+        .map(|core| {
+            core.batches
+                .iter()
+                .map(|b| {
+                    b.ops
+                        .iter()
+                        .map(|op| {
+                            transfer_time_ns(&op.shape, &l2_platform)
+                                + l2_platform.api.dma_int_handler
+                        })
+                        .sum()
+                })
+                .collect()
+        })
+        .collect();
+
+    // DRAM block-transfer times: bulk, one line per contiguous array slice
+    // approximated as bytes/bandwidth + a single line overhead per batch in
+    // the block.
+    let dram_time = |core: usize, blk: &(usize, usize, i64)| -> f64 {
+        let nlines: f64 = (blk.0..=blk.1)
+            .map(|j| cores[core].batches[j].ops.len() as f64)
+            .sum();
+        blk.2 as f64 / platform.bus_bytes_per_sec * 1.0e9
+            + nlines * platform.dma_line_overhead_ns
+    };
+
+    // Recurrence. DRAM engine: serialize blocks round-robin by (block level,
+    // core); block b of a core may start once block b-2 of the same core has
+    // been fully consumed (L2 double buffering) — approximated by gating on
+    // the execution finish of block b-2's last segment.
+    let max_blocks = blocks.iter().map(Vec::len).max().unwrap_or(0);
+    let mut dram_fin: Vec<Vec<f64>> = blocks.iter().map(|b| vec![0.0; b.len()]).collect();
+    let mut dram_free = 0.0f64;
+
+    let mut exec_fin: Vec<Vec<f64>> = cores
+        .iter()
+        .map(|c| {
+            let mut v = vec![0.0; c.nseg() + 1];
+            v[0] = c.init_api_ns;
+            v
+        })
+        .collect();
+    let mut mem_fin: Vec<Vec<f64>> = cores.iter().map(|c| vec![0.0; c.nseg() + 2]).collect();
+    let mut makespan = 0.0f64;
+
+    // Process block levels then, inside each, the per-segment recurrence.
+    // Simplification: DRAM transfers for block level L are issued before the
+    // execution of that level's segments (they were released when block L-2
+    // finished, which the per-core sequential chain guarantees).
+    for lvl in 0..max_blocks {
+        for i in 0..ncores {
+            let Some(blk) = blocks[i].get(lvl) else { continue };
+            // Double-buffered L2: wait for block lvl-2's consumption.
+            let gate = if lvl >= 2 {
+                let prev = blocks[i][lvl - 2];
+                let last_seg = prev.1.min(cores[i].nseg());
+                exec_fin[i][last_seg]
+            } else {
+                0.0
+            };
+            let start = dram_free.max(gate);
+            let fin = start + dram_time(i, blk);
+            dram_free = fin;
+            dram_fin[i][lvl] = fin;
+            makespan = makespan.max(fin);
+        }
+
+        // L1 batches + executions of this block level (the per-core L1 DMA
+        // is local, so cores do not contend on it).
+        for i in 0..ncores {
+            let Some(&(first, last, _)) = blocks[i].get(lvl) else {
+                continue;
+            };
+            let nseg = cores[i].nseg();
+            for j in first..=last {
+                if j > nseg + 1 {
+                    break;
+                }
+                if !cores[i].batches[j].is_empty() {
+                    let gate = if j == nseg + 1 {
+                        exec_fin[i][nseg]
+                    } else {
+                        exec_fin[i][j.saturating_sub(2)]
+                    };
+                    let start = gate.max(dram_fin[i][lvl]).max(mem_fin[i][j.saturating_sub(1)]);
+                    mem_fin[i][j] = start + l1_time[i][j];
+                    makespan = makespan.max(mem_fin[i][j]);
+                }
+                if j <= nseg && j >= 1 {
+                    let start = exec_fin[i][j - 1].max(mem_fin[i][j]);
+                    exec_fin[i][j] = start + cores[i].exec_ns[j - 1] + cores[i].api_ns[j - 1];
+                    makespan = makespan.max(exec_fin[i][j]);
+                }
+            }
+        }
+    }
+
+    Some(TwoLevelResult {
+        makespan_ns: makespan,
+        blocks_per_core: blocks.iter().map(Vec::len).collect(),
+        staged_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{AnalyticCost, CostProvider};
+    use crate::looptree::LoopTree;
+    use crate::segments::build_schedule;
+    use crate::tiling::Solution;
+    use prem_ir::{AssignKind, ElemType, Expr, IdxExpr, ProgramBuilder};
+
+    fn streaming_kernel(n: i64, m: i64) -> (prem_ir::Program, crate::component::Component) {
+        let mut b = ProgramBuilder::new("stream");
+        let x = b.array("x", vec![n, m], ElemType::F32);
+        let y = b.array("y", vec![n, m], ElemType::F32);
+        let i = b.begin_loop("i", 0, 1, n);
+        let j = b.begin_loop("j", 0, 1, m);
+        b.stmt(
+            y,
+            vec![IdxExpr::var(i), IdxExpr::var(j)],
+            AssignKind::AddAssign,
+            Expr::mul(
+                Expr::load(x, vec![IdxExpr::var(i), IdxExpr::var(j)]),
+                Expr::Const(3.0),
+            ),
+        );
+        b.end_loop();
+        b.end_loop();
+        let program = b.finish();
+        let tree = LoopTree::build(&program).unwrap();
+        let comp = crate::component::Component::extract(
+            &tree,
+            &program,
+            &[&tree.roots[0], &tree.roots[0].children[0]],
+        );
+        (program, comp)
+    }
+
+    #[test]
+    fn two_level_helps_when_dram_is_slow() {
+        let (program, comp) = streaming_kernel(256, 256);
+        let cost = AnalyticCost::new(&program);
+        let model = cost.exec_model(&comp);
+        let platform = Platform::default().with_bus_gbytes(1.0 / 16.0);
+        let sol = Solution {
+            k: vec![8, 256],
+            r: vec![8, 1],
+        };
+        let sched = build_schedule(&comp, &sol, &platform, &model).unwrap();
+        let single = crate::schedule::evaluate(&sched).makespan_ns;
+        let two = evaluate_two_level(&sched, &platform, &TwoLevelConfig::default()).unwrap();
+        // The L1 fills now run at 64 GB/s; DRAM still limits throughput but
+        // bulk block transfers amortize line overheads, so the two-level
+        // makespan must not exceed the single-level one (and typically wins).
+        assert!(
+            two.makespan_ns <= single * 1.001,
+            "two-level {} vs single {single}",
+            two.makespan_ns
+        );
+        assert!(two.blocks_per_core.iter().any(|&b| b >= 1));
+    }
+
+    #[test]
+    fn degenerate_l2_equals_dram_speed_is_no_better() {
+        let (program, comp) = streaming_kernel(128, 128);
+        let cost = AnalyticCost::new(&program);
+        let model = cost.exec_model(&comp);
+        let platform = Platform::default().with_bus_gbytes(16.0);
+        let sol = Solution {
+            k: vec![16, 128],
+            r: vec![4, 1],
+        };
+        let sched = build_schedule(&comp, &sol, &platform, &model).unwrap();
+        let cfg = TwoLevelConfig {
+            l2_bytes: 2 << 20,
+            l2_bus_bytes_per_sec: platform.bus_bytes_per_sec,
+            l2_line_overhead_ns: platform.dma_line_overhead_ns,
+        };
+        let two = evaluate_two_level(&sched, &platform, &cfg).unwrap();
+        // Staging through an equal-speed L2 adds the DRAM block time on top:
+        // it cannot beat the direct single-level schedule by construction.
+        let single = crate::schedule::evaluate(&sched).makespan_ns;
+        assert!(two.makespan_ns >= single * 0.5);
+        assert!(two.staged_bytes > 0);
+    }
+
+    #[test]
+    fn oversized_segment_is_rejected() {
+        let (program, comp) = streaming_kernel(64, 64);
+        let cost = AnalyticCost::new(&program);
+        let model = cost.exec_model(&comp);
+        let platform = Platform::default();
+        let sol = Solution {
+            k: vec![32, 64],
+            r: vec![1, 1],
+        };
+        let sched = build_schedule(&comp, &sol, &platform, &model).unwrap();
+        let cfg = TwoLevelConfig {
+            l2_bytes: 1024, // absurdly small
+            ..TwoLevelConfig::default()
+        };
+        assert!(evaluate_two_level(&sched, &platform, &cfg).is_none());
+    }
+}

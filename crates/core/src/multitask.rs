@@ -1,0 +1,278 @@
+//! Fixed-priority multitasking schedulability for PREM task sets.
+//!
+//! The paper compiles a *single* application; the multitasking PREM systems
+//! it compares against (Table 2.2: Soliman & Pellizzoni \[37\], Forsberg et
+//! al. \[16\]) schedule several compiled tasks on one core under fixed
+//! priorities, with **non-preemptive** phases: a long execution or memory
+//! phase of a low-priority task blocks every higher-priority release. That
+//! is precisely why those works shrink tile sizes — and this module closes
+//! the loop by (a) deriving a three-phase task model from a compiled
+//! schedule, (b) running the classic response-time analysis with
+//! non-preemptive blocking, and (c) driving the component optimizer with a
+//! phase-length cap ([`crate::optimizer::OptimizerOptions::max_phase_ns`])
+//! so a kernel can be *re-segmented* until a task set becomes schedulable.
+
+use crate::schedule::ScheduleResult;
+use std::fmt;
+
+/// A periodic PREM task compiled to a sequence of non-preemptive phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PremTask {
+    /// Task name.
+    pub name: String,
+    /// Period in ns.
+    pub period_ns: f64,
+    /// Relative deadline in ns (constrained: `<= period`).
+    pub deadline_ns: f64,
+    /// Total worst-case execution demand per job in ns (all phases).
+    pub wcet_ns: f64,
+    /// Longest single non-preemptive phase in ns.
+    pub max_phase_ns: f64,
+}
+
+impl PremTask {
+    /// Builds a task from a compiled component schedule: the job demand is
+    /// the single-job makespan, the blocking granularity its longest phase.
+    pub fn from_schedule(
+        name: impl Into<String>,
+        result: &ScheduleResult,
+        executions_per_job: u64,
+        period_ns: f64,
+        deadline_ns: f64,
+    ) -> Self {
+        PremTask {
+            name: name.into(),
+            period_ns,
+            deadline_ns,
+            wcet_ns: result.makespan_ns * executions_per_job as f64,
+            max_phase_ns: result.max_phase_ns,
+        }
+    }
+
+    /// Utilization `C/T`.
+    pub fn utilization(&self) -> f64 {
+        self.wcet_ns / self.period_ns
+    }
+}
+
+/// Per-task verdict of the analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskResponse {
+    /// Task name.
+    pub name: String,
+    /// Worst-case response time in ns (`+∞` when unbounded/over deadline).
+    pub response_ns: f64,
+    /// Blocking term from lower-priority non-preemptive phases.
+    pub blocking_ns: f64,
+    /// Whether `response <= deadline`.
+    pub schedulable: bool,
+}
+
+/// Result of analyzing a task set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedulability {
+    /// Per-task responses, highest priority first.
+    pub tasks: Vec<TaskResponse>,
+    /// Total utilization.
+    pub utilization: f64,
+}
+
+impl Schedulability {
+    /// Whether every task meets its deadline.
+    pub fn schedulable(&self) -> bool {
+        self.tasks.iter().all(|t| t.schedulable)
+    }
+}
+
+impl fmt::Display for Schedulability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "U = {:.3}", self.utilization)?;
+        for t in &self.tasks {
+            writeln!(
+                f,
+                "  {:<12} R = {:>12.0} ns  (blocking {:>10.0})  {}",
+                t.name,
+                t.response_ns,
+                t.blocking_ns,
+                if t.schedulable { "OK" } else { "MISS" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Fixed-priority response-time analysis with non-preemptive blocking.
+///
+/// `tasks` must be ordered highest priority first. The standard recurrence
+/// with a blocking term:
+///
+/// ```text
+/// R_i = C_i + B_i + Σ_{j < i} ⌈R_i / T_j⌉ · C_j,
+/// B_i = max phase length over tasks with lower priority than i
+/// ```
+///
+/// iterated to a fixpoint (or declared unschedulable past the deadline).
+/// This is the classic analysis the multitasking PREM compilers build on;
+/// memory-phase arbitration beyond the blocking term (TDMA slots in \[36\]) is
+/// intentionally folded into the phase lengths.
+pub fn analyze(tasks: &[PremTask]) -> Schedulability {
+    let utilization = tasks.iter().map(PremTask::utilization).sum();
+    let mut out = Vec::with_capacity(tasks.len());
+    for (i, t) in tasks.iter().enumerate() {
+        let blocking = tasks[i + 1..]
+            .iter()
+            .map(|l| l.max_phase_ns)
+            .fold(0.0f64, f64::max);
+        let mut r = t.wcet_ns + blocking;
+        let mut schedulable = true;
+        loop {
+            let mut next = t.wcet_ns + blocking;
+            for h in &tasks[..i] {
+                next += (r / h.period_ns).ceil() * h.wcet_ns;
+            }
+            if next > t.deadline_ns {
+                r = f64::INFINITY;
+                schedulable = false;
+                break;
+            }
+            if (next - r).abs() <= 1e-9 {
+                r = next;
+                break;
+            }
+            r = next;
+        }
+        out.push(TaskResponse {
+            name: t.name.clone(),
+            response_ns: r,
+            blocking_ns: blocking,
+            schedulable,
+        });
+    }
+    Schedulability {
+        tasks: out,
+        utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{AnalyticCost, CostProvider};
+    use crate::looptree::LoopTree;
+    use crate::optimizer::{optimize_component, OptimizerOptions};
+    use crate::Platform;
+
+    fn task(name: &str, c: f64, t: f64, max_phase: f64) -> PremTask {
+        PremTask {
+            name: name.into(),
+            period_ns: t,
+            deadline_ns: t,
+            wcet_ns: c,
+            max_phase_ns: max_phase,
+        }
+    }
+
+    #[test]
+    fn classic_rta_fixpoint() {
+        // C = (1, 2, 3), T = (4, 8, 16), no blocking: R = (1, 3, 10).
+        let tasks = vec![
+            task("hi", 1.0, 4.0, 0.0),
+            task("mid", 2.0, 8.0, 0.0),
+            task("lo", 3.0, 16.0, 0.0),
+        ];
+        let s = analyze(&tasks);
+        assert!(s.schedulable());
+        assert_eq!(s.tasks[0].response_ns, 1.0);
+        assert_eq!(s.tasks[1].response_ns, 3.0);
+        assert_eq!(s.tasks[2].response_ns, 7.0);
+    }
+
+    #[test]
+    fn blocking_can_break_high_priority() {
+        // A tight high-priority task misses only because of low-priority
+        // non-preemptive blocking.
+        let ok = analyze(&[task("hi", 2.0, 5.0, 0.0), task("lo", 10.0, 100.0, 2.0)]);
+        assert!(ok.schedulable());
+        let bad = analyze(&[task("hi", 2.0, 5.0, 0.0), task("lo", 10.0, 100.0, 4.0)]);
+        assert!(!bad.tasks[0].schedulable);
+        assert_eq!(bad.tasks[0].blocking_ns, 4.0);
+    }
+
+    #[test]
+    fn unschedulable_overload() {
+        let s = analyze(&[task("a", 3.0, 4.0, 0.0), task("b", 3.0, 4.0, 0.0)]);
+        assert!(!s.schedulable());
+        assert!(s.utilization > 1.0);
+    }
+
+    /// The §2.1.2 motivation end to end: shrinking tile sizes via the phase
+    /// cap turns an unschedulable set schedulable.
+    #[test]
+    fn phase_cap_restores_schedulability() {
+        // Low-priority kernel: a single-core elementwise component large
+        // enough that its unconstrained phases dwarf the init segment.
+        let program = prem_kernels_stub(256, 256);
+        let tree = LoopTree::build(&program).unwrap();
+        let comp = crate::component::Component::extract(
+            &tree,
+            &program,
+            &[&tree.roots[0], &tree.roots[0].children[0]],
+        );
+        let cost = AnalyticCost::new(&program);
+        let model = cost.exec_model(&comp);
+        let platform = Platform::default().with_cores(1);
+
+        let free = optimize_component(&comp, &platform, &model, &OptimizerOptions::default())
+            .expect("feasible");
+        // A high-priority task with a deadline shorter than the free
+        // solution's longest phase.
+        let hi = task("hi", 4_000.0, free.result.max_phase_ns * 0.5, 0.0);
+        let lo_free = PremTask::from_schedule("lo", &free.result, 1, 1e9, 1e9);
+        assert!(
+            !analyze(&[hi.clone(), lo_free]).tasks[0].schedulable,
+            "expected blocking-induced miss"
+        );
+
+        // Re-segment with a phase cap below the high task's slack.
+        let cap = hi.deadline_ns - hi.wcet_ns;
+        let capped = optimize_component(
+            &comp,
+            &platform,
+            &model,
+            &OptimizerOptions {
+                max_phase_ns: Some(cap),
+                ..OptimizerOptions::default()
+            },
+        )
+        .expect("cap satisfiable");
+        assert!(capped.result.max_phase_ns <= cap);
+        let lo_capped = PremTask::from_schedule("lo", &capped.result, 1, 1e9, 1e9);
+        let verdict = analyze(&[hi, lo_capped]);
+        assert!(verdict.tasks[0].schedulable, "{verdict}");
+        // Re-segmentation costs some makespan, but only moderately.
+        assert!(capped.result.makespan_ns <= free.result.makespan_ns * 2.0);
+    }
+
+    /// Local matmul-ish program builder to avoid a circular dev-dependency
+    /// on prem-kernels.
+    fn prem_kernels_stub(n: i64, m: i64) -> prem_ir::Program {
+        use prem_ir::{AssignKind, ElemType, Expr, IdxExpr, ProgramBuilder};
+        let mut b = ProgramBuilder::new("lo_kernel");
+        let x = b.array("x", vec![n, m], ElemType::F32);
+        let y = b.array("y", vec![n, m], ElemType::F32);
+        let i = b.begin_loop("i", 0, 1, n);
+        let j = b.begin_loop("j", 0, 1, m);
+        b.stmt(
+            y,
+            vec![IdxExpr::var(i), IdxExpr::var(j)],
+            AssignKind::AddAssign,
+            Expr::mul(
+                Expr::load(x, vec![IdxExpr::var(i), IdxExpr::var(j)]),
+                Expr::Const(2.0),
+            ),
+        );
+        b.end_loop();
+        b.end_loop();
+        b.finish()
+    }
+}

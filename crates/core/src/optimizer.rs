@@ -1,0 +1,522 @@
+//! Tiling-component schedule optimization — Algorithm 1 of the paper (§4.3).
+//!
+//! For a tilable component, the heuristic enumerates the non-dominated
+//! thread-group assignments, derives the load-balanced candidate tile sizes
+//! per level (`select_tile_sizes`), and runs a coordinate-descent search
+//! (`max_iter` sweeps) that exploits the empirical convexity of the makespan
+//! in each tile size. An exhaustive optimizer is provided for validation on
+//! small components.
+
+use crate::component::Component;
+use crate::config::Platform;
+use crate::schedule::{evaluate, ScheduleResult};
+use crate::segments::build_schedule;
+use crate::tiling::Solution;
+use crate::timing::ExecModel;
+use prem_polyhedral::div_ceil;
+use std::collections::HashMap;
+
+/// Options controlling the heuristic search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizerOptions {
+    /// Coordinate-descent sweeps (`max_iter`, the paper uses 3).
+    pub max_iter: usize,
+    /// Seed of the deterministic RNG picking the initial solution.
+    pub seed: u64,
+    /// Use golden-section-style convex search inside `find_minimum` instead
+    /// of a full scan (the paper's convexity assumption).
+    pub convex_search: bool,
+    /// Optional cap on the longest single phase: solutions whose execution
+    /// or memory phases exceed it are infeasible. Used when compiling for a
+    /// multitasking system where non-preemptive phases block higher-priority
+    /// tasks (§2.1.2, `multitask`).
+    pub max_phase_ns: Option<f64>,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        OptimizerOptions {
+            max_iter: 3,
+            seed: 0x5eed,
+            convex_search: true,
+            max_phase_ns: None,
+        }
+    }
+}
+
+/// Outcome of optimizing one component.
+#[derive(Debug, Clone)]
+pub struct OptimizeOutcome {
+    /// Best solution found.
+    pub solution: Solution,
+    /// Schedule evaluation of the best solution (one component execution).
+    pub result: ScheduleResult,
+    /// Number of makespan evaluations performed.
+    pub evals: usize,
+}
+
+/// All valid, non-dominated thread-group assignments for a component on `p`
+/// cores (§4.3). Assignment `r'` dominates `r` if `r'_j ≥ r_j` everywhere;
+/// dominated assignments never need to be checked.
+pub fn nondominated_thread_groups(component: &Component, p: usize) -> Vec<Vec<i64>> {
+    let depth = component.depth();
+    let mut all: Vec<Vec<i64>> = Vec::new();
+    let mut cur = vec![1i64; depth];
+    fn rec(
+        component: &Component,
+        p: i64,
+        j: usize,
+        used: i64,
+        cur: &mut Vec<i64>,
+        all: &mut Vec<Vec<i64>>,
+    ) {
+        if j == component.depth() {
+            all.push(cur.clone());
+            return;
+        }
+        let lv = &component.levels[j];
+        let max_r = if lv.parallel {
+            (p / used).min(lv.count).max(1)
+        } else {
+            1
+        };
+        for r in 1..=max_r {
+            cur[j] = r;
+            rec(component, p, j + 1, used * r, cur, all);
+        }
+        cur[j] = 1;
+    }
+    rec(component, p as i64, 0, 1, &mut cur, &mut all);
+    // Keep only non-dominated assignments.
+    let mut keep = Vec::new();
+    'outer: for (i, r) in all.iter().enumerate() {
+        for (i2, r2) in all.iter().enumerate() {
+            if i2 != i
+                && r2.iter().zip(r).all(|(a, b)| a >= b)
+                && r2.iter().zip(r).any(|(a, b)| a > b)
+            {
+                continue 'outer;
+            }
+        }
+        keep.push(r.clone());
+    }
+    keep
+}
+
+/// Candidate tile sizes for level `j` under `r` thread groups
+/// (`select_tile_sizes`, Algorithm 1): the smallest `K` for every achievable
+/// number `Z` of iteration ranges per thread group. Non-tilable levels get
+/// the single candidate `K = N`.
+pub fn select_tile_sizes(component: &Component, j: usize, r: i64) -> Vec<i64> {
+    let lv = &component.levels[j];
+    if !lv.tilable {
+        return vec![lv.count];
+    }
+    let n = lv.count;
+    let mut out = Vec::new();
+    let mut prev_z = i64::MAX;
+    for k in 1..=n {
+        let m = div_ceil(n, k);
+        let z = div_ceil(m, r);
+        if z < prev_z {
+            out.push(k);
+            prev_z = z;
+        }
+    }
+    out
+}
+
+/// A memoizing makespan evaluator for one component.
+pub struct MakespanEvaluator<'a> {
+    component: &'a Component,
+    platform: &'a Platform,
+    exec_model: &'a ExecModel,
+    cache: HashMap<Solution, f64>,
+    /// Optional cap on the longest phase (see [`OptimizerOptions`]).
+    pub max_phase_ns: Option<f64>,
+    /// Number of (uncached) schedule constructions.
+    pub evals: usize,
+}
+
+impl<'a> MakespanEvaluator<'a> {
+    /// Creates an evaluator.
+    pub fn new(component: &'a Component, platform: &'a Platform, exec_model: &'a ExecModel) -> Self {
+        MakespanEvaluator {
+            component,
+            platform,
+            exec_model,
+            cache: HashMap::new(),
+            max_phase_ns: None,
+            evals: 0,
+        }
+    }
+
+    /// Makespan of a solution in ns (`+∞` when infeasible).
+    pub fn makespan(&mut self, solution: &Solution) -> f64 {
+        if let Some(&v) = self.cache.get(solution) {
+            return v;
+        }
+        self.evals += 1;
+        let v = match build_schedule(self.component, solution, self.platform, self.exec_model) {
+            Ok(s) => {
+                let r = evaluate(&s);
+                match self.max_phase_ns {
+                    Some(cap) if r.max_phase_ns > cap => f64::INFINITY,
+                    _ => r.makespan_ns,
+                }
+            }
+            Err(_) => f64::INFINITY,
+        };
+        self.cache.insert(solution.clone(), v);
+        v
+    }
+
+    /// Full schedule evaluation of a solution.
+    pub fn full(&self, solution: &Solution) -> Option<ScheduleResult> {
+        build_schedule(self.component, solution, self.platform, self.exec_model)
+            .ok()
+            .map(|s| evaluate(&s))
+    }
+}
+
+/// Algorithm 1: heuristic optimization of one component's schedule.
+///
+/// Returns `None` if no feasible solution exists (e.g. even single-iteration
+/// tiles overflow the SPM).
+pub fn optimize_component(
+    component: &Component,
+    platform: &Platform,
+    exec_model: &ExecModel,
+    opts: &OptimizerOptions,
+) -> Option<OptimizeOutcome> {
+    let depth = component.depth();
+    assert!(depth > 0);
+    let assignments = nondominated_thread_groups(component, platform.cores);
+
+    // Assignments are searched independently (solution caches cannot overlap
+    // across different R vectors), so they run on worker threads; each gets
+    // a seed derived deterministically from its index, keeping the result
+    // independent of scheduling order.
+    let nthreads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(assignments.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<(Solution, f64, usize)>>> =
+        assignments.iter().map(|_| std::sync::Mutex::new(None)).collect();
+
+    std::thread::scope(|s| {
+        for _ in 0..nthreads {
+            s.spawn(|| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(r) = assignments.get(idx) else { break };
+                let outcome =
+                    descend_assignment(component, platform, exec_model, opts, r, idx as u64);
+                *results[idx].lock().unwrap() = Some(outcome);
+            });
+        }
+    });
+
+    let mut best: Option<(Solution, f64)> = None;
+    let mut evals = 0usize;
+    for slot in results {
+        let (sol, m, e) = slot.into_inner().unwrap().expect("worker finished");
+        evals += e;
+        if best.as_ref().map(|(_, b)| m < *b).unwrap_or(true) {
+            best = Some((sol, m));
+        }
+    }
+
+    let (solution, m) = best?;
+    if !m.is_finite() {
+        return None;
+    }
+    let evaluator = MakespanEvaluator::new(component, platform, exec_model);
+    let result = evaluator.full(&solution)?;
+    Some(OptimizeOutcome {
+        solution,
+        result,
+        evals,
+    })
+}
+
+/// Coordinate descent for one thread-group assignment: the paper's random
+/// start plus the largest-tiles corner (often near-optimal when
+/// compute-bound); evaluations are memoized, so the overlap is cheap.
+fn descend_assignment(
+    component: &Component,
+    platform: &Platform,
+    exec_model: &ExecModel,
+    opts: &OptimizerOptions,
+    r: &[i64],
+    assignment_index: u64,
+) -> (Solution, f64, usize) {
+    let depth = component.depth();
+    let mut rng = SplitMix::new(opts.seed ^ assignment_index.wrapping_mul(0x9e37_79b9));
+    let mut evaluator = MakespanEvaluator::new(component, platform, exec_model);
+    evaluator.max_phase_ns = opts.max_phase_ns;
+
+    let candidates: Vec<Vec<i64>> = (0..depth)
+        .map(|j| select_tile_sizes(component, j, r[j]))
+        .collect();
+    let random_start: Vec<i64> = candidates
+        .iter()
+        .map(|c| c[(rng.next() as usize) % c.len()])
+        .collect();
+    let max_start: Vec<i64> = candidates
+        .iter()
+        .map(|c| *c.last().expect("non-empty candidates"))
+        .collect();
+
+    let mut best: Option<(Solution, f64)> = None;
+    for mut k in [random_start, max_start] {
+        for _ in 0..opts.max_iter {
+            for j in 0..depth {
+                let f = |kj: i64, ev: &mut MakespanEvaluator<'_>| {
+                    let mut sol = Solution {
+                        k: k.clone(),
+                        r: r.to_vec(),
+                    };
+                    sol.k[j] = kj;
+                    ev.makespan(&sol)
+                };
+                k[j] = find_minimum(&candidates[j], opts.convex_search, |kj| {
+                    f(kj, &mut evaluator)
+                });
+            }
+        }
+        let sol = Solution { k, r: r.to_vec() };
+        let m = evaluator.makespan(&sol);
+        if best.as_ref().map(|(_, b)| m < *b).unwrap_or(true) {
+            best = Some((sol, m));
+        }
+    }
+    let (sol, m) = best.expect("two starts evaluated");
+    (sol, m, evaluator.evals)
+}
+
+/// Exhaustive optimization over the full `select_tile_sizes` ×
+/// thread-assignment space; exponential, for validation on small components.
+pub fn optimize_exhaustive(
+    component: &Component,
+    platform: &Platform,
+    exec_model: &ExecModel,
+) -> Option<OptimizeOutcome> {
+    let depth = component.depth();
+    let assignments = nondominated_thread_groups(component, platform.cores);
+    let mut evaluator = MakespanEvaluator::new(component, platform, exec_model);
+    let mut best: Option<(Solution, f64)> = None;
+
+    for r in assignments {
+        let candidates: Vec<Vec<i64>> = (0..depth)
+            .map(|j| select_tile_sizes(component, j, r[j]))
+            .collect();
+        let mut idx = vec![0usize; depth];
+        loop {
+            let sol = Solution {
+                k: idx
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &i)| candidates[j][i])
+                    .collect(),
+                r: r.clone(),
+            };
+            let m = evaluator.makespan(&sol);
+            if best.as_ref().map(|(_, b)| m < *b).unwrap_or(true) {
+                best = Some((sol, m));
+            }
+            // Increment.
+            let mut j = depth;
+            let mut done = false;
+            loop {
+                if j == 0 {
+                    done = true;
+                    break;
+                }
+                j -= 1;
+                idx[j] += 1;
+                if idx[j] < candidates[j].len() {
+                    break;
+                }
+                idx[j] = 0;
+            }
+            if done {
+                break;
+            }
+        }
+    }
+
+    let (solution, m) = best?;
+    if !m.is_finite() {
+        return None;
+    }
+    let result = evaluator.full(&solution)?;
+    Some(OptimizeOutcome {
+        solution,
+        result,
+        evals: evaluator.evals,
+    })
+}
+
+/// `find_minimum`: returns the candidate minimizing `f`. With
+/// `convex` set, uses ternary search over the (empirically convex, §4.3)
+/// discrete function once the candidate list is large; falls back to a full
+/// scan for short lists or at the search's end.
+pub fn find_minimum<F: FnMut(i64) -> f64>(candidates: &[i64], convex: bool, mut f: F) -> i64 {
+    assert!(!candidates.is_empty());
+    if !convex || candidates.len() <= 8 {
+        return scan_min(candidates, &mut f);
+    }
+    let (mut lo, mut hi) = (0usize, candidates.len() - 1);
+    while hi - lo > 8 {
+        let m1 = lo + (hi - lo) / 3;
+        let m2 = hi - (hi - lo) / 3;
+        let f1 = f(candidates[m1]);
+        let f2 = f(candidates[m2]);
+        // Infinite plateaus (infeasible regions) break strict convexity;
+        // shrink towards the finite side.
+        if f1.is_infinite() && f2.is_infinite() {
+            // Whole middle is infeasible — fall back to scanning.
+            return scan_min(candidates, &mut f);
+        }
+        if f1 <= f2 {
+            hi = m2 - 1;
+        } else {
+            lo = m1 + 1;
+        }
+    }
+    scan_min(&candidates[lo..=hi], &mut f)
+}
+
+fn scan_min<F: FnMut(i64) -> f64>(candidates: &[i64], f: &mut F) -> i64 {
+    let mut best = candidates[0];
+    let mut best_v = f64::INFINITY;
+    for &k in candidates {
+        let v = f(k);
+        if v < best_v {
+            best_v = v;
+            best = k;
+        }
+    }
+    best
+}
+
+/// Tiny deterministic RNG (SplitMix64) used to pick initial solutions.
+struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    fn new(seed: u64) -> Self {
+        SplitMix { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{CompLevel, Component};
+
+    fn mock_component(counts: &[i64], parallel: &[bool]) -> Component {
+        Component {
+            kernel: "mock".into(),
+            levels: counts
+                .iter()
+                .zip(parallel)
+                .enumerate()
+                .map(|(i, (&c, &p))| CompLevel {
+                    loop_id: i,
+                    name: format!("l{i}"),
+                    count: c,
+                    begin: 0,
+                    stride: 1,
+                    parallel: p,
+                    tilable: true,
+                })
+                .collect(),
+            stmts: vec![],
+            exec_count: 1,
+            arrays: vec![],
+            deps: vec![],
+            work: vec![],
+            folded_iters_per_iter: 0,
+        }
+    }
+
+    #[test]
+    fn nondominated_groups_match_paper_example() {
+        // §4.3 example: component (l1, l2) on P = 10 cores →
+        // (10,1), (5,2), (3,3), (2,5), (1,10).
+        let comp = mock_component(&[100, 100], &[true, true]);
+        let mut groups = nondominated_thread_groups(&comp, 10);
+        groups.sort();
+        assert_eq!(
+            groups,
+            vec![
+                vec![1, 10],
+                vec![2, 5],
+                vec![3, 3],
+                vec![5, 2],
+                vec![10, 1]
+            ]
+        );
+    }
+
+    #[test]
+    fn nondominated_respects_parallel_flags() {
+        let comp = mock_component(&[100, 100], &[true, false]);
+        let groups = nondominated_thread_groups(&comp, 8);
+        assert_eq!(groups, vec![vec![8, 1]]);
+    }
+
+    #[test]
+    fn select_tile_sizes_matches_paper_example() {
+        // §4.3 example: N = 24, R = 4 → K = {1, 2, 3, 6}.
+        let comp = mock_component(&[24], &[true]);
+        assert_eq!(select_tile_sizes(&comp, 0, 4), vec![1, 2, 3, 6]);
+    }
+
+    #[test]
+    fn select_tile_sizes_single_thread() {
+        // N = 6, R = 1: Z decreases at K = 1 (Z=6), 2 (3), 3 (2), 6 (1).
+        let comp = mock_component(&[6], &[true]);
+        assert_eq!(select_tile_sizes(&comp, 0, 1), vec![1, 2, 3, 6]);
+    }
+
+    #[test]
+    fn non_tilable_level_single_candidate() {
+        let mut comp = mock_component(&[17], &[false]);
+        comp.levels[0].tilable = false;
+        assert_eq!(select_tile_sizes(&comp, 0, 1), vec![17]);
+    }
+
+    #[test]
+    fn find_minimum_convex() {
+        let candidates: Vec<i64> = (1..=100).collect();
+        // Convex with minimum at 37.
+        let g = |k: i64| ((k - 37) * (k - 37)) as f64;
+        assert_eq!(find_minimum(&candidates, true, g), 37);
+        assert_eq!(find_minimum(&candidates, false, g), 37);
+    }
+
+    #[test]
+    fn find_minimum_with_infeasible_edges() {
+        let candidates: Vec<i64> = (1..=50).collect();
+        let g = |k: i64| {
+            if k > 40 {
+                f64::INFINITY
+            } else {
+                ((k - 20) * (k - 20)) as f64
+            }
+        };
+        assert_eq!(find_minimum(&candidates, true, g), 20);
+    }
+}

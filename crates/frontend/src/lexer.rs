@@ -1,0 +1,249 @@
+//! Lexer for the C subset accepted by the PREM compiler.
+
+use std::fmt;
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer `{v}`"),
+            TokenKind::Float(v) => write!(f, "float `{v}`"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Lexing error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Message.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "==", "!=", "<=", ">=", "(",
+    ")", "[", "]", "{", "}", ";", ",", "+", "-", "*", "/", "%", "<", ">", "=", "!",
+];
+
+/// Tokenizes a source string. Line (`//`) and block (`/* */`) comments are
+/// skipped.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut out = Vec::new();
+
+    let advance = |i: &mut usize, line: &mut usize, col: &mut usize, n: usize, bytes: &[u8]| {
+        for _ in 0..n {
+            if *i < bytes.len() && bytes[*i] == b'\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        }
+    };
+
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            advance(&mut i, &mut line, &mut col, 1, bytes);
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    advance(&mut i, &mut line, &mut col, 1, bytes);
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                advance(&mut i, &mut line, &mut col, 2, bytes);
+                while i + 1 < bytes.len() {
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        advance(&mut i, &mut line, &mut col, 2, bytes);
+                        continue 'outer;
+                    }
+                    advance(&mut i, &mut line, &mut col, 1, bytes);
+                }
+                return Err(LexError {
+                    message: "unterminated block comment".into(),
+                    line,
+                    col,
+                });
+            }
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            let (tl, tc) = (line, col);
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                advance(&mut i, &mut line, &mut col, 1, bytes);
+            }
+            out.push(Token {
+                kind: TokenKind::Ident(source[start..i].to_string()),
+                line: tl,
+                col: tc,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let (tl, tc) = (line, col);
+            let mut is_float = false;
+            while i < bytes.len() {
+                let ch = bytes[i] as char;
+                if ch.is_ascii_digit() {
+                    advance(&mut i, &mut line, &mut col, 1, bytes);
+                } else if ch == '.' && !is_float {
+                    is_float = true;
+                    advance(&mut i, &mut line, &mut col, 1, bytes);
+                } else {
+                    break;
+                }
+            }
+            // Optional float suffix.
+            let text = &source[start..i];
+            if i < bytes.len() && (bytes[i] == b'f' || bytes[i] == b'F') && is_float {
+                advance(&mut i, &mut line, &mut col, 1, bytes);
+            }
+            let kind = if is_float {
+                TokenKind::Float(text.parse().map_err(|_| LexError {
+                    message: format!("bad float literal `{text}`"),
+                    line: tl,
+                    col: tc,
+                })?)
+            } else {
+                TokenKind::Int(text.parse().map_err(|_| LexError {
+                    message: format!("bad integer literal `{text}`"),
+                    line: tl,
+                    col: tc,
+                })?)
+            };
+            out.push(Token {
+                kind,
+                line: tl,
+                col: tc,
+            });
+            continue;
+        }
+        // Punctuation, longest match first.
+        let rest = &source[i..];
+        let mut matched = false;
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                out.push(Token {
+                    kind: TokenKind::Punct(p),
+                    line,
+                    col,
+                });
+                advance(&mut i, &mut line, &mut col, p.len(), bytes);
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(LexError {
+                message: format!("unexpected character `{c}`"),
+                line,
+                col,
+            });
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_loop_header() {
+        let toks = lex("for (int i = 0; i < 10; i++) {}").unwrap();
+        let kinds: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
+        assert!(matches!(kinds[0], TokenKind::Ident(s) if s == "for"));
+        assert!(matches!(kinds[1], TokenKind::Punct("(")));
+        assert!(kinds.iter().any(|k| matches!(k, TokenKind::Int(10))));
+        assert!(kinds.iter().any(|k| matches!(k, TokenKind::Punct("++"))));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let toks = lex("a /* hi\nthere */ b // end\nc").unwrap();
+        let idents: Vec<String> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn float_literals() {
+        let toks = lex("0.0 2.5f 3").unwrap();
+        assert!(matches!(toks[0].kind, TokenKind::Float(v) if v == 0.0));
+        assert!(matches!(toks[1].kind, TokenKind::Float(v) if v == 2.5));
+        assert!(matches!(toks[2].kind, TokenKind::Int(3)));
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a @ b").is_err());
+    }
+}

@@ -1,0 +1,16 @@
+//! Frontend for the PREM compiler: a parser for the C subset of §3.2
+//! (the *pet* substitute of the toolchain in Figure 5.1).
+//!
+//! The accepted language: statically declared arrays, constant-bound
+//! uniform-stride `for` loops, affine `if` guards, and `=`/`+=` statements
+//! whose array indices are affine in the loop variables. Named constants
+//! (e.g. problem sizes) are substituted at parse time, mirroring PolyBench's
+//! `POLYBENCH_USE_SCALAR_LB` mode the paper compiles with (§6.2).
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod parser;
+
+pub use lexer::{lex, LexError, Token, TokenKind};
+pub use parser::{parse_kernel, ParseError};

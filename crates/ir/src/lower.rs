@@ -1,0 +1,301 @@
+//! Lowering from the loop IR to polyhedral statement summaries.
+//!
+//! This is the reproduction's counterpart of *pet* extracting a schedule tree
+//! (§5.1): each statement is summarized as a [`StmtPoly`] with loop counters
+//! normalized to `0..N` — loop `begin` and `stride` are folded into the
+//! access and guard expressions.
+
+use crate::expr::{CmpOp, Cond, IdxExpr};
+use crate::program::{AssignKind, Node, Program};
+use prem_polyhedral::{AccessInfo, AffExpr, Guard, LoopInfo, StmtPoly};
+use std::fmt;
+
+/// Error raised when a program is not lowerable (e.g. an index expression
+/// references a loop that does not enclose the statement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    /// Offending statement id.
+    pub stmt: usize,
+    /// Offending loop id.
+    pub loop_id: usize,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "statement S{} references loop l{} that does not enclose it",
+            self.stmt, self.loop_id
+        )
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Converts an [`IdxExpr`] over loop *values* to an [`AffExpr`] over the
+/// statement's normalized counters. `chain` lists the enclosing loops
+/// (id, begin, stride), outermost first.
+fn to_aff(
+    expr: &IdxExpr,
+    chain: &[(usize, i64, i64)],
+    stmt: usize,
+) -> Result<AffExpr, LowerError> {
+    let n = chain.len();
+    let mut coeffs = vec![0i64; n];
+    let mut constant = expr.constant_term();
+    for (loop_id, c) in expr.terms() {
+        match chain.iter().position(|&(id, _, _)| id == loop_id) {
+            Some(k) => {
+                let (_, begin, stride) = chain[k];
+                coeffs[k] += c * stride;
+                constant += c * begin;
+            }
+            None => return Err(LowerError { stmt, loop_id }),
+        }
+    }
+    Ok(AffExpr::from_parts(coeffs, constant))
+}
+
+/// Converts a condition atom into a `>= 0` / `== 0` guard over counters.
+fn to_guards(
+    cond: &Cond,
+    chain: &[(usize, i64, i64)],
+    stmt: usize,
+) -> Result<Vec<Guard>, LowerError> {
+    cond.atoms
+        .iter()
+        .map(|atom| {
+            let e = to_aff(&atom.lhs, chain, stmt)?;
+            Ok(match atom.op {
+                CmpOp::Eq => Guard::eq(e),
+                CmpOp::Ge => Guard::ge(e),
+                CmpOp::Gt => Guard::ge(e.add_const(-1)),
+                CmpOp::Le => Guard::ge(e.scale(-1)),
+                CmpOp::Lt => Guard::ge(e.scale(-1).add_const(-1)),
+            })
+        })
+        .collect()
+}
+
+/// Lowers a program to one [`StmtPoly`] per statement, in statement-id order.
+///
+/// # Errors
+///
+/// Returns [`LowerError`] if an index or guard expression references a loop
+/// that does not enclose its statement.
+///
+/// # Examples
+///
+/// ```
+/// use prem_ir::{lower, AssignKind, ElemType, Expr, IdxExpr, ProgramBuilder};
+///
+/// let mut b = ProgramBuilder::new("k");
+/// let a = b.array("a", vec![64], ElemType::F32);
+/// let i = b.begin_loop("i", 0, 2, 32); // i = 0, 2, …, 62
+/// b.stmt(a, vec![IdxExpr::var(i)], AssignKind::Assign, Expr::Const(0.0));
+/// b.end_loop();
+/// let polys = lower(&b.finish()).unwrap();
+/// // Counter-normalized access: a[2*t] for t in 0..32.
+/// assert_eq!(polys[0].accesses[0].indices[0].coeff(0), 2);
+/// ```
+pub fn lower(program: &Program) -> Result<Vec<StmtPoly>, LowerError> {
+    let mut out: Vec<Option<StmtPoly>> = vec![None; program.stmt_count];
+
+    // Walk the tree tracking loop chain, guards and textual positions.
+    struct Ctx<'a> {
+        out: &'a mut Vec<Option<StmtPoly>>,
+        chain: Vec<(usize, i64, i64)>, // (id, begin, stride)
+        loops: Vec<LoopInfo>,
+        guards: Vec<(usize, Cond)>, // (chain depth at guard, cond)
+        position: Vec<i64>,
+        err: Option<LowerError>,
+    }
+
+    fn walk(nodes: &[Node], pos_counter: &mut i64, ctx: &mut Ctx<'_>) {
+        for n in nodes {
+            if ctx.err.is_some() {
+                return;
+            }
+            match n {
+                Node::Loop(l) => {
+                    ctx.position.push(*pos_counter);
+                    *pos_counter += 1;
+                    ctx.chain.push((l.id, l.begin, l.stride));
+                    ctx.loops.push(LoopInfo::new(l.id, l.count));
+                    let mut inner_counter = 0;
+                    walk(&l.body, &mut inner_counter, ctx);
+                    ctx.loops.pop();
+                    ctx.chain.pop();
+                    ctx.position.pop();
+                }
+                Node::If(i) => {
+                    ctx.guards.push((ctx.chain.len(), i.cond.clone()));
+                    walk(&i.body, pos_counter, ctx);
+                    ctx.guards.pop();
+                }
+                Node::Stmt(s) => {
+                    let mut position = ctx.position.clone();
+                    position.push(*pos_counter);
+                    *pos_counter += 1;
+
+                    let mut accesses = Vec::new();
+                    let lower_access =
+                        |acc: &crate::expr::Access, write: bool| -> Result<AccessInfo, LowerError> {
+                            let indices = acc
+                                .indices
+                                .iter()
+                                .map(|e| to_aff(e, &ctx.chain, s.id))
+                                .collect::<Result<Vec<_>, _>>()?;
+                            Ok(AccessInfo {
+                                array: acc.array,
+                                indices,
+                                is_write: write,
+                            })
+                        };
+
+                    let build = (|| -> Result<(), LowerError> {
+                        // Reads first (implicit read of the target for +=),
+                        // then RHS loads, then the target write — matching
+                        // Statement::accesses().
+                        if s.kind == AssignKind::AddAssign {
+                            accesses.push(lower_access(&s.target, false)?);
+                        }
+                        for l in s.rhs.loads() {
+                            accesses.push(lower_access(l, false)?);
+                        }
+                        accesses.push(lower_access(&s.target, true)?);
+
+                        let mut guards = Vec::new();
+                        for (_, cond) in &ctx.guards {
+                            guards.extend(to_guards(cond, &ctx.chain, s.id)?);
+                        }
+                        ctx.out[s.id] = Some(StmtPoly {
+                            id: s.id,
+                            loops: ctx.loops.clone(),
+                            guards,
+                            position,
+                            accesses: std::mem::take(&mut accesses),
+                        });
+                        Ok(())
+                    })();
+                    if let Err(e) = build {
+                        ctx.err = Some(e);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut ctx = Ctx {
+        out: &mut out,
+        chain: Vec::new(),
+        loops: Vec::new(),
+        guards: Vec::new(),
+        position: Vec::new(),
+        err: None,
+    };
+    let mut counter = 0;
+    walk(&program.body, &mut counter, &mut ctx);
+    if let Some(e) = ctx.err {
+        return Err(e);
+    }
+    Ok(out
+        .into_iter()
+        .map(|s| s.expect("every statement visited"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::program::ProgramBuilder;
+    use crate::types::ElemType;
+    use prem_polyhedral::Interval;
+
+    #[test]
+    fn lowering_normalizes_begin_and_stride() {
+        let mut b = ProgramBuilder::new("k");
+        let a = b.array("a", vec![100], ElemType::F32);
+        let i = b.begin_loop("i", 5, 3, 10); // i = 5, 8, …, 32
+        b.stmt(
+            a,
+            vec![IdxExpr::var(i).plus_const(1)],
+            AssignKind::Assign,
+            Expr::Const(0.0),
+        );
+        b.end_loop();
+        let polys = lower(&b.finish()).unwrap();
+        let acc = &polys[0].accesses.last().unwrap().indices[0];
+        // a[i + 1] with i = 5 + 3t  →  3t + 6
+        assert_eq!(acc.coeff(0), 3);
+        assert_eq!(acc.constant_term(), 6);
+        assert_eq!(polys[0].loops[0].count, 10);
+    }
+
+    #[test]
+    fn lowering_converts_guards() {
+        let mut b = ProgramBuilder::new("k");
+        let a = b.array("a", vec![100], ElemType::F32);
+        let t = b.begin_loop("t", 0, 1, 10);
+        b.begin_if(Cond::atom(IdxExpr::var(t), CmpOp::Gt)); // t > 0
+        b.stmt(a, vec![IdxExpr::var(t)], AssignKind::Assign, Expr::Const(0.0));
+        b.end_if();
+        b.end_loop();
+        let polys = lower(&b.finish()).unwrap();
+        assert_eq!(polys[0].guards.len(), 1);
+        assert_eq!(polys[0].tightened_bounds(), vec![Interval::new(1, 9)]);
+    }
+
+    #[test]
+    fn positions_order_statements_textually() {
+        let mut b = ProgramBuilder::new("k");
+        let a = b.array("a", vec![10], ElemType::F32);
+        let i = b.begin_loop("i", 0, 1, 10);
+        b.stmt(a, vec![IdxExpr::var(i)], AssignKind::Assign, Expr::Const(0.0));
+        b.begin_if(Cond::atom(IdxExpr::var(i), CmpOp::Gt));
+        b.stmt(a, vec![IdxExpr::var(i)], AssignKind::Assign, Expr::Const(1.0));
+        b.end_if();
+        b.stmt(a, vec![IdxExpr::var(i)], AssignKind::Assign, Expr::Const(2.0));
+        b.end_loop();
+        let polys = lower(&b.finish()).unwrap();
+        assert!(polys[0].textually_before(&polys[1]));
+        assert!(polys[1].textually_before(&polys[2]));
+    }
+
+    #[test]
+    fn dangling_loop_reference_is_error() {
+        let mut b = ProgramBuilder::new("k");
+        let a = b.array("a", vec![10], ElemType::F32);
+        let i = b.begin_loop("i", 0, 1, 10);
+        b.end_loop();
+        let j = b.begin_loop("j", 0, 1, 10);
+        // references i, which is closed
+        b.stmt(a, vec![IdxExpr::var(i)], AssignKind::Assign, Expr::Const(0.0));
+        let _ = j;
+        b.end_loop();
+        let err = lower(&b.finish()).unwrap_err();
+        assert_eq!(err.loop_id, 0);
+    }
+
+    #[test]
+    fn accesses_match_statement_order() {
+        let mut b = ProgramBuilder::new("k");
+        let c = b.array("c", vec![10], ElemType::F32);
+        let x = b.array("x", vec![10], ElemType::F32);
+        let i = b.begin_loop("i", 0, 1, 10);
+        b.stmt(
+            c,
+            vec![IdxExpr::var(i)],
+            AssignKind::AddAssign,
+            Expr::load(x, vec![IdxExpr::var(i)]),
+        );
+        b.end_loop();
+        let polys = lower(&b.finish()).unwrap();
+        let acc = &polys[0].accesses;
+        assert_eq!(acc.len(), 3);
+        assert!(!acc[0].is_write && acc[0].array == 0); // implicit read of c
+        assert!(!acc[1].is_write && acc[1].array == 1); // read of x
+        assert!(acc[2].is_write && acc[2].array == 0); // write of c
+    }
+}

@@ -1,0 +1,142 @@
+//! Array declarations and element types.
+
+use std::fmt;
+
+/// Element type of an array.
+///
+/// The paper's kernels use 32-bit elements (`int32_t`/`float`); the DMA and
+/// bus model only need the element *size*, so a small closed set suffices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemType {
+    /// 32-bit float.
+    F32,
+    /// 64-bit float.
+    F64,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+}
+
+impl ElemType {
+    /// Size of one element in bytes.
+    pub fn size_bytes(&self) -> i64 {
+        match self {
+            ElemType::F32 | ElemType::I32 => 4,
+            ElemType::F64 | ElemType::I64 => 8,
+        }
+    }
+
+    /// C type name, used by code generation.
+    pub fn c_name(&self) -> &'static str {
+        match self {
+            ElemType::F32 => "float",
+            ElemType::F64 => "double",
+            ElemType::I32 => "int32_t",
+            ElemType::I64 => "int64_t",
+        }
+    }
+}
+
+impl fmt::Display for ElemType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.c_name())
+    }
+}
+
+/// Identifier of an array within a [`crate::Program`].
+pub type ArrayId = usize;
+
+/// A statically shaped array declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Source-level name.
+    pub name: String,
+    /// Extent of each dimension, outermost first.
+    pub dims: Vec<i64>,
+    /// Element type.
+    pub elem: ElemType,
+}
+
+impl ArrayDecl {
+    /// Creates a declaration.
+    pub fn new(name: impl Into<String>, dims: Vec<i64>, elem: ElemType) -> Self {
+        ArrayDecl {
+            name: name.into(),
+            dims,
+            elem,
+        }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> i64 {
+        self.dims.iter().product()
+    }
+
+    /// Returns `true` if the array has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total size in bytes.
+    pub fn size_bytes(&self) -> i64 {
+        self.len() * self.elem.size_bytes()
+    }
+
+    /// Row-major linear offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the index has the wrong arity or is out of
+    /// bounds.
+    pub fn linear_offset(&self, idx: &[i64]) -> i64 {
+        debug_assert_eq!(idx.len(), self.dims.len(), "index arity for {}", self.name);
+        let mut off = 0;
+        for (d, (&i, &n)) in idx.iter().zip(&self.dims).enumerate() {
+            debug_assert!(
+                i >= 0 && i < n,
+                "index {i} out of bounds for dim {d} (extent {n}) of {}",
+                self.name
+            );
+            off = off * n + i;
+        }
+        off
+    }
+}
+
+impl fmt::Display for ArrayDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.elem, self.name)?;
+        for d in &self.dims {
+            write!(f, "[{d}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        let a = ArrayDecl::new("a", vec![3, 5], ElemType::F32);
+        assert_eq!(a.len(), 15);
+        assert_eq!(a.size_bytes(), 60);
+        assert_eq!(ElemType::F64.size_bytes(), 8);
+    }
+
+    #[test]
+    fn linear_offsets_row_major() {
+        let a = ArrayDecl::new("a", vec![3, 5], ElemType::F32);
+        assert_eq!(a.linear_offset(&[0, 0]), 0);
+        assert_eq!(a.linear_offset(&[1, 0]), 5);
+        assert_eq!(a.linear_offset(&[2, 4]), 14);
+    }
+
+    #[test]
+    fn display() {
+        let a = ArrayDecl::new("w", vec![2, 3], ElemType::I32);
+        assert_eq!(format!("{a}"), "int32_t w[2][3]");
+    }
+}

@@ -1,0 +1,213 @@
+//! The PolyBench-NN CNN (convolution) kernel, Listing 6.1 of the thesis:
+//!
+//! ```c
+//! for (n) for (k) for (p) for (q) for (c) for (r) for (s)
+//!   out_F[n][k][p][q] += W[k][c][r][s]
+//!                      * inp_F[n][c][p + NR - r - 1][q + NS - s - 1];
+//! ```
+
+use prem_ir::{AssignKind, ElemType, Expr, IdxExpr, Program, ProgramBuilder};
+
+/// Convolution layer shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CnnConfig {
+    /// Batch size `NN`.
+    pub nn: i64,
+    /// Output feature maps `NK`.
+    pub nk: i64,
+    /// Output height `NP`.
+    pub np: i64,
+    /// Output width `NQ`.
+    pub nq: i64,
+    /// Input feature maps `NC`.
+    pub nc: i64,
+    /// Filter height `NR`.
+    pub nr: i64,
+    /// Filter width `NS`.
+    pub ns: i64,
+}
+
+impl CnnConfig {
+    /// The LARGE problem size used by §6.2 (≈ 23 MB footprint; the suite's
+    /// exact constants are not given in the thesis, see DESIGN.md).
+    pub fn large() -> Self {
+        CnnConfig {
+            nn: 2,
+            nk: 64,
+            np: 112,
+            nq: 112,
+            nc: 160,
+            nr: 3,
+            ns: 3,
+        }
+    }
+
+    /// A small size for functional tests.
+    pub fn small() -> Self {
+        CnnConfig {
+            nn: 1,
+            nk: 4,
+            np: 6,
+            nq: 6,
+            nc: 3,
+            nr: 3,
+            ns: 3,
+        }
+    }
+
+    /// The GoogLeNet-derived shape used throughout §6.3
+    /// (`k128/p28/q28/c96/r3/s3`, batch 1).
+    pub fn googlenet_study() -> Self {
+        CnnConfig {
+            nn: 1,
+            nk: 128,
+            np: 28,
+            nq: 28,
+            nc: 96,
+            nr: 3,
+            ns: 3,
+        }
+    }
+
+    /// Total data footprint in bytes (all three arrays, f32).
+    pub fn footprint_bytes(&self) -> i64 {
+        let out = self.nn * self.nk * self.np * self.nq;
+        let w = self.nk * self.nc * self.nr * self.ns;
+        let inp = self.nn * self.nc * (self.np + self.nr - 1) * (self.nq + self.ns - 1);
+        (out + w + inp) * 4
+    }
+
+    /// Builds the kernel as loop IR.
+    pub fn build(&self) -> Program {
+        let mut b = ProgramBuilder::new("cnn");
+        let out = b.array(
+            "out_F",
+            vec![self.nn, self.nk, self.np, self.nq],
+            ElemType::F32,
+        );
+        let w = b.array("W", vec![self.nk, self.nc, self.nr, self.ns], ElemType::F32);
+        let inp = b.array(
+            "inp_F",
+            vec![
+                self.nn,
+                self.nc,
+                self.np + self.nr - 1,
+                self.nq + self.ns - 1,
+            ],
+            ElemType::F32,
+        );
+        let n = b.begin_loop("n", 0, 1, self.nn);
+        let k = b.begin_loop("k", 0, 1, self.nk);
+        let p = b.begin_loop("p", 0, 1, self.np);
+        let q = b.begin_loop("q", 0, 1, self.nq);
+        let c = b.begin_loop("c", 0, 1, self.nc);
+        let r = b.begin_loop("r", 0, 1, self.nr);
+        let s = b.begin_loop("s", 0, 1, self.ns);
+        b.stmt(
+            out,
+            vec![
+                IdxExpr::var(n),
+                IdxExpr::var(k),
+                IdxExpr::var(p),
+                IdxExpr::var(q),
+            ],
+            AssignKind::AddAssign,
+            Expr::mul(
+                Expr::load(
+                    w,
+                    vec![
+                        IdxExpr::var(k),
+                        IdxExpr::var(c),
+                        IdxExpr::var(r),
+                        IdxExpr::var(s),
+                    ],
+                ),
+                Expr::load(
+                    inp,
+                    vec![
+                        IdxExpr::var(n),
+                        IdxExpr::var(c),
+                        IdxExpr::var(p)
+                            .plus_var(r, -1)
+                            .plus_const(self.nr - 1),
+                        IdxExpr::var(q)
+                            .plus_var(s, -1)
+                            .plus_const(self.ns - 1),
+                    ],
+                ),
+            ),
+        );
+        for _ in 0..7 {
+            b.end_loop();
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_counts() {
+        let cfg = CnnConfig::small();
+        let p = cfg.build();
+        assert_eq!(p.loop_count, 7);
+        assert_eq!(p.stmt_count, 1);
+        assert_eq!(
+            p.instance_count() as i64,
+            cfg.nn * cfg.nk * cfg.np * cfg.nq * cfg.nc * cfg.nr * cfg.ns
+        );
+    }
+
+    #[test]
+    fn large_footprint_near_25mb() {
+        let f = CnnConfig::large().footprint_bytes();
+        assert!(f > 20 << 20 && f < 30 << 20, "footprint {f}");
+    }
+
+    #[test]
+    fn executes_functionally() {
+        use prem_ir::{run_program, DataStore, MemStore};
+        let cfg = CnnConfig {
+            nn: 1,
+            nk: 1,
+            np: 2,
+            nq: 2,
+            nc: 1,
+            nr: 2,
+            ns: 2,
+        };
+        let p = cfg.build();
+        let mut store = MemStore::zeroed(&p);
+        // W = all ones (2×2), inp = index pattern.
+        for r in 0..2 {
+            for s in 0..2 {
+                store.store(1, &[0, 0, r, s], 1.0);
+            }
+        }
+        for y in 0..3 {
+            for x in 0..3 {
+                store.store(2, &[0, 0, y, x], (y * 3 + x) as f64);
+            }
+        }
+        run_program(&p, &mut store);
+        // out[0][0][p][q] = Σ_{r,s} inp[p + 1 - r][q + 1 - s]
+        let expect = |pp: i64, qq: i64| -> f64 {
+            let mut acc = 0.0;
+            for r in 0..2 {
+                for s in 0..2 {
+                    let y = pp + 1 - r;
+                    let x = qq + 1 - s;
+                    acc += (y * 3 + x) as f64;
+                }
+            }
+            acc
+        };
+        for pp in 0..2 {
+            for qq in 0..2 {
+                assert_eq!(store.load(0, &[0, 0, pp, qq]), expect(pp, qq));
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! GoogLeNet 3×3 convolution shapes used in §6.3 (Figure 6.6).
+
+use crate::cnn::CnnConfig;
+
+/// The six (NK, NP, NQ, NC) layer shapes of Figure 6.6, batch 1, 3×3
+/// filters, stride 1.
+pub fn study_shapes() -> Vec<CnnConfig> {
+    [
+        (128, 28, 28, 96),
+        (192, 28, 28, 128),
+        (208, 14, 14, 96),
+        (320, 14, 14, 160),
+        (320, 7, 7, 160),
+        (384, 7, 7, 192),
+    ]
+    .into_iter()
+    .map(|(nk, np, nq, nc)| CnnConfig {
+        nn: 1,
+        nk,
+        np,
+        nq,
+        nc,
+        nr: 3,
+        ns: 3,
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn six_shapes() {
+        let shapes = super::study_shapes();
+        assert_eq!(shapes.len(), 6);
+        assert_eq!(shapes[0].nk, 128);
+        assert_eq!(shapes[5].nc, 192);
+        assert!(shapes.iter().all(|s| s.nn == 1 && s.nr == 3 && s.ns == 3));
+    }
+}

@@ -1,0 +1,80 @@
+//! PolyBench-NN kernels for the PREM compiler reproduction.
+//!
+//! The five forward passes the paper evaluates (§6.2) — CNN, LSTM, MaxPool,
+//! SumPool and RNN — rebuilt as [`prem_ir`] loop nests from the thesis'
+//! listings (3.1, 6.1) and descriptions, plus the GoogLeNet layer shapes of
+//! §6.3 and independent reference implementations used for end-to-end
+//! validation.
+//!
+//! # Example
+//!
+//! ```
+//! use prem_kernels::{all_large, CnnConfig};
+//!
+//! let suite = all_large();
+//! assert_eq!(suite.len(), 5);
+//! let cnn = CnnConfig::small().build();
+//! assert_eq!(cnn.loop_count, 7);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classic;
+pub mod cnn;
+pub mod googlenet;
+pub mod lstm;
+pub mod pool;
+pub mod reference;
+pub mod rnn;
+
+pub use cnn::CnnConfig;
+pub use lstm::LstmConfig;
+pub use pool::{PoolConfig, PoolOp};
+pub use rnn::RnnConfig;
+
+use prem_ir::Program;
+
+/// The five LARGE-size PolyBench-NN forward passes of Figure 6.1, in the
+/// paper's order: cnn, lstm, maxpool, sumpool, rnn.
+pub fn all_large() -> Vec<(&'static str, Program)> {
+    vec![
+        ("cnn", CnnConfig::large().build()),
+        ("lstm", LstmConfig::large().build()),
+        ("maxpool", PoolConfig::large(PoolOp::Max).build()),
+        ("sumpool", PoolConfig::large(PoolOp::Sum).build()),
+        ("rnn", RnnConfig::large().build()),
+    ]
+}
+
+/// Small-size variants of the same suite, for tests and simulation.
+pub fn all_small() -> Vec<(&'static str, Program)> {
+    vec![
+        ("cnn", CnnConfig::small().build()),
+        ("lstm", LstmConfig::small().build()),
+        ("maxpool", PoolConfig::small(PoolOp::Max).build()),
+        ("sumpool", PoolConfig::small(PoolOp::Sum).build()),
+        ("rnn", RnnConfig::small().build()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_footprints_are_kernel_scale() {
+        // §6.2: the LARGE size uses approximately 25 MB per kernel.
+        let budget = (20 << 20)..(32 << 20);
+        assert!(budget.contains(&CnnConfig::large().footprint_bytes()));
+        assert!(budget.contains(&LstmConfig::large().footprint_bytes()));
+        assert!(budget.contains(&PoolConfig::large(PoolOp::Max).footprint_bytes()));
+        assert!(budget.contains(&RnnConfig::large().footprint_bytes()));
+    }
+
+    #[test]
+    fn all_suites_lower_cleanly() {
+        for (name, p) in all_small() {
+            assert!(prem_ir::lower(&p).is_ok(), "{name} fails to lower");
+        }
+    }
+}

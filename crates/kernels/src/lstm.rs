@@ -1,0 +1,218 @@
+//! The PolyBench-NN LSTM forward pass, Listing 3.1 of the thesis.
+//!
+//! Per timestep: four gate pre-activations accumulate the input projection
+//! (`U_* · inp_F[t]`) and, for `t > 0`, the recurrent projection
+//! (`W_* · s_F[t-1]`); the cell and hidden states are then updated
+//! element-wise. The suite's LARGE size is `NS = 650`, `NP = 700` (§3.4).
+
+use prem_ir::{AssignKind, CmpOp, Cond, ElemType, Expr, IdxExpr, Program, ProgramBuilder};
+
+/// LSTM layer shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LstmConfig {
+    /// Sequence length `NT`.
+    pub nt: i64,
+    /// State size `NS`.
+    pub ns: i64,
+    /// Input size `NP`.
+    pub np: i64,
+}
+
+impl LstmConfig {
+    /// LARGE problem size (`NS`/`NP` from the thesis; `NT` sized for the
+    /// ≈ 25 MB footprint of §6.2).
+    pub fn large() -> Self {
+        LstmConfig {
+            nt: 1300,
+            ns: 650,
+            np: 700,
+        }
+    }
+
+    /// A small size for functional tests.
+    pub fn small() -> Self {
+        LstmConfig { nt: 4, ns: 6, np: 5 }
+    }
+
+    /// Total data footprint in bytes (f32).
+    pub fn footprint_bytes(&self) -> i64 {
+        let gates = 4 * self.ns; // i, f, o, g
+        let u = 4 * self.ns * self.np;
+        let w = 4 * self.ns * self.ns;
+        let seq = self.nt * (self.np + 2 * self.ns); // inp_F, s_F, c_F
+        (gates + u + w + seq) * 4
+    }
+
+    /// Builds the kernel as loop IR, mirroring Listing 3.1.
+    pub fn build(&self) -> Program {
+        let mut b = ProgramBuilder::new("lstm");
+        let gates: Vec<_> = ["i", "f", "o", "g"]
+            .iter()
+            .map(|n| b.array(*n, vec![self.ns], ElemType::F32))
+            .collect();
+        let us: Vec<_> = ["U_i", "U_f", "U_o", "U_g"]
+            .iter()
+            .map(|n| b.array(*n, vec![self.ns, self.np], ElemType::F32))
+            .collect();
+        let ws: Vec<_> = ["W_i", "W_f", "W_o", "W_g"]
+            .iter()
+            .map(|n| b.array(*n, vec![self.ns, self.ns], ElemType::F32))
+            .collect();
+        let inp_f = b.array("inp_F", vec![self.nt, self.np], ElemType::F32);
+        let s_f = b.array("s_F", vec![self.nt, self.ns], ElemType::F32);
+        let c_f = b.array("c_F", vec![self.nt, self.ns], ElemType::F32);
+
+        let t = b.begin_loop("t", 0, 1, self.nt);
+
+        // Component (s1_0, p): input projection with gate initialization.
+        let s1_0 = b.begin_loop("s1_0", 0, 1, self.ns);
+        let p = b.begin_loop("p", 0, 1, self.np);
+        b.begin_if(Cond::atom(IdxExpr::var(p), CmpOp::Eq));
+        for &gate in &gates {
+            b.stmt(
+                gate,
+                vec![IdxExpr::var(s1_0)],
+                AssignKind::Assign,
+                Expr::Const(0.0),
+            );
+        }
+        b.end_if();
+        for (&gate, &u) in gates.iter().zip(&us) {
+            b.stmt(
+                gate,
+                vec![IdxExpr::var(s1_0)],
+                AssignKind::AddAssign,
+                Expr::mul(
+                    Expr::load(u, vec![IdxExpr::var(s1_0), IdxExpr::var(p)]),
+                    Expr::load(inp_f, vec![IdxExpr::var(t), IdxExpr::var(p)]),
+                ),
+            );
+        }
+        b.end_loop();
+        b.end_loop();
+
+        // Component (s1_1, s2): recurrent projection, only for t > 0.
+        b.begin_if(Cond::atom(IdxExpr::var(t), CmpOp::Gt));
+        let s1_1 = b.begin_loop("s1_1", 0, 1, self.ns);
+        let s2 = b.begin_loop("s2", 0, 1, self.ns);
+        for (&gate, &w) in gates.iter().zip(&ws) {
+            b.stmt(
+                gate,
+                vec![IdxExpr::var(s1_1)],
+                AssignKind::AddAssign,
+                Expr::mul(
+                    Expr::load(w, vec![IdxExpr::var(s1_1), IdxExpr::var(s2)]),
+                    Expr::load(
+                        s_f,
+                        vec![IdxExpr::var(t).plus_const(-1), IdxExpr::var(s2)],
+                    ),
+                ),
+            );
+        }
+        b.end_loop();
+        b.end_loop();
+        b.end_if();
+
+        // Component (b_0): cell update, only for t > 0.
+        b.begin_if(Cond::atom(IdxExpr::var(t), CmpOp::Gt));
+        let b0 = b.begin_loop("b_0", 0, 1, self.ns);
+        b.stmt(
+            c_f,
+            vec![IdxExpr::var(t), IdxExpr::var(b0)],
+            AssignKind::Assign,
+            Expr::add(
+                Expr::mul(
+                    Expr::load(
+                        c_f,
+                        vec![IdxExpr::var(t).plus_const(-1), IdxExpr::var(b0)],
+                    ),
+                    Expr::load(gates[1], vec![IdxExpr::var(b0)]),
+                ),
+                Expr::mul(
+                    Expr::load(gates[3], vec![IdxExpr::var(b0)]),
+                    Expr::load(gates[0], vec![IdxExpr::var(b0)]),
+                ),
+            ),
+        );
+        b.end_loop();
+        b.end_if();
+
+        // Component (b_1): hidden state update.
+        let b1 = b.begin_loop("b_1", 0, 1, self.ns);
+        b.stmt(
+            s_f,
+            vec![IdxExpr::var(t), IdxExpr::var(b1)],
+            AssignKind::Assign,
+            Expr::mul(
+                Expr::load(c_f, vec![IdxExpr::var(t), IdxExpr::var(b1)]),
+                Expr::load(gates[2], vec![IdxExpr::var(b1)]),
+            ),
+        );
+        b.end_loop();
+
+        b.end_loop();
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_core::LoopTree;
+
+    #[test]
+    fn loop_tree_matches_figure_3_2() {
+        let cfg = LstmConfig {
+            nt: 10,
+            ns: 650,
+            np: 700,
+        };
+        let tree = LoopTree::build(&cfg.build()).unwrap();
+        assert_eq!(tree.roots.len(), 1);
+        let t = &tree.roots[0];
+        assert_eq!(t.name, "t");
+        assert!(!t.parallel);
+        assert_eq!(t.children.len(), 4);
+        let names: Vec<&str> = t.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["s1_0", "s1_1", "b_0", "b_1"]);
+        // I counts per Figure 3.2: s1_0 and b_1 run NT times; s1_1 and b_0
+        // only NT-1 (guarded by t > 0).
+        assert_eq!(t.children[0].exec_count, 10);
+        assert_eq!(t.children[1].exec_count, 9);
+        assert_eq!(t.children[2].exec_count, 9);
+        assert_eq!(t.children[3].exec_count, 10);
+        // Parallel flags: all four child loops are parallel.
+        for c in &t.children {
+            assert!(c.parallel, "{} should be parallel", c.name);
+        }
+        // The p / s2 reduction loops are not parallel.
+        assert!(!t.children[0].children[0].parallel);
+        assert!(!t.children[1].children[0].parallel);
+    }
+
+    #[test]
+    fn executes_like_reference() {
+        use prem_ir::{run_program, DataStore, MemStore};
+        let cfg = LstmConfig::small();
+        let p = cfg.build();
+        let mut store = MemStore::patterned(&p);
+        // Zero the outputs (gates, s_F, c_F are produced by the kernel;
+        // c_F[0] is an input row — keep its pattern).
+        for a in [0usize, 1, 2, 3] {
+            for s in 0..cfg.ns {
+                store.store(a, &[s], 0.0);
+            }
+        }
+        let reference = crate::reference::lstm_reference(&cfg, &store);
+        run_program(&p, &mut store);
+        let mut max_diff = 0.0f64;
+        for tt in 0..cfg.nt {
+            for s in 0..cfg.ns {
+                let got = store.load(13, &[tt, s]);
+                let want = reference.s_f[tt as usize][s as usize];
+                max_diff = max_diff.max((got - want).abs());
+            }
+        }
+        assert!(max_diff < 1e-9, "max diff {max_diff}");
+    }
+}

@@ -1,0 +1,231 @@
+//! The PolyBench-NN MaxPool and SumPool kernels.
+//!
+//! Both pool a `window × window` region with a fixed stride over each feature
+//! map. They are written as perfect 6-deep nests with a guarded
+//! initialization at the first window element (the same idiom as the LSTM's
+//! `p == 0` gate initialization), which keeps the whole nest a single tilable
+//! component:
+//!
+//! ```c
+//! for (n) for (c) for (p) for (q) for (r) for (s) {
+//!   if (r == 0 && s == 0) out[n][c][p][q] = inp[n][c][p*ST][q*ST];   // or 0
+//!   out[n][c][p][q] = max(out[n][c][p][q], inp[n][c][p*ST+r][q*ST+s]); // or +=
+//! }
+//! ```
+
+use prem_ir::{
+    AssignKind, BinOp, CmpOp, Cond, ElemType, Expr, IdxExpr, Program, ProgramBuilder,
+};
+
+/// Pooling operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolOp {
+    /// Max pooling.
+    Max,
+    /// Sum pooling.
+    Sum,
+}
+
+/// Pooling layer shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolConfig {
+    /// Pooling operation.
+    pub op: PoolOp,
+    /// Batch size `NN`.
+    pub nn: i64,
+    /// Feature maps `NC`.
+    pub nc: i64,
+    /// Output height `NP` (input height = `NP·stride + window - stride`).
+    pub np: i64,
+    /// Output width `NQ`.
+    pub nq: i64,
+    /// Window size (both dimensions).
+    pub window: i64,
+    /// Stride (both dimensions).
+    pub stride: i64,
+}
+
+impl PoolConfig {
+    /// LARGE problem size (≈ 24 MB footprint).
+    pub fn large(op: PoolOp) -> Self {
+        PoolConfig {
+            op,
+            nn: 2,
+            nc: 144,
+            np: 64,
+            nq: 64,
+            window: 2,
+            stride: 2,
+        }
+    }
+
+    /// A small size for functional tests.
+    pub fn small(op: PoolOp) -> Self {
+        PoolConfig {
+            op,
+            nn: 1,
+            nc: 2,
+            np: 4,
+            nq: 4,
+            window: 2,
+            stride: 2,
+        }
+    }
+
+    /// Input height.
+    pub fn in_h(&self) -> i64 {
+        self.np * self.stride + self.window - self.stride
+    }
+
+    /// Input width.
+    pub fn in_w(&self) -> i64 {
+        self.nq * self.stride + self.window - self.stride
+    }
+
+    /// Total data footprint in bytes (f32).
+    pub fn footprint_bytes(&self) -> i64 {
+        (self.nn * self.nc * (self.np * self.nq + self.in_h() * self.in_w())) * 4
+    }
+
+    /// Builds the kernel as loop IR.
+    pub fn build(&self) -> Program {
+        let name = match self.op {
+            PoolOp::Max => "maxpool",
+            PoolOp::Sum => "sumpool",
+        };
+        let mut b = ProgramBuilder::new(name);
+        let out = b.array(
+            "out_F",
+            vec![self.nn, self.nc, self.np, self.nq],
+            ElemType::F32,
+        );
+        let inp = b.array(
+            "inp_F",
+            vec![self.nn, self.nc, self.in_h(), self.in_w()],
+            ElemType::F32,
+        );
+        let n = b.begin_loop("n", 0, 1, self.nn);
+        let c = b.begin_loop("c", 0, 1, self.nc);
+        let p = b.begin_loop("p", 0, 1, self.np);
+        let q = b.begin_loop("q", 0, 1, self.nq);
+        let r = b.begin_loop("r", 0, 1, self.window);
+        let s = b.begin_loop("s", 0, 1, self.window);
+        let out_idx = || {
+            vec![
+                IdxExpr::var(n),
+                IdxExpr::var(c),
+                IdxExpr::var(p),
+                IdxExpr::var(q),
+            ]
+        };
+        let inp_idx = || {
+            vec![
+                IdxExpr::var(n),
+                IdxExpr::var(c),
+                IdxExpr::var(p).scale(self.stride).plus_var(r, 1),
+                IdxExpr::var(q).scale(self.stride).plus_var(s, 1),
+            ]
+        };
+        // Initialization at the first window element.
+        b.begin_if(
+            Cond::atom(IdxExpr::var(r), CmpOp::Eq).and(Cond::atom(IdxExpr::var(s), CmpOp::Eq)),
+        );
+        let init = match self.op {
+            PoolOp::Max => Expr::Const(f64::MIN),
+            PoolOp::Sum => Expr::Const(0.0),
+        };
+        b.stmt(out, out_idx(), AssignKind::Assign, init);
+        b.end_if();
+        match self.op {
+            PoolOp::Max => {
+                b.stmt(
+                    out,
+                    out_idx(),
+                    AssignKind::Assign,
+                    Expr::bin(
+                        BinOp::Max,
+                        Expr::load(out, out_idx()),
+                        Expr::load(inp, inp_idx()),
+                    ),
+                );
+            }
+            PoolOp::Sum => {
+                b.stmt(out, out_idx(), AssignKind::AddAssign, Expr::load(inp, inp_idx()));
+            }
+        }
+        for _ in 0..6 {
+            b.end_loop();
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_ir::{run_program, DataStore, MemStore};
+
+    #[test]
+    fn maxpool_executes() {
+        let cfg = PoolConfig::small(PoolOp::Max);
+        let p = cfg.build();
+        let mut store = MemStore::patterned(&p);
+        run_program(&p, &mut store);
+        for n in 0..cfg.nn {
+            for c in 0..cfg.nc {
+                for pp in 0..cfg.np {
+                    for qq in 0..cfg.nq {
+                        let mut want = f64::MIN;
+                        for r in 0..cfg.window {
+                            for s in 0..cfg.window {
+                                want = want.max(store.load(
+                                    1,
+                                    &[n, c, pp * cfg.stride + r, qq * cfg.stride + s],
+                                ));
+                            }
+                        }
+                        assert_eq!(store.load(0, &[n, c, pp, qq]), want);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sumpool_executes() {
+        let cfg = PoolConfig::small(PoolOp::Sum);
+        let p = cfg.build();
+        let mut store = MemStore::patterned(&p);
+        run_program(&p, &mut store);
+        let mut checked = 0;
+        for pp in 0..cfg.np {
+            for qq in 0..cfg.nq {
+                let mut want = 0.0;
+                for r in 0..cfg.window {
+                    for s in 0..cfg.window {
+                        want += store.load(1, &[0, 0, pp * cfg.stride + r, qq * cfg.stride + s]);
+                    }
+                }
+                let got = store.load(0, &[0, 0, pp, qq]);
+                assert!((got - want).abs() < 1e-12);
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, (cfg.np * cfg.nq) as usize);
+    }
+
+    #[test]
+    fn pool_is_fully_parallel_component() {
+        use prem_core::LoopTree;
+        let cfg = PoolConfig::small(PoolOp::Sum);
+        let tree = LoopTree::build(&cfg.build()).unwrap();
+        // All of n, c, p, q are parallel; r and s carry the reduction.
+        let mut node = &tree.roots[0];
+        for expected in ["n", "c", "p", "q"] {
+            assert_eq!(node.name, expected);
+            assert!(node.parallel, "{} should be parallel", node.name);
+            node = &node.children[0];
+        }
+        assert!(!node.parallel, "r must not be parallel");
+    }
+}

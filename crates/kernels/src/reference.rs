@@ -1,0 +1,203 @@
+//! Independent reference implementations of the kernels, written directly in
+//! Rust against a [`MemStore`]'s initial contents. They cross-validate both
+//! the IR construction and the interpreter, and later the full PREM machine
+//! simulation.
+
+use crate::cnn::CnnConfig;
+use crate::lstm::LstmConfig;
+use crate::pool::{PoolConfig, PoolOp};
+use crate::rnn::RnnConfig;
+use prem_ir::{DataStore, MemStore};
+
+/// Reference outputs of the LSTM kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmReference {
+    /// Hidden states `s_F[t][s]`.
+    pub s_f: Vec<Vec<f64>>,
+    /// Cell states `c_F[t][s]` (`c_F[0]` is the input row).
+    pub c_f: Vec<Vec<f64>>,
+}
+
+/// Computes the LSTM forward pass from the initial contents of `store`
+/// (array ids as produced by [`LstmConfig::build`]: gates 0–3, `U_*` 4–7,
+/// `W_*` 8–11, `inp_F` 12, `s_F` 13, `c_F` 14).
+pub fn lstm_reference(cfg: &LstmConfig, store: &MemStore) -> LstmReference {
+    let (nt, ns, np) = (cfg.nt as usize, cfg.ns as usize, cfg.np as usize);
+    let mut s_f = vec![vec![0.0f64; ns]; nt];
+    let mut c_f = vec![vec![0.0f64; ns]; nt];
+    // c_F[0] is read before ever being written (the t = 0 iteration skips the
+    // cell update): take it from the store.
+    for s in 0..ns {
+        c_f[0][s] = store.load(14, &[0, s as i64]);
+    }
+    let mut gates = vec![[0.0f64; 4]; ns];
+    for t in 0..nt {
+        for s1 in 0..ns {
+            for g in 0..4 {
+                gates[s1][g] = 0.0;
+            }
+            for p in 0..np {
+                let x = store.load(12, &[t as i64, p as i64]);
+                for g in 0..4 {
+                    gates[s1][g] += store.load(4 + g, &[s1 as i64, p as i64]) * x;
+                }
+            }
+        }
+        if t > 0 {
+            for s1 in 0..ns {
+                for s2 in 0..ns {
+                    let h = s_f[t - 1][s2];
+                    for g in 0..4 {
+                        gates[s1][g] += store.load(8 + g, &[s1 as i64, s2 as i64]) * h;
+                    }
+                }
+            }
+            for b in 0..ns {
+                c_f[t][b] = c_f[t - 1][b] * gates[b][1] + gates[b][3] * gates[b][0];
+            }
+        }
+        for b in 0..ns {
+            s_f[t][b] = c_f[t][b] * gates[b][2];
+        }
+    }
+    LstmReference { s_f, c_f }
+}
+
+/// Computes the CNN forward pass; returns `out_F` flattened row-major
+/// (array ids per [`CnnConfig::build`]: `out_F` 0, `W` 1, `inp_F` 2).
+pub fn cnn_reference(cfg: &CnnConfig, store: &MemStore) -> Vec<f64> {
+    let mut out =
+        vec![0.0f64; (cfg.nn * cfg.nk * cfg.np * cfg.nq) as usize];
+    let mut idx = 0usize;
+    for n in 0..cfg.nn {
+        for k in 0..cfg.nk {
+            for p in 0..cfg.np {
+                for q in 0..cfg.nq {
+                    // out_F starts from its stored contents (+= accumulation).
+                    let mut acc = store.load(0, &[n, k, p, q]);
+                    for c in 0..cfg.nc {
+                        for r in 0..cfg.nr {
+                            for s in 0..cfg.ns {
+                                acc += store.load(1, &[k, c, r, s])
+                                    * store.load(2, &[n, c, p + cfg.nr - r - 1, q + cfg.ns - s - 1]);
+                            }
+                        }
+                    }
+                    out[idx] = acc;
+                    idx += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Computes the pooling forward pass; returns `out_F` flattened row-major
+/// (array ids per [`PoolConfig::build`]: `out_F` 0, `inp_F` 1).
+pub fn pool_reference(cfg: &PoolConfig, store: &MemStore) -> Vec<f64> {
+    let mut out = Vec::with_capacity((cfg.nn * cfg.nc * cfg.np * cfg.nq) as usize);
+    for n in 0..cfg.nn {
+        for c in 0..cfg.nc {
+            for p in 0..cfg.np {
+                for q in 0..cfg.nq {
+                    let mut acc = match cfg.op {
+                        PoolOp::Max => f64::MIN,
+                        PoolOp::Sum => 0.0,
+                    };
+                    for r in 0..cfg.window {
+                        for s in 0..cfg.window {
+                            let v =
+                                store.load(1, &[n, c, p * cfg.stride + r, q * cfg.stride + s]);
+                            acc = match cfg.op {
+                                PoolOp::Max => acc.max(v),
+                                PoolOp::Sum => acc + v,
+                            };
+                        }
+                    }
+                    out.push(acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Computes the RNN forward pass; returns the final state vector `s`
+/// (array ids per [`RnnConfig::build`]: `tmp` 0, `s` 1, `U` 2, `W` 3,
+/// `inp_F` 4).
+pub fn rnn_reference(cfg: &RnnConfig, store: &MemStore) -> Vec<f64> {
+    let (nt, ns, np) = (cfg.nt as usize, cfg.ns as usize, cfg.np as usize);
+    let mut s = vec![0.0f64; ns];
+    for i in 0..ns {
+        s[i] = store.load(1, &[i as i64]);
+    }
+    let mut tmp = vec![0.0f64; ns];
+    for t in 0..nt {
+        for s1 in 0..ns {
+            tmp[s1] = 0.0;
+            for p in 0..np {
+                tmp[s1] += store.load(2, &[s1 as i64, p as i64])
+                    * store.load(4, &[t as i64, p as i64]);
+            }
+        }
+        // In-place Gauss–Seidel-style sweep, operating directly on `s` so
+        // that reads of `s[s3]` observe exactly what the kernel would.
+        for s2 in 0..ns {
+            s[s2] = tmp[s2];
+            for s3 in 0..ns {
+                s[s2] += store.load(3, &[s2 as i64, s3 as i64]) * s[s3];
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_ir::run_program;
+
+    #[test]
+    fn cnn_reference_matches_interpreter() {
+        let cfg = CnnConfig::small();
+        let program = cfg.build();
+        let mut store = MemStore::patterned(&program);
+        let want = cnn_reference(&cfg, &store);
+        run_program(&program, &mut store);
+        let mut idx = 0;
+        for n in 0..cfg.nn {
+            for k in 0..cfg.nk {
+                for p in 0..cfg.np {
+                    for q in 0..cfg.nq {
+                        let got = store.load(0, &[n, k, p, q]);
+                        assert!((got - want[idx]).abs() < 1e-9);
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_reference_matches_interpreter() {
+        for op in [PoolOp::Max, PoolOp::Sum] {
+            let cfg = PoolConfig::small(op);
+            let program = cfg.build();
+            let mut store = MemStore::patterned(&program);
+            let want = pool_reference(&cfg, &store);
+            run_program(&program, &mut store);
+            let mut idx = 0;
+            for n in 0..cfg.nn {
+                for c in 0..cfg.nc {
+                    for p in 0..cfg.np {
+                        for q in 0..cfg.nq {
+                            let got = store.load(0, &[n, c, p, q]);
+                            assert!((got - want[idx]).abs() < 1e-9, "{op:?} at {idx}");
+                            idx += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The PolyBench-NN RNN forward pass.
+//!
+//! Per timestep the kernel projects the input (`tmp = U · inp_F[t]`, fully
+//! parallel over rows) and then updates the state **in place**
+//! (`s[s2] (+)= W[s2][s3] · s[s3]` seeded from `tmp`). The in-place state
+//! update both reads and writes the state vector across rows, so its
+//! outer loop is *not parallelizable* and its inner loop cannot be tiled —
+//! this is the "major component that is not parallelizable" responsible for
+//! RNN's poor scaling in Figure 6.1 (§6.2).
+
+use prem_ir::{AssignKind, CmpOp, Cond, ElemType, Expr, IdxExpr, Program, ProgramBuilder};
+
+/// RNN layer shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RnnConfig {
+    /// Sequence length `NT`.
+    pub nt: i64,
+    /// State size `NS`.
+    pub ns: i64,
+    /// Input size `NP`.
+    pub np: i64,
+}
+
+impl RnnConfig {
+    /// LARGE problem size (≈ 25 MB footprint).
+    pub fn large() -> Self {
+        RnnConfig {
+            nt: 7500,
+            ns: 650,
+            np: 700,
+        }
+    }
+
+    /// A small size for functional tests.
+    pub fn small() -> Self {
+        RnnConfig { nt: 3, ns: 5, np: 4 }
+    }
+
+    /// Total data footprint in bytes (f32).
+    pub fn footprint_bytes(&self) -> i64 {
+        (self.ns * self.np + self.ns * self.ns + self.nt * self.np + 2 * self.ns) * 4
+    }
+
+    /// Builds the kernel as loop IR.
+    pub fn build(&self) -> Program {
+        let mut b = ProgramBuilder::new("rnn");
+        let tmp = b.array("tmp", vec![self.ns], ElemType::F32);
+        let s = b.array("s", vec![self.ns], ElemType::F32);
+        let u = b.array("U", vec![self.ns, self.np], ElemType::F32);
+        let w = b.array("W", vec![self.ns, self.ns], ElemType::F32);
+        let inp_f = b.array("inp_F", vec![self.nt, self.np], ElemType::F32);
+
+        let t = b.begin_loop("t", 0, 1, self.nt);
+
+        // Component (s1, p): input projection, parallel over s1.
+        let s1 = b.begin_loop("s1", 0, 1, self.ns);
+        let p = b.begin_loop("p", 0, 1, self.np);
+        b.begin_if(Cond::atom(IdxExpr::var(p), CmpOp::Eq));
+        b.stmt(tmp, vec![IdxExpr::var(s1)], AssignKind::Assign, Expr::Const(0.0));
+        b.end_if();
+        b.stmt(
+            tmp,
+            vec![IdxExpr::var(s1)],
+            AssignKind::AddAssign,
+            Expr::mul(
+                Expr::load(u, vec![IdxExpr::var(s1), IdxExpr::var(p)]),
+                Expr::load(inp_f, vec![IdxExpr::var(t), IdxExpr::var(p)]),
+            ),
+        );
+        b.end_loop();
+        b.end_loop();
+
+        // Component (s2, s3): in-place recurrent update — NOT parallelizable
+        // over s2 because later rows read the state rows earlier iterations
+        // already overwrote (a Gauss–Seidel-style sweep).
+        let s2 = b.begin_loop("s2", 0, 1, self.ns);
+        let s3 = b.begin_loop("s3", 0, 1, self.ns);
+        b.begin_if(Cond::atom(IdxExpr::var(s3), CmpOp::Eq));
+        b.stmt(
+            s,
+            vec![IdxExpr::var(s2)],
+            AssignKind::Assign,
+            Expr::load(tmp, vec![IdxExpr::var(s2)]),
+        );
+        b.end_if();
+        b.stmt(
+            s,
+            vec![IdxExpr::var(s2)],
+            AssignKind::AddAssign,
+            Expr::mul(
+                Expr::load(w, vec![IdxExpr::var(s2), IdxExpr::var(s3)]),
+                Expr::load(s, vec![IdxExpr::var(s3)]),
+            ),
+        );
+        b.end_loop();
+        b.end_loop();
+
+        b.end_loop();
+        let _ = t;
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prem_core::LoopTree;
+
+    #[test]
+    fn state_update_is_sequential() {
+        let cfg = RnnConfig {
+            nt: 10,
+            ns: 64,
+            np: 48,
+        };
+        let tree = LoopTree::build(&cfg.build()).unwrap();
+        let t = &tree.roots[0];
+        assert_eq!(t.children.len(), 2);
+        let proj = &t.children[0];
+        assert!(proj.parallel, "input projection is parallel over s1");
+        let upd = &t.children[1];
+        assert!(!upd.parallel, "in-place update must not be parallel");
+        assert!(upd.tilable, "but it can still be tiled");
+        // Its inner loop cannot be tiled (negative distances) → folded.
+        assert!(!upd.children[0].tilable, "s3 must fold into the leaf");
+    }
+
+    #[test]
+    fn executes_functionally() {
+        use prem_ir::{run_program, DataStore, MemStore};
+        let cfg = RnnConfig::small();
+        let p = cfg.build();
+        let mut store = MemStore::patterned(&p);
+        let want = crate::reference::rnn_reference(&cfg, &store);
+        run_program(&p, &mut store);
+        for i in 0..cfg.ns {
+            let got = store.load(1, &[i]);
+            assert!(
+                (got - want[i as usize]).abs() < 1e-9,
+                "s[{i}] = {got}, want {}",
+                want[i as usize]
+            );
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Affine expressions over an ordered list of loop counters.
+//!
+//! Every loop in the PREM compiler is normalized to a zero-based counter
+//! `0..N`; loop `begin` and `stride` are folded into the access expressions at
+//! IR-construction time. An [`AffExpr`] is therefore a linear combination of
+//! counters plus a constant, with the coefficient vector positionally aligned
+//! to the enclosing-loop list of the statement it belongs to.
+
+use crate::interval::Interval;
+use std::fmt;
+
+/// An affine expression `c₀ + Σ cᵢ·vᵢ` over positional loop counters.
+///
+/// # Examples
+///
+/// ```
+/// use prem_polyhedral::{AffExpr, Interval};
+///
+/// // 2*i + j - 1 over loops (i, j)
+/// let e = AffExpr::from_parts(vec![2, 1], -1);
+/// assert_eq!(e.eval(&[3, 4]), 9);
+/// let b = e.bounds(&[Interval::new(0, 9), Interval::new(0, 4)]);
+/// assert_eq!(b, Interval::new(-1, 21));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AffExpr {
+    coeffs: Vec<i64>,
+    constant: i64,
+}
+
+impl AffExpr {
+    /// A constant expression over `ndims` counters.
+    pub fn constant(ndims: usize, value: i64) -> Self {
+        AffExpr {
+            coeffs: vec![0; ndims],
+            constant: value,
+        }
+    }
+
+    /// The zero expression over `ndims` counters.
+    pub fn zero(ndims: usize) -> Self {
+        Self::constant(ndims, 0)
+    }
+
+    /// A single-variable expression `1·v_dim` over `ndims` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= ndims`.
+    pub fn var(dim: usize, ndims: usize) -> Self {
+        assert!(dim < ndims, "dimension {dim} out of range for {ndims} dims");
+        let mut coeffs = vec![0; ndims];
+        coeffs[dim] = 1;
+        AffExpr {
+            coeffs,
+            constant: 0,
+        }
+    }
+
+    /// Builds an expression from an explicit coefficient vector and constant.
+    pub fn from_parts(coeffs: Vec<i64>, constant: i64) -> Self {
+        AffExpr { coeffs, constant }
+    }
+
+    /// Number of counter dimensions.
+    pub fn ndims(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Coefficient of counter `dim` (0 when out of range).
+    pub fn coeff(&self, dim: usize) -> i64 {
+        self.coeffs.get(dim).copied().unwrap_or(0)
+    }
+
+    /// The constant term.
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// All coefficients, positionally aligned to the loop list.
+    pub fn coeffs(&self) -> &[i64] {
+        &self.coeffs
+    }
+
+    /// Returns a copy with coefficient `dim` replaced by `c`.
+    pub fn with_coeff(mut self, dim: usize, c: i64) -> Self {
+        if dim >= self.coeffs.len() {
+            self.coeffs.resize(dim + 1, 0);
+        }
+        self.coeffs[dim] = c;
+        self
+    }
+
+    /// Sum of two expressions (dimension counts are max-merged).
+    pub fn add(&self, other: &AffExpr) -> AffExpr {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = vec![0; n];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c = self.coeff(i).saturating_add(other.coeff(i));
+        }
+        AffExpr {
+            coeffs,
+            constant: self.constant.saturating_add(other.constant),
+        }
+    }
+
+    /// Difference of two expressions.
+    pub fn sub(&self, other: &AffExpr) -> AffExpr {
+        self.add(&other.scale(-1))
+    }
+
+    /// The expression multiplied by a constant.
+    pub fn scale(&self, k: i64) -> AffExpr {
+        AffExpr {
+            coeffs: self.coeffs.iter().map(|c| c.saturating_mul(k)).collect(),
+            constant: self.constant.saturating_mul(k),
+        }
+    }
+
+    /// Adds a constant to the expression.
+    pub fn add_const(mut self, k: i64) -> AffExpr {
+        self.constant = self.constant.saturating_add(k);
+        self
+    }
+
+    /// Evaluates the expression at a concrete counter point.
+    ///
+    /// Counters beyond `point.len()` are treated as zero, which lets callers
+    /// evaluate an expression aligned to a deeper loop list at a shallower
+    /// point prefix.
+    pub fn eval(&self, point: &[i64]) -> i64 {
+        let mut acc = self.constant;
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if c != 0 {
+                acc += c * point.get(i).copied().unwrap_or(0);
+            }
+        }
+        acc
+    }
+
+    /// Exact bounds of the expression over a box of counter ranges.
+    ///
+    /// Affine functions attain their extrema at box corners, so this is exact
+    /// (not an over-approximation) as long as every referenced counter has a
+    /// bound in `box_bounds`. Missing dimensions are treated as `[0, 0]`.
+    /// Returns the empty interval if any referenced dimension is empty.
+    pub fn bounds(&self, box_bounds: &[Interval]) -> Interval {
+        let mut acc = Interval::point(self.constant);
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let r = box_bounds.get(i).copied().unwrap_or(Interval::zero());
+            if r.is_empty() {
+                return Interval::empty();
+            }
+            acc = acc + r.scale(c);
+        }
+        acc
+    }
+
+    /// Returns `true` if the expression is a constant.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// Returns the dimension index of the single variable with a non-zero
+    /// coefficient, or `None` if there are zero or several.
+    pub fn single_var(&self) -> Option<usize> {
+        let mut found = None;
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if c != 0 {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(i);
+            }
+        }
+        found
+    }
+
+    /// Re-expresses the expression over a new loop list.
+    ///
+    /// `mapping[i]` gives the position of old dimension `i` in the new space,
+    /// or `None` if the dimension is unused (its coefficient must then be 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if a dimension with a non-zero coefficient has no image.
+    pub fn remap(&self, mapping: &[Option<usize>], new_ndims: usize) -> Result<AffExpr, RemapError> {
+        let mut coeffs = vec![0; new_ndims];
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            match mapping.get(i).copied().flatten() {
+                Some(j) => coeffs[j] += c,
+                None => return Err(RemapError { dim: i }),
+            }
+        }
+        Ok(AffExpr {
+            coeffs,
+            constant: self.constant,
+        })
+    }
+}
+
+impl fmt::Display for AffExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if first {
+                if c == 1 {
+                    write!(f, "v{i}")?;
+                } else if c == -1 {
+                    write!(f, "-v{i}")?;
+                } else {
+                    write!(f, "{c}*v{i}")?;
+                }
+                first = false;
+            } else if c > 0 {
+                if c == 1 {
+                    write!(f, " + v{i}")?;
+                } else {
+                    write!(f, " + {c}*v{i}")?;
+                }
+            } else if c == -1 {
+                write!(f, " - v{i}")?;
+            } else {
+                write!(f, " - {}*v{i}", -c)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned by [`AffExpr::remap`] when a live dimension has no image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemapError {
+    /// The offending source dimension.
+    pub dim: usize,
+}
+
+impl fmt::Display for RemapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot remap live affine dimension v{}", self.dim)
+    }
+}
+
+impl std::error::Error for RemapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_display() {
+        let e = AffExpr::from_parts(vec![2, -1], 5);
+        assert_eq!(e.eval(&[3, 4]), 2 * 3 - 4 + 5);
+        assert_eq!(format!("{e}"), "2*v0 - v1 + 5");
+        assert_eq!(format!("{}", AffExpr::constant(2, -3)), "-3");
+    }
+
+    #[test]
+    fn bounds_exact_at_corners() {
+        let e = AffExpr::from_parts(vec![2, -3], 1);
+        let b = e.bounds(&[Interval::new(0, 4), Interval::new(1, 2)]);
+        // min at (0, 2): -5, max at (4, 1): 6
+        assert_eq!(b, Interval::new(-5, 6));
+    }
+
+    #[test]
+    fn bounds_empty_dimension() {
+        let e = AffExpr::from_parts(vec![1], 0);
+        assert!(e.bounds(&[Interval::empty()]).is_empty());
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = AffExpr::from_parts(vec![1, 0], 2);
+        let b = AffExpr::from_parts(vec![0, 3], -1);
+        assert_eq!(a.add(&b), AffExpr::from_parts(vec![1, 3], 1));
+        assert_eq!(a.sub(&b), AffExpr::from_parts(vec![1, -3], 3));
+        assert_eq!(b.scale(-2), AffExpr::from_parts(vec![0, -6], 2));
+    }
+
+    #[test]
+    fn single_var_detection() {
+        assert_eq!(AffExpr::from_parts(vec![0, 5, 0], 1).single_var(), Some(1));
+        assert_eq!(AffExpr::from_parts(vec![1, 5], 1).single_var(), None);
+        assert_eq!(AffExpr::constant(3, 7).single_var(), None);
+    }
+
+    #[test]
+    fn remap_moves_coefficients() {
+        let e = AffExpr::from_parts(vec![2, 0, -1], 4);
+        let r = e.remap(&[Some(1), None, Some(0)], 2).unwrap();
+        assert_eq!(r, AffExpr::from_parts(vec![-1, 2], 4));
+        // dim 0 live but unmapped → error
+        assert!(e.remap(&[None, None, Some(0)], 1).is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! Statement domains: loop nests, affine guards and access relations.
+//!
+//! A [`StmtPoly`] is the polyhedral summary of one program statement, produced
+//! by the IR layer: its enclosing loops (normalized to zero-based counters),
+//! any affine `if` guards restricting its domain, its textual position vector
+//! (the interleaving constants of a schedule tree) and its array accesses.
+
+use crate::affine::AffExpr;
+use crate::interval::{div_ceil, div_floor, Interval};
+use std::fmt;
+
+/// One enclosing loop of a statement: a global loop identity plus the number
+/// of iterations of its zero-based counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LoopInfo {
+    /// Globally unique loop identifier (one per syntactic loop).
+    pub var: usize,
+    /// Iteration count `N`; the counter ranges over `0 ..= N-1`.
+    pub count: i64,
+}
+
+impl LoopInfo {
+    /// Creates loop info for a loop with `count` iterations.
+    pub fn new(var: usize, count: i64) -> Self {
+        LoopInfo { var, count }
+    }
+
+    /// The counter interval `[0, N-1]`.
+    pub fn counter_range(&self) -> Interval {
+        Interval::new(0, self.count - 1)
+    }
+}
+
+/// Comparison kind of an affine guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpKind {
+    /// `expr >= 0`
+    Ge,
+    /// `expr == 0`
+    Eq,
+}
+
+/// An affine guard `expr >= 0` or `expr == 0` over the statement's counters.
+///
+/// Guards come from affine `if` conditions such as `if (t > 0)` or
+/// `if (p == 0)` in the source program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Guard {
+    /// Guard expression over the statement's loop counters.
+    pub expr: AffExpr,
+    /// Whether the guard is an inequality or an equality.
+    pub kind: CmpKind,
+}
+
+impl Guard {
+    /// Creates a `expr >= 0` guard.
+    pub fn ge(expr: AffExpr) -> Self {
+        Guard {
+            expr,
+            kind: CmpKind::Ge,
+        }
+    }
+
+    /// Creates a `expr == 0` guard.
+    pub fn eq(expr: AffExpr) -> Self {
+        Guard {
+            expr,
+            kind: CmpKind::Eq,
+        }
+    }
+
+    /// Evaluates the guard at a concrete counter point.
+    pub fn holds(&self, point: &[i64]) -> bool {
+        let v = self.expr.eval(point);
+        match self.kind {
+            CmpKind::Ge => v >= 0,
+            CmpKind::Eq => v == 0,
+        }
+    }
+}
+
+/// An array access of a statement: one affine index expression per array
+/// dimension, over the statement's loop counters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AccessInfo {
+    /// Identifier of the accessed array.
+    pub array: usize,
+    /// Affine index expression per array dimension (outermost first).
+    pub indices: Vec<AffExpr>,
+    /// `true` if the access writes the element.
+    pub is_write: bool,
+}
+
+impl AccessInfo {
+    /// Creates a read access.
+    pub fn read(array: usize, indices: Vec<AffExpr>) -> Self {
+        AccessInfo {
+            array,
+            indices,
+            is_write: false,
+        }
+    }
+
+    /// Creates a write access.
+    pub fn write(array: usize, indices: Vec<AffExpr>) -> Self {
+        AccessInfo {
+            array,
+            indices,
+            is_write: true,
+        }
+    }
+}
+
+/// Polyhedral summary of a single statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StmtPoly {
+    /// Statement identifier (index into the program's statement list).
+    pub id: usize,
+    /// Enclosing loops, outermost first.
+    pub loops: Vec<LoopInfo>,
+    /// Affine guards restricting the domain.
+    pub guards: Vec<Guard>,
+    /// Textual position vector: `position[k]` is the statement's (or its
+    /// ancestor's) index within the body at nesting depth `k`. Length is
+    /// `loops.len() + 1`. Lexicographic comparison of position vectors gives
+    /// the textual execution order of two statements at equal loop counters.
+    pub position: Vec<i64>,
+    /// Array accesses performed by the statement.
+    pub accesses: Vec<AccessInfo>,
+}
+
+impl StmtPoly {
+    /// Number of enclosing loops.
+    pub fn depth(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Raw counter bounds `[0, N-1]` per enclosing loop, ignoring guards.
+    pub fn raw_bounds(&self) -> Vec<Interval> {
+        self.loops.iter().map(LoopInfo::counter_range).collect()
+    }
+
+    /// Counter bounds per enclosing loop, tightened by single-variable guards.
+    ///
+    /// A guard `c·v + d >= 0` tightens `v >= ceil(-d/c)` (for `c > 0`) or
+    /// `v <= floor(-d/c)` (for `c < 0`); an equality fixes the variable when
+    /// the coefficient divides the constant and empties the domain otherwise.
+    /// Multi-variable guards are ignored (a sound over-approximation).
+    pub fn tightened_bounds(&self) -> Vec<Interval> {
+        let mut bounds = self.raw_bounds();
+        for guard in &self.guards {
+            let Some(dim) = guard.expr.single_var() else {
+                // Constant guards decide emptiness; multi-var guards are kept
+                // conservative.
+                if guard.expr.is_constant() {
+                    let c = guard.expr.constant_term();
+                    let holds = match guard.kind {
+                        CmpKind::Ge => c >= 0,
+                        CmpKind::Eq => c == 0,
+                    };
+                    if !holds {
+                        for b in &mut bounds {
+                            *b = Interval::empty();
+                        }
+                    }
+                }
+                continue;
+            };
+            let c = guard.expr.coeff(dim);
+            let d = guard.expr.constant_term();
+            let restrict = match guard.kind {
+                CmpKind::Ge => {
+                    // c·v + d >= 0
+                    if c > 0 {
+                        Interval::new(div_ceil(-d, c), i64::MAX)
+                    } else {
+                        Interval::new(i64::MIN, div_floor(-d, c))
+                    }
+                }
+                CmpKind::Eq => {
+                    if (-d) % c == 0 {
+                        Interval::point(-d / c)
+                    } else {
+                        Interval::empty()
+                    }
+                }
+            };
+            if dim < bounds.len() {
+                bounds[dim] = bounds[dim].intersect(&restrict);
+            }
+        }
+        bounds
+    }
+
+    /// Returns `true` if the (guard-tightened) domain contains no point.
+    pub fn is_domain_empty(&self) -> bool {
+        self.tightened_bounds().iter().any(Interval::is_empty)
+    }
+
+    /// Number of points in the guard-tightened domain box.
+    ///
+    /// Exact for single-variable guards (the class we tighten); an
+    /// over-approximation in the presence of multi-variable guards.
+    pub fn domain_size(&self) -> u64 {
+        self.tightened_bounds().iter().map(Interval::len).product()
+    }
+
+    /// Length of the shared loop prefix with another statement.
+    pub fn shared_prefix_len(&self, other: &StmtPoly) -> usize {
+        self.loops
+            .iter()
+            .zip(other.loops.iter())
+            .take_while(|(a, b)| a.var == b.var)
+            .count()
+    }
+
+    /// Returns `true` if `self` textually precedes `other`.
+    ///
+    /// Comparison is lexicographic on the position vectors; equal prefixes of
+    /// different lengths are ordered shorter-first (the shallower statement
+    /// wraps the deeper one's loop, and a container position never equals a
+    /// contained statement's position in well-formed programs).
+    pub fn textually_before(&self, other: &StmtPoly) -> bool {
+        self.position < other.position
+    }
+}
+
+impl fmt::Display for StmtPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}[", self.id)?;
+        for (i, l) in self.loops.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "v{}<{}", l.var, l.count)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stmt(loops: Vec<LoopInfo>, guards: Vec<Guard>) -> StmtPoly {
+        let depth = loops.len();
+        StmtPoly {
+            id: 0,
+            loops,
+            guards,
+            position: vec![0; depth + 1],
+            accesses: vec![],
+        }
+    }
+
+    #[test]
+    fn raw_bounds_from_counts() {
+        let s = stmt(vec![LoopInfo::new(0, 10), LoopInfo::new(1, 4)], vec![]);
+        assert_eq!(
+            s.raw_bounds(),
+            vec![Interval::new(0, 9), Interval::new(0, 3)]
+        );
+        assert_eq!(s.domain_size(), 40);
+    }
+
+    #[test]
+    fn guard_tightens_ge() {
+        // if (t > 0) i.e. t - 1 >= 0 over t in [0, 9]
+        let g = Guard::ge(AffExpr::var(0, 1).add_const(-1));
+        let s = stmt(vec![LoopInfo::new(0, 10)], vec![g]);
+        assert_eq!(s.tightened_bounds(), vec![Interval::new(1, 9)]);
+        assert_eq!(s.domain_size(), 9);
+    }
+
+    #[test]
+    fn guard_tightens_eq() {
+        // if (p == 0) over p in [0, 6]
+        let g = Guard::eq(AffExpr::var(0, 1));
+        let s = stmt(vec![LoopInfo::new(0, 7)], vec![g]);
+        assert_eq!(s.tightened_bounds(), vec![Interval::point(0)]);
+    }
+
+    #[test]
+    fn contradictory_guard_empties_domain() {
+        // -1 >= 0 never holds
+        let g = Guard::ge(AffExpr::constant(1, -1));
+        let s = stmt(vec![LoopInfo::new(0, 7)], vec![g]);
+        assert!(s.is_domain_empty());
+    }
+
+    #[test]
+    fn guard_holds_pointwise() {
+        let g = Guard::ge(AffExpr::var(0, 2).sub(&AffExpr::var(1, 2)));
+        assert!(g.holds(&[3, 2]));
+        assert!(g.holds(&[2, 2]));
+        assert!(!g.holds(&[1, 2]));
+    }
+
+    #[test]
+    fn shared_prefix_and_position_order() {
+        let a = StmtPoly {
+            id: 0,
+            loops: vec![LoopInfo::new(0, 5), LoopInfo::new(1, 5)],
+            guards: vec![],
+            position: vec![0, 0, 0],
+            accesses: vec![],
+        };
+        let b = StmtPoly {
+            id: 1,
+            loops: vec![LoopInfo::new(0, 5), LoopInfo::new(2, 5)],
+            guards: vec![],
+            position: vec![0, 1, 0],
+            accesses: vec![],
+        };
+        assert_eq!(a.shared_prefix_len(&b), 1);
+        assert!(a.textually_before(&b));
+        assert!(!b.textually_before(&a));
+    }
+}

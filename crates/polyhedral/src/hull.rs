@@ -1,0 +1,85 @@
+//! Rectangular hulls of accessed array regions (§5.3.1).
+//!
+//! The *canonical data element range* of an access over a tile is the
+//! smallest axis-aligned box containing every touched element: per array
+//! dimension, the min and max index over the tile's iteration box. Affine
+//! index expressions attain their extrema at box corners, so the hull is
+//! computed exactly by interval arithmetic.
+
+use crate::affine::AffExpr;
+use crate::interval::Interval;
+
+/// The rectangular hull of an affine access over an iteration box: one
+/// interval per array dimension.
+///
+/// # Examples
+///
+/// ```
+/// use prem_polyhedral::{access_hull, AffExpr, Interval};
+///
+/// // a[i][j+2] over i in [0,3], j in [5,9]
+/// let idx = vec![AffExpr::var(0, 2), AffExpr::var(1, 2).add_const(2)];
+/// let hull = access_hull(&idx, &[Interval::new(0, 3), Interval::new(5, 9)]);
+/// assert_eq!(hull, vec![Interval::new(0, 3), Interval::new(7, 11)]);
+/// ```
+pub fn access_hull(indices: &[AffExpr], iter_box: &[Interval]) -> Vec<Interval> {
+    indices.iter().map(|e| e.bounds(iter_box)).collect()
+}
+
+/// Componentwise hull of two rectangular ranges (dimension counts must match;
+/// empty ranges are absorbed).
+pub fn union_hull(a: &[Interval], b: &[Interval]) -> Vec<Interval> {
+    assert_eq!(a.len(), b.len(), "hull dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x.hull(y)).collect()
+}
+
+/// Returns `true` if two rectangular ranges intersect in every dimension.
+pub fn ranges_overlap(a: &[Interval], b: &[Interval]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| !x.intersect(y).is_empty())
+}
+
+/// The shape (per-dimension extent) of a rectangular range; empty dimensions
+/// yield extent 0.
+pub fn shape(range: &[Interval]) -> Vec<i64> {
+    range.iter().map(|iv| iv.len() as i64).collect()
+}
+
+/// Number of elements in a rectangular range.
+pub fn volume(range: &[Interval]) -> u64 {
+    range.iter().map(Interval::len).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_negative_coefficient_access() {
+        // inp[p + 2 - r] over p in [0, 6], r in [0, 2]
+        let idx = vec![AffExpr::from_parts(vec![1, -1], 2)];
+        let hull = access_hull(&idx, &[Interval::new(0, 6), Interval::new(0, 2)]);
+        assert_eq!(hull, vec![Interval::new(0, 8)]);
+    }
+
+    #[test]
+    fn union_and_overlap() {
+        let a = vec![Interval::new(0, 3), Interval::new(0, 3)];
+        let b = vec![Interval::new(2, 5), Interval::new(4, 6)];
+        assert_eq!(
+            union_hull(&a, &b),
+            vec![Interval::new(0, 5), Interval::new(0, 6)]
+        );
+        // Dim 1 does not intersect → no overlap.
+        assert!(!ranges_overlap(&a, &b));
+        let c = vec![Interval::new(2, 5), Interval::new(3, 6)];
+        assert!(ranges_overlap(&a, &c));
+    }
+
+    #[test]
+    fn shape_and_volume() {
+        let r = vec![Interval::new(2, 5), Interval::new(0, 0)];
+        assert_eq!(shape(&r), vec![4, 1]);
+        assert_eq!(volume(&r), 4);
+        assert_eq!(volume(&[Interval::empty()]), 0);
+    }
+}

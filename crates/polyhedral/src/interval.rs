@@ -1,0 +1,299 @@
+//! Closed integer intervals with saturating arithmetic.
+//!
+//! Intervals are the workhorse of the bound analysis used throughout the
+//! polyhedral layer: affine expressions over rectangular domains attain their
+//! extrema at box corners, so interval arithmetic is *exact* for the class of
+//! programs the PREM compiler accepts (constant-bound, uniform-stride loops
+//! with affine accesses).
+
+use std::fmt;
+
+/// A closed interval `[lo, hi]` over `i64`.
+///
+/// An interval with `lo > hi` is *empty*. Arithmetic saturates at the `i64`
+/// boundaries so overflow cannot silently wrap.
+///
+/// # Examples
+///
+/// ```
+/// use prem_polyhedral::Interval;
+///
+/// let a = Interval::new(0, 9);
+/// let b = Interval::point(3);
+/// assert_eq!(a + b, Interval::new(3, 12));
+/// assert!(a.contains(5));
+/// assert!(Interval::empty().is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// Creates the interval `[lo, hi]`.
+    pub const fn new(lo: i64, hi: i64) -> Self {
+        Interval { lo, hi }
+    }
+
+    /// Creates the singleton interval `[v, v]`.
+    pub const fn point(v: i64) -> Self {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The canonical empty interval (`[1, 0]`).
+    pub const fn empty() -> Self {
+        Interval { lo: 1, hi: 0 }
+    }
+
+    /// The zero singleton `[0, 0]`.
+    pub const fn zero() -> Self {
+        Interval { lo: 0, hi: 0 }
+    }
+
+    /// Returns `true` if the interval contains no integer.
+    pub const fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Returns `true` if the interval is a single integer.
+    pub const fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Returns `true` if the interval is exactly `[0, 0]`.
+    pub const fn is_zero(&self) -> bool {
+        self.lo == 0 && self.hi == 0
+    }
+
+    /// Returns `true` if `v` lies inside the interval.
+    pub const fn contains(&self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Number of integers in the interval (0 when empty).
+    pub fn len(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            // Wrapping subtraction is the correct modular width even when the
+            // interval spans more than `i64::MAX` (saturated bounds).
+            (self.hi.wrapping_sub(self.lo) as u64).saturating_add(1)
+        }
+    }
+
+    /// Returns `true` if the interval is empty (alias mirroring `len`).
+    ///
+    /// Provided so collections-style call sites read naturally.
+    pub fn is_len_zero(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Intersection of two intervals.
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+
+    /// Smallest interval containing both operands (convex hull).
+    pub fn hull(&self, other: &Interval) -> Interval {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Multiplies the interval by a constant (handles negative factors).
+    pub fn scale(&self, k: i64) -> Interval {
+        if self.is_empty() {
+            return Interval::empty();
+        }
+        let a = self.lo.saturating_mul(k);
+        let b = self.hi.saturating_mul(k);
+        Interval::new(a.min(b), a.max(b))
+    }
+
+    /// Adds a constant to both bounds.
+    pub fn shift(&self, k: i64) -> Interval {
+        if self.is_empty() {
+            return Interval::empty();
+        }
+        Interval::new(self.lo.saturating_add(k), self.hi.saturating_add(k))
+    }
+
+    /// Negates the interval.
+    pub fn neg(&self) -> Interval {
+        self.scale(-1)
+    }
+
+    /// Tightest interval for `x / k` (integer solutions of `k * x ∈ self`).
+    ///
+    /// Used when solving `k * δ = rest` for the unknown `δ`: the result is
+    /// `[ceil(lo / k), floor(hi / k)]`, adjusted for the sign of `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn div_exact_solutions(&self, k: i64) -> Interval {
+        assert!(k != 0, "divisor must be non-zero");
+        if self.is_empty() {
+            return Interval::empty();
+        }
+        let (lo, hi) = if k > 0 {
+            (div_ceil(self.lo, k), div_floor(self.hi, k))
+        } else {
+            (div_ceil(self.hi, k), div_floor(self.lo, k))
+        };
+        Interval::new(lo, hi)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "∅")
+        } else if self.is_point() {
+            write!(f, "{{{}}}", self.lo)
+        } else {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        }
+    }
+}
+
+impl std::ops::Add for Interval {
+    type Output = Interval;
+    fn add(self, rhs: Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval::empty();
+        }
+        Interval::new(
+            self.lo.saturating_add(rhs.lo),
+            self.hi.saturating_add(rhs.hi),
+        )
+    }
+}
+
+impl std::ops::Sub for Interval {
+    type Output = Interval;
+    fn sub(self, rhs: Interval) -> Interval {
+        if self.is_empty() || rhs.is_empty() {
+            return Interval::empty();
+        }
+        Interval::new(
+            self.lo.saturating_sub(rhs.hi),
+            self.hi.saturating_sub(rhs.lo),
+        )
+    }
+}
+
+/// Floor division on `i64` (rounds towards negative infinity); the single
+/// overflowing case `(i64::MIN, -1)` saturates to `i64::MAX`.
+pub fn div_floor(a: i64, b: i64) -> i64 {
+    let Some(q) = a.checked_div(b) else {
+        return i64::MAX;
+    };
+    let r = a % b;
+    if (r != 0) && ((r < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division on `i64` (rounds towards positive infinity); the single
+/// overflowing case `(i64::MIN, -1)` saturates to `i64::MAX`.
+pub fn div_ceil(a: i64, b: i64) -> i64 {
+    let Some(q) = a.checked_div(b) else {
+        return i64::MAX;
+    };
+    let r = a % b;
+    if (r != 0) && ((r < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Mathematical modulus with result in `[0, |b|)`.
+pub fn mod_floor(a: i64, b: i64) -> i64 {
+    a - b * div_floor(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_and_empty() {
+        assert!(Interval::empty().is_empty());
+        assert!(!Interval::point(4).is_empty());
+        assert!(Interval::point(4).is_point());
+        assert_eq!(Interval::point(4).len(), 1);
+        assert_eq!(Interval::empty().len(), 0);
+    }
+
+    #[test]
+    fn add_sub() {
+        let a = Interval::new(-2, 3);
+        let b = Interval::new(1, 5);
+        assert_eq!(a + b, Interval::new(-1, 8));
+        assert_eq!(a - b, Interval::new(-7, 2));
+    }
+
+    #[test]
+    fn scale_negative() {
+        let a = Interval::new(-2, 3);
+        assert_eq!(a.scale(-2), Interval::new(-6, 4));
+        assert_eq!(a.scale(0), Interval::new(0, 0));
+    }
+
+    #[test]
+    fn intersect_hull() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(5, 20);
+        assert_eq!(a.intersect(&b), Interval::new(5, 10));
+        assert_eq!(a.hull(&b), Interval::new(0, 20));
+        assert!(a.intersect(&Interval::new(11, 12)).is_empty());
+    }
+
+    #[test]
+    fn hull_with_empty() {
+        let a = Interval::new(2, 4);
+        assert_eq!(a.hull(&Interval::empty()), a);
+        assert_eq!(Interval::empty().hull(&a), a);
+    }
+
+    #[test]
+    fn div_solutions_positive_divisor() {
+        // 3x ∈ [4, 10]  →  x ∈ [2, 3]
+        assert_eq!(
+            Interval::new(4, 10).div_exact_solutions(3),
+            Interval::new(2, 3)
+        );
+        // 3x ∈ [4, 5]  →  empty
+        assert!(Interval::new(4, 5).div_exact_solutions(3).is_empty());
+    }
+
+    #[test]
+    fn div_solutions_negative_divisor() {
+        // -2x ∈ [2, 7]  →  x ∈ [-3, -1]
+        assert_eq!(
+            Interval::new(2, 7).div_exact_solutions(-2),
+            Interval::new(-3, -1)
+        );
+    }
+
+    #[test]
+    fn floor_ceil_mod() {
+        assert_eq!(div_floor(7, 2), 3);
+        assert_eq!(div_floor(-7, 2), -4);
+        assert_eq!(div_ceil(7, 2), 4);
+        assert_eq!(div_ceil(-7, 2), -3);
+        assert_eq!(mod_floor(-7, 3), 2);
+        assert_eq!(mod_floor(7, 3), 1);
+    }
+}

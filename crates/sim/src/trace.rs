@@ -1,0 +1,134 @@
+//! Trace rendering: ASCII Gantt charts (the Figure 3.4 / Figure 2.2 view)
+//! and CSV export of simulated timelines.
+
+use crate::machine::{PhaseKind, TraceEvent};
+
+/// Renders a simulated timeline as an ASCII Gantt chart with one row per
+/// core plus a DMA row, `width` characters across the makespan.
+///
+/// Execution phases print as `█`, the initialization segment as `░`, and
+/// memory phases as `▒` on the DMA row (annotated with the owning core when
+/// space permits).
+pub fn render_gantt(trace: &[TraceEvent], width: usize) -> String {
+    let makespan = trace.iter().map(|e| e.end_ns).fold(0.0f64, f64::max);
+    if makespan <= 0.0 || width == 0 {
+        return String::new();
+    }
+    let ncores = trace.iter().map(|e| e.core + 1).max().unwrap_or(0);
+    let col = |t: f64| -> usize { ((t / makespan) * width as f64).floor() as usize };
+
+    let mut rows: Vec<Vec<char>> = vec![vec![' '; width + 1]; ncores + 1];
+    for e in trace {
+        let (row, ch) = match e.kind {
+            PhaseKind::Init => (e.core, '░'),
+            PhaseKind::Exec { .. } => (e.core, '█'),
+            PhaseKind::Mem { .. } => (ncores, '▒'),
+        };
+        let a = col(e.start_ns).min(width);
+        let b = col(e.end_ns).min(width).max(a);
+        for c in a..=b {
+            rows[row][c] = ch;
+        }
+        if matches!(e.kind, PhaseKind::Mem { .. }) {
+            // Mark the owning core at the start of the phase if it fits.
+            let tag = char::from_digit((e.core % 10) as u32, 10).unwrap_or('?');
+            rows[ncores][a] = tag;
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let label = if i < ncores {
+            format!("core {i} ")
+        } else {
+            "DMA    ".to_string()
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "       0 ns {}^ {makespan:.0} ns\n",
+        " ".repeat(width.saturating_sub(6))
+    ));
+    out
+}
+
+/// Exports a timeline as CSV (`core,kind,detail,start_ns,end_ns`).
+pub fn trace_to_csv(trace: &[TraceEvent]) -> String {
+    let mut out = String::from("core,kind,detail,start_ns,end_ns\n");
+    for e in trace {
+        let (kind, detail) = match e.kind {
+            PhaseKind::Init => ("init", 0),
+            PhaseKind::Exec { seg } => ("exec", seg),
+            PhaseKind::Mem { batch } => ("mem", batch),
+        };
+        out.push_str(&format!(
+            "{},{kind},{detail},{},{}\n",
+            e.core, e.start_ns, e.end_ns
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                core: 0,
+                kind: PhaseKind::Init,
+                start_ns: 0.0,
+                end_ns: 10.0,
+            },
+            TraceEvent {
+                core: 0,
+                kind: PhaseKind::Mem { batch: 1 },
+                start_ns: 10.0,
+                end_ns: 30.0,
+            },
+            TraceEvent {
+                core: 0,
+                kind: PhaseKind::Exec { seg: 1 },
+                start_ns: 30.0,
+                end_ns: 100.0,
+            },
+            TraceEvent {
+                core: 1,
+                kind: PhaseKind::Exec { seg: 1 },
+                start_ns: 40.0,
+                end_ns: 90.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn gantt_has_row_per_core_plus_dma() {
+        let g = render_gantt(&sample_trace(), 40);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 4); // 2 cores + DMA + axis
+        assert!(lines[0].starts_with("core 0"));
+        assert!(lines[2].starts_with("DMA"));
+        assert!(lines[0].contains('█'));
+        assert!(lines[0].contains('░'));
+        assert!(lines[2].contains('▒') || lines[2].contains('0'));
+    }
+
+    #[test]
+    fn csv_roundtrips_fields() {
+        let csv = trace_to_csv(&sample_trace());
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("core,kind,detail,start_ns,end_ns"));
+        assert_eq!(lines.next(), Some("0,init,0,0,10"));
+        assert!(csv.contains("0,exec,1,30,100"));
+        assert!(csv.contains("0,mem,1,10,30"));
+    }
+
+    #[test]
+    fn empty_trace_is_empty_output() {
+        assert_eq!(render_gantt(&[], 40), "");
+    }
+}

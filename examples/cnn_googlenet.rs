@@ -1,0 +1,51 @@
+//! §6.3 — optimizing the GoogLeNet 3×3 convolution layer
+//! (`k128/p28/q28/c96`) and comparing the heuristic against the greedy
+//! baseline at a memory-bound bus speed, as in §6.3.1.
+//!
+//! Run with: `cargo run --release --example cnn_googlenet`
+
+use prem::core::{optimize_app, optimize_app_greedy, LoopTree, OptimizerOptions, Platform};
+use prem::sim::SimCost;
+
+fn main() {
+    let cfg = prem::kernels::CnnConfig::googlenet_study();
+    println!(
+        "GoogLeNet study layer: NK={} NP={} NQ={} NC={} ({} KiB footprint)\n",
+        cfg.nk,
+        cfg.np,
+        cfg.nq,
+        cfg.nc,
+        cfg.footprint_bytes() / 1024
+    );
+    let program = cfg.build();
+    let tree = LoopTree::build(&program).expect("valid SCoP");
+    let cost = SimCost::new(&program);
+
+    for bus in [16.0, 1.0 / 32.0, 1.0 / 512.0] {
+        let platform = Platform::default().with_bus_gbytes(bus);
+        let ours = optimize_app(&tree, &program, &platform, &cost, &OptimizerOptions::default());
+        let greedy = optimize_app_greedy(&tree, &program, &platform, &cost);
+        println!("bus {bus:>9.5} GB/s:");
+        let c = &ours.components[0];
+        println!(
+            "  heuristic: {}  makespan {:.4e} ns, {} B",
+            c.solution,
+            ours.makespan_ns,
+            ours.total_bytes()
+        );
+        let g = &greedy.components[0];
+        println!(
+            "  greedy   : {}  makespan {:.4e} ns, {} B",
+            g.solution,
+            greedy.makespan_ns,
+            greedy.total_bytes()
+        );
+        println!(
+            "  heuristic wins by {:.2}x makespan, {:.2}x bytes\n",
+            greedy.makespan_ns / ours.makespan_ns,
+            greedy.total_bytes() as f64 / ours.total_bytes() as f64
+        );
+    }
+    println!("(§6.3.1 reports ≈10x at 1/32 GB/s; at fast buses the two tie —");
+    println!(" any load-balanced selection is equivalent once compute-bound)");
+}

@@ -1,0 +1,89 @@
+//! Quickstart: compile a small convolution kernel into an optimized PREM
+//! schedule, validate it functionally, and print the generated C.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use prem::codegen::{emit_prem_c, EmitComponent};
+use prem::core::{optimize_app, LoopTree, OptimizerOptions, Platform};
+use prem::ir::{run_program, MemStore};
+use prem::sim::{run_app_prem, PlannedComponent, SimCost};
+
+fn main() {
+    // 1. A kernel: the small CNN shape (1×4 output maps of 6×6, 3 input
+    //    maps, 3×3 filters).
+    let config = prem::kernels::CnnConfig::small();
+    let program = config.build();
+    println!("== original kernel ==\n{program}");
+
+    // 2. Analysis: loop tree with parallel/tilable legality flags.
+    let tree = LoopTree::build(&program).expect("kernel is a valid SCoP");
+    for root in &tree.roots {
+        let mut node = root;
+        loop {
+            println!(
+                "loop {:<3} N={:<4} I={:<4} parallel={:<5} tilable={}",
+                node.name, node.count, node.exec_count, node.parallel, node.tilable
+            );
+            match node.children.first() {
+                Some(c) => node = c,
+                None => break,
+            }
+        }
+    }
+
+    // 3. Optimization on a small platform (8 cores, 8 KiB SPMs).
+    let platform = Platform::default().with_spm_bytes(8 * 1024);
+    let cost = SimCost::new(&program);
+    let out = optimize_app(&tree, &program, &platform, &cost, &OptimizerOptions::default());
+    println!("\n== schedule ==");
+    for c in &out.components {
+        println!(
+            "component ({}) → {}  makespan {:.3e} ns, {} B transferred, SPM {} B",
+            c.level_names.join(", "),
+            c.solution,
+            c.result.makespan_ns,
+            c.result.bytes,
+            c.result.spm_bytes
+        );
+    }
+    println!("application makespan: {:.3e} ns", out.makespan_ns);
+
+    // 4. Functional validation: the PREM execution must match the plain
+    //    interpreter bit for bit.
+    let planned: Vec<PlannedComponent> = out
+        .components
+        .iter()
+        .map(|c| PlannedComponent {
+            component: c.component.clone(),
+            solution: c.solution.clone(),
+        })
+        .collect();
+    let mut reference = MemStore::patterned(&program);
+    run_program(&program, &mut reference);
+    let mut prem_mem = MemStore::patterned(&program);
+    let stats = run_app_prem(&program, &planned, &platform, &mut prem_mem).expect("PREM runs");
+    println!(
+        "\nPREM execution: {} segments, {} B loaded, {} B unloaded, diff = {}",
+        stats.segments,
+        stats.load_bytes,
+        stats.unload_bytes,
+        reference.max_abs_diff(&prem_mem)
+    );
+    assert_eq!(reference.max_abs_diff(&prem_mem), 0.0);
+
+    // 5. Code generation (first 40 lines).
+    let comps: Vec<EmitComponent> = out
+        .components
+        .iter()
+        .map(|c| EmitComponent {
+            component: c.component.clone(),
+            solution: c.solution.clone(),
+        })
+        .collect();
+    let code = emit_prem_c(&program, &comps, &platform).expect("emits");
+    println!("\n== generated PREM C (head) ==");
+    for line in code.lines().take(40) {
+        println!("{line}");
+    }
+    println!("... ({} lines total)", code.lines().count());
+}

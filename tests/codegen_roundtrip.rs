@@ -1,0 +1,129 @@
+//! Round trips between the code generator and the frontend: emitting a
+//! kernel as plain C and re-parsing it must preserve functional behaviour,
+//! and the PREM emission must stay structurally sound for every kernel.
+
+use prem::codegen::{emit_original_c, emit_prem_c, EmitComponent};
+use prem::core::{optimize_app, LoopTree, OptimizerOptions, Platform};
+use prem::frontend::parse_kernel;
+use prem::ir::{run_program, MemStore};
+use prem::sim::SimCost;
+
+/// Strips declarations/macros emit adds so `parse_kernel` sees only the body
+/// grammar it accepts plus the declarations.
+fn strip_preamble(code: &str) -> String {
+    code.lines()
+        .filter(|l| {
+            !l.starts_with("#include")
+                && !l.starts_with("#define")
+                && !l.starts_with("void ")
+                && *l != "}"
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn original_emission_reparses_equivalently() {
+    for (name, program) in prem::kernels::all_small() {
+        let code = emit_original_c(&program);
+        let body = strip_preamble(&code);
+        let reparsed = parse_kernel(name, &body, &[("FLT_MAX", 0)]);
+        let reparsed = match reparsed {
+            Ok(p) => p,
+            Err(e) => panic!("{name}: reparse failed: {e}\n{body}"),
+        };
+        if name == "maxpool" {
+            // The float sentinel differs (parser cannot express -FLT_MAX);
+            // structural equivalence only.
+            assert_eq!(reparsed.loop_count, program.loop_count);
+            assert_eq!(reparsed.stmt_count, program.stmt_count);
+            continue;
+        }
+        let mut s1 = MemStore::patterned(&program);
+        let mut s2 = MemStore::patterned(&reparsed);
+        run_program(&program, &mut s1);
+        run_program(&reparsed, &mut s2);
+        assert_eq!(s1.max_abs_diff(&s2), 0.0, "{name} diverges after round trip");
+    }
+}
+
+#[test]
+fn prem_emission_valid_for_all_kernels() {
+    for (name, program) in prem::kernels::all_small() {
+        let platform = Platform::default().with_spm_bytes(8 * 1024);
+        let tree = LoopTree::build(&program).unwrap();
+        let cost = SimCost::new(&program);
+        let out = optimize_app(&tree, &program, &platform, &cost, &OptimizerOptions::default());
+        let comps: Vec<EmitComponent> = out
+            .components
+            .iter()
+            .map(|c| EmitComponent {
+                component: c.component.clone(),
+                solution: c.solution.clone(),
+            })
+            .collect();
+        let code = emit_prem_c(&program, &comps, &platform).unwrap();
+        assert_eq!(
+            code.matches('{').count(),
+            code.matches('}').count(),
+            "{name}: unbalanced braces"
+        );
+        for needle in [
+            "allocate_buffer",
+            "dispatch()",
+            "end_segment()",
+            "threadID()",
+            "deallocate_buffer",
+        ] {
+            assert!(code.contains(needle), "{name}: missing {needle}");
+        }
+        // One pair of streaming buffers per array of each component.
+        for c in &out.components {
+            for arr in &c.component.arrays {
+                assert!(
+                    code.contains(&format!("{}_buf1", arr.name)),
+                    "{name}: missing buffer for {}",
+                    arr.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn emitted_c_compiles_with_gcc_when_available() {
+    let gcc = std::process::Command::new("gcc").arg("--version").output();
+    if gcc.is_err() {
+        eprintln!("gcc unavailable; skipping syntax check");
+        return;
+    }
+    for (name, program) in prem::kernels::all_small() {
+        let platform = Platform::default().with_spm_bytes(8 * 1024);
+        let tree = LoopTree::build(&program).unwrap();
+        let cost = SimCost::new(&program);
+        let out = optimize_app(&tree, &program, &platform, &cost, &OptimizerOptions::default());
+        let comps: Vec<EmitComponent> = out
+            .components
+            .iter()
+            .map(|c| EmitComponent {
+                component: c.component.clone(),
+                solution: c.solution.clone(),
+            })
+            .collect();
+        for code in [
+            emit_original_c(&program),
+            emit_prem_c(&program, &comps, &platform).unwrap(),
+        ] {
+            let path = std::env::temp_dir().join(format!("prem_rt_{name}_{}.c", std::process::id()));
+            std::fs::write(&path, &code).unwrap();
+            let out = std::process::Command::new("gcc")
+                .args(["-std=c99", "-fsyntax-only"])
+                .arg(&path)
+                .output()
+                .unwrap();
+            let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+            std::fs::remove_file(&path).ok();
+            assert!(out.status.success(), "{name}: {stderr}");
+        }
+    }
+}

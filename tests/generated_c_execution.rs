@@ -1,0 +1,232 @@
+//! The strongest code-generation test: compile the emitted PREM C against
+//! the host runtime stub with gcc, **run it**, and compare every array
+//! element against the reference interpreter. Single-thread solutions only
+//! (multi-threaded code needs the real OS's cross-core phase scheduling).
+//!
+//! All tests skip silently when gcc is unavailable.
+
+use prem::codegen::{emit_prem_c, host_harness_c, host_main_c, EmitComponent};
+use prem::core::{optimize_app, LoopTree, OptimizerOptions, Platform};
+use prem::ir::{run_program, DataStore, ElemType, MemStore, Program};
+use prem::sim::SimCost;
+use std::collections::HashMap;
+use std::process::Command;
+
+fn gcc_available() -> bool {
+    Command::new("gcc").arg("--version").output().is_ok()
+}
+
+/// Compiles and runs the emitted kernel; returns array → values.
+fn run_generated(program: &Program, platform: &Platform) -> HashMap<String, Vec<f64>> {
+    let tree = LoopTree::build(program).unwrap();
+    let cost = SimCost::new(program);
+    let out = optimize_app(&tree, program, platform, &cost, &OptimizerOptions::default());
+    assert!(out.makespan_ns.is_finite(), "{}: infeasible", program.name);
+    for c in &out.components {
+        assert_eq!(c.solution.threads(), 1, "host execution needs 1 thread");
+    }
+    let comps: Vec<EmitComponent> = out
+        .components
+        .iter()
+        .map(|c| EmitComponent {
+            component: c.component.clone(),
+            solution: c.solution.clone(),
+        })
+        .collect();
+    let kernel = emit_prem_c(program, &comps, platform).unwrap();
+    let source = format!(
+        "{}\n{}\n{}",
+        host_harness_c(platform.spm_bytes),
+        kernel,
+        host_main_c(program)
+    );
+
+    let dir = std::env::temp_dir();
+    let base = format!("prem_exec_{}_{}", program.name, std::process::id());
+    let c_path = dir.join(format!("{base}.c"));
+    let bin_path = dir.join(&base);
+    std::fs::write(&c_path, &source).unwrap();
+    let compile = Command::new("gcc")
+        .args(["-std=c99", "-O1", "-o"])
+        .arg(&bin_path)
+        .arg(&c_path)
+        .output()
+        .unwrap();
+    assert!(
+        compile.status.success(),
+        "{}: gcc failed:\n{}",
+        program.name,
+        String::from_utf8_lossy(&compile.stderr)
+    );
+    let run = Command::new(&bin_path).output().unwrap();
+    std::fs::remove_file(&c_path).ok();
+    std::fs::remove_file(&bin_path).ok();
+    assert!(run.status.success(), "{}: binary crashed", program.name);
+
+    let mut values: HashMap<String, Vec<f64>> = HashMap::new();
+    for line in String::from_utf8_lossy(&run.stdout).lines() {
+        let mut it = line.split_whitespace();
+        let (Some(name), Some(_idx), Some(v)) = (it.next(), it.next(), it.next()) else {
+            continue;
+        };
+        values
+            .entry(name.to_string())
+            .or_default()
+            .push(v.parse::<f64>().unwrap());
+    }
+    values
+}
+
+/// Reference values via the interpreter with the same deterministic pattern.
+fn run_reference(program: &Program) -> HashMap<String, Vec<f64>> {
+    let mut store = MemStore::patterned(program);
+    run_program(program, &mut store);
+    program
+        .arrays
+        .iter()
+        .enumerate()
+        .map(|(ai, a)| (a.name.clone(), store.raw(ai).to_vec()))
+        .collect()
+}
+
+fn compare(program: &Program, platform: &Platform, tol: f64) {
+    if !gcc_available() {
+        eprintln!("gcc unavailable; skipping");
+        return;
+    }
+    let got = run_generated(program, platform);
+    let want = run_reference(program);
+    for a in &program.arrays {
+        let g = &got[&a.name];
+        let w = &want[&a.name];
+        assert_eq!(g.len(), w.len(), "{}: wrong dump length", a.name);
+        for (i, (x, y)) in g.iter().zip(w).enumerate() {
+            let scale = y.abs().max(1.0);
+            assert!(
+                (x - y).abs() <= tol * scale,
+                "{}: {}[{}] = {x}, want {y}",
+                program.name,
+                a.name,
+                i
+            );
+        }
+    }
+}
+
+/// An f64 matmul-with-init kernel exercising `swap2d_buffer` and guarded
+/// first-writes; f64 keeps the comparison exact.
+fn matmul_f64(n: i64, m: i64, k: i64) -> Program {
+    use prem::ir::{AssignKind, CmpOp, Cond, Expr, IdxExpr, ProgramBuilder};
+    let mut b = ProgramBuilder::new("matmul");
+    let a = b.array("A", vec![n, k], ElemType::F64);
+    let bb = b.array("B", vec![k, m], ElemType::F64);
+    let c = b.array("C", vec![n, m], ElemType::F64);
+    let i = b.begin_loop("i", 0, 1, n);
+    let j = b.begin_loop("j", 0, 1, m);
+    let l = b.begin_loop("l", 0, 1, k);
+    b.begin_if(Cond::atom(IdxExpr::var(l), CmpOp::Eq));
+    b.stmt(
+        c,
+        vec![IdxExpr::var(i), IdxExpr::var(j)],
+        AssignKind::Assign,
+        Expr::Const(0.0),
+    );
+    b.end_if();
+    b.stmt(
+        c,
+        vec![IdxExpr::var(i), IdxExpr::var(j)],
+        AssignKind::AddAssign,
+        Expr::mul(
+            Expr::load(a, vec![IdxExpr::var(i), IdxExpr::var(l)]),
+            Expr::load(bb, vec![IdxExpr::var(l), IdxExpr::var(j)]),
+        ),
+    );
+    b.end_loop();
+    b.end_loop();
+    b.end_loop();
+    b.finish()
+}
+
+/// An f64 kernel with a 3-D array exercising `swapnd_buffer` and a 1-D
+/// accumulator exercising `swap_buffer`.
+fn tensor_f64(n0: i64, n1: i64, n2: i64) -> Program {
+    use prem::ir::{AssignKind, CmpOp, Cond, Expr, IdxExpr, ProgramBuilder};
+    let mut b = ProgramBuilder::new("tensor");
+    let t = b.array("T", vec![n0, n1, n2], ElemType::F64);
+    let s = b.array("S", vec![n0], ElemType::F64);
+    let i = b.begin_loop("i", 0, 1, n0);
+    let j = b.begin_loop("j", 0, 1, n1);
+    let k = b.begin_loop("k", 0, 1, n2);
+    b.begin_if(Cond::atom(IdxExpr::var(j), CmpOp::Eq).and(Cond::atom(IdxExpr::var(k), CmpOp::Eq)));
+    b.stmt(s, vec![IdxExpr::var(i)], AssignKind::Assign, Expr::Const(1.0));
+    b.end_if();
+    b.stmt(
+        s,
+        vec![IdxExpr::var(i)],
+        AssignKind::AddAssign,
+        Expr::load(t, vec![IdxExpr::var(i), IdxExpr::var(j), IdxExpr::var(k)]),
+    );
+    b.end_loop();
+    b.end_loop();
+    b.end_loop();
+    b.finish()
+}
+
+#[test]
+fn generated_matmul_runs_exactly() {
+    // Small SPM forces several segments and real buffer swapping.
+    let platform = Platform::default().with_cores(1).with_spm_bytes(4 * 1024);
+    compare(&matmul_f64(24, 20, 16), &platform, 0.0);
+}
+
+#[test]
+fn generated_tensor_kernel_runs_exactly() {
+    let platform = Platform::default().with_cores(1).with_spm_bytes(2 * 1024);
+    compare(&tensor_f64(12, 6, 10), &platform, 0.0);
+}
+
+#[test]
+fn generated_cnn_runs_within_f32_tolerance() {
+    // The CNN kernel uses f32 arrays: the C side rounds inputs/outputs to
+    // float while the interpreter computes in f64 — compare with tolerance.
+    let platform = Platform::default().with_cores(1).with_spm_bytes(8 * 1024);
+    compare(
+        &prem::kernels::CnnConfig::small().build(),
+        &platform,
+        1e-4,
+    );
+}
+
+#[test]
+fn generated_rnn_runs_within_f32_tolerance() {
+    let program = prem::kernels::RnnConfig {
+        nt: 2,
+        ns: 12,
+        np: 8,
+    }
+    .build();
+    let platform = Platform::default().with_cores(1).with_spm_bytes(2 * 1024);
+    compare(&program, &platform, 1e-3);
+}
+
+#[test]
+fn pattern_matches_memstore() {
+    // The C `pattern()` must generate exactly MemStore::patterned's values.
+    let program = matmul_f64(4, 4, 4);
+    let store = MemStore::patterned(&program);
+    // Recompute in Rust the way the C code does.
+    let c_pattern = |ai: u64, i: u64| -> f64 {
+        let h = ai
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(i.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        let h = (h ^ (h >> 31)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        ((h >> 11) as f64 / 9007199254740992.0) * 2.0 - 1.0
+    };
+    for ai in 0..3usize {
+        for i in 0..16i64 {
+            let want = store.load(ai, &[i / 4, i % 4]);
+            let got = c_pattern(ai as u64, i as u64);
+            assert_eq!(got, want, "pattern mismatch at {ai},{i}");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Paper-level properties the reproduction must exhibit (Chapter 6 shapes):
+//! makespans bounded below by the ideal case, monotonicity in cores / bus
+//! speed / SPM size, heuristic-vs-greedy ordering in the memory-bound
+//! regime, and the 5 % analytic-model accuracy bound.
+
+use prem::core::{
+    build_schedule, evaluate, ideal_makespan, optimize_app, optimize_app_greedy, LoopTree,
+    OptimizerOptions, Platform,
+};
+use prem::sim::{simulate, SimCost};
+
+fn mid_cnn() -> prem::ir::Program {
+    prem::kernels::CnnConfig {
+        nn: 1,
+        nk: 32,
+        np: 28,
+        nq: 28,
+        nc: 32,
+        nr: 3,
+        ns: 3,
+    }
+    .build()
+}
+
+#[test]
+fn makespan_never_beats_ideal() {
+    for (name, program) in prem::kernels::all_small() {
+        let tree = LoopTree::build(&program).unwrap();
+        let cost = SimCost::new(&program);
+        let ideal = ideal_makespan(&tree, &cost);
+        let p1 = Platform::default().with_cores(1).with_spm_bytes(8 * 1024);
+        let out = optimize_app(&tree, &program, &p1, &cost, &OptimizerOptions::default());
+        assert!(
+            out.makespan_ns >= ideal * 0.999,
+            "{name}: 1-core makespan {} below ideal {ideal}",
+            out.makespan_ns
+        );
+    }
+}
+
+#[test]
+fn more_cores_never_hurt_much() {
+    let program = mid_cnn();
+    let tree = LoopTree::build(&program).unwrap();
+    let cost = SimCost::new(&program);
+    let opts = OptimizerOptions::default();
+    let mut prev = f64::INFINITY;
+    for cores in [1usize, 2, 4, 8] {
+        let p = Platform::default().with_cores(cores);
+        let out = optimize_app(&tree, &program, &p, &cost, &opts);
+        assert!(
+            out.makespan_ns <= prev * 1.02,
+            "{cores} cores regressed: {} vs {prev}",
+            out.makespan_ns
+        );
+        prev = out.makespan_ns;
+    }
+}
+
+#[test]
+fn faster_bus_never_hurts_much() {
+    let program = mid_cnn();
+    let tree = LoopTree::build(&program).unwrap();
+    let cost = SimCost::new(&program);
+    let opts = OptimizerOptions::default();
+    let mut prev = f64::INFINITY;
+    for exp in -4..=4 {
+        let p = Platform::default().with_bus_gbytes(2f64.powi(exp));
+        let out = optimize_app(&tree, &program, &p, &cost, &opts);
+        assert!(
+            out.makespan_ns <= prev * 1.02,
+            "bus 2^{exp} regressed: {} vs {prev}",
+            out.makespan_ns
+        );
+        prev = out.makespan_ns;
+    }
+}
+
+#[test]
+fn bigger_spm_never_hurts_much() {
+    let program = mid_cnn();
+    let tree = LoopTree::build(&program).unwrap();
+    let cost = SimCost::new(&program);
+    let opts = OptimizerOptions::default();
+    let mut prev = f64::INFINITY;
+    for shift in 13..=20 {
+        let p = Platform::default().with_spm_bytes(1 << shift);
+        let out = optimize_app(&tree, &program, &p, &cost, &opts);
+        if !out.makespan_ns.is_finite() {
+            continue; // too small to schedule at all
+        }
+        assert!(
+            out.makespan_ns <= prev * 1.02,
+            "SPM 2^{shift} regressed: {} vs {prev}",
+            out.makespan_ns
+        );
+        prev = out.makespan_ns;
+    }
+    assert!(prev.is_finite());
+}
+
+#[test]
+fn heuristic_beats_greedy_when_memory_bound() {
+    // The §6.3.1 effect: at slow bus speeds the greedy single-level tiling
+    // reloads large arrays every segment.
+    let program = prem::kernels::CnnConfig::googlenet_study().build();
+    let tree = LoopTree::build(&program).unwrap();
+    let cost = SimCost::new(&program);
+    let p = Platform::default().with_bus_gbytes(1.0 / 32.0);
+    let ours = optimize_app(&tree, &program, &p, &cost, &OptimizerOptions::default());
+    let greedy = optimize_app_greedy(&tree, &program, &p, &cost);
+    assert!(
+        ours.makespan_ns * 4.0 < greedy.makespan_ns,
+        "expected a large win: ours {} vs greedy {}",
+        ours.makespan_ns,
+        greedy.makespan_ns
+    );
+    // And the driver is data movement.
+    assert!(ours.total_bytes() * 4 < greedy.total_bytes());
+}
+
+#[test]
+fn heuristic_close_to_greedy_when_compute_bound() {
+    // §6.2: at fast bus speeds any load-balanced selection performs alike.
+    let program = prem::kernels::CnnConfig::googlenet_study().build();
+    let tree = LoopTree::build(&program).unwrap();
+    let cost = SimCost::new(&program);
+    let p = Platform::default().with_bus_gbytes(16.0);
+    let ours = optimize_app(&tree, &program, &p, &cost, &OptimizerOptions::default());
+    let greedy = optimize_app_greedy(&tree, &program, &p, &cost);
+    let ratio = greedy.makespan_ns / ours.makespan_ns;
+    assert!(
+        (0.8..1.6).contains(&ratio),
+        "compute-bound ratio should be near 1, got {ratio}"
+    );
+}
+
+#[test]
+fn analytic_model_within_five_percent_of_simulation() {
+    for (name, program) in [
+        ("cnn", mid_cnn()),
+        (
+            "lstm",
+            prem::kernels::LstmConfig {
+                nt: 4,
+                ns: 96,
+                np: 80,
+            }
+            .build(),
+        ),
+    ] {
+        let tree = LoopTree::build(&program).unwrap();
+        let cost = SimCost::new(&program);
+        for gb in [16.0, 1.0, 1.0 / 16.0] {
+            let p = Platform::default().with_bus_gbytes(gb);
+            let out = optimize_app(&tree, &program, &p, &cost, &OptimizerOptions::default());
+            for c in &out.components {
+                let model = cost.cpu.fit(&c.component);
+                let sched = build_schedule(&c.component, &c.solution, &p, &model).unwrap();
+                let predicted = evaluate(&sched).makespan_ns;
+                let sim = simulate(&sched);
+                let err = (predicted - sim.makespan_ns).abs() / sim.makespan_ns;
+                assert!(err < 0.05, "{name} @ {gb} GB/s: error {err}");
+            }
+        }
+    }
+}
+
+#[test]
+fn rnn_scales_worse_than_cnn() {
+    // §6.2: RNN's in-place state update is not parallelizable.
+    let cnn = mid_cnn();
+    let rnn = prem::kernels::RnnConfig {
+        nt: 20,
+        ns: 96,
+        np: 80,
+    }
+    .build();
+    let speedup = |program: &prem::ir::Program| {
+        let tree = LoopTree::build(program).unwrap();
+        let cost = SimCost::new(program);
+        let opts = OptimizerOptions::default();
+        let m1 = optimize_app(&tree, program, &Platform::default().with_cores(1), &cost, &opts)
+            .makespan_ns;
+        let m8 =
+            optimize_app(&tree, program, &Platform::default(), &cost, &opts).makespan_ns;
+        m1 / m8
+    };
+    let cnn_speedup = speedup(&cnn);
+    let rnn_speedup = speedup(&rnn);
+    assert!(cnn_speedup > 5.0, "cnn speedup {cnn_speedup}");
+    assert!(
+        rnn_speedup < cnn_speedup * 0.6,
+        "rnn speedup {rnn_speedup} should trail cnn {cnn_speedup}"
+    );
+}

@@ -1,0 +1,200 @@
+//! Property-based tests over randomly generated kernels: any loop nest from
+//! the generated family, compiled with any feasible solution the optimizer
+//! or a random probe produces, must execute identically to the plain
+//! interpreter through the PREM machine. Also checks polyhedral invariants.
+
+use proptest::prelude::*;
+use prem::core::{
+    build_schedule, evaluate, AnalyticCost, Component, CostProvider, LoopTree, Platform, Solution,
+};
+use prem::ir::{
+    run_program, AssignKind, CmpOp, Cond, ElemType, Expr, IdxExpr, MemStore, Program,
+    ProgramBuilder,
+};
+use prem::sim::{run_app_prem, simulate, PlannedComponent};
+
+/// A generated kernel family: 2-3 perfectly nested loops computing
+/// `out[i][j] (+)= w[i][k-ish] * inp[...]` with optional guard-initialized
+/// accumulators and optional constant offsets — affine, legal SCoPs by
+/// construction.
+#[derive(Debug, Clone)]
+struct GenKernel {
+    n1: i64,
+    n2: i64,
+    n3: i64,
+    accumulate: bool,
+    offset: i64,
+    guard_init: bool,
+}
+
+fn gen_kernel() -> impl Strategy<Value = GenKernel> {
+    (
+        2i64..12,
+        2i64..12,
+        1i64..8,
+        any::<bool>(),
+        0i64..3,
+        any::<bool>(),
+    )
+        .prop_map(|(n1, n2, n3, accumulate, offset, guard_init)| GenKernel {
+            n1,
+            n2,
+            n3,
+            accumulate,
+            offset,
+            guard_init,
+        })
+}
+
+fn build(k: &GenKernel) -> Program {
+    let mut b = ProgramBuilder::new("gen");
+    let out = b.array("out", vec![k.n1, k.n2], ElemType::F32);
+    let w = b.array("w", vec![k.n1, k.n3], ElemType::F32);
+    let inp = b.array("inp", vec![k.n3, k.n2 + k.offset], ElemType::F32);
+    let i = b.begin_loop("i", 0, 1, k.n1);
+    let j = b.begin_loop("j", 0, 1, k.n2);
+    let l3 = b.begin_loop("l3", 0, 1, k.n3);
+    if k.guard_init {
+        b.begin_if(Cond::atom(IdxExpr::var(l3), CmpOp::Eq));
+        b.stmt(
+            out,
+            vec![IdxExpr::var(i), IdxExpr::var(j)],
+            AssignKind::Assign,
+            Expr::Const(0.5),
+        );
+        b.end_if();
+    }
+    b.stmt(
+        out,
+        vec![IdxExpr::var(i), IdxExpr::var(j)],
+        if k.accumulate {
+            AssignKind::AddAssign
+        } else {
+            AssignKind::Assign
+        },
+        Expr::mul(
+            Expr::load(w, vec![IdxExpr::var(i), IdxExpr::var(l3)]),
+            Expr::load(
+                inp,
+                vec![IdxExpr::var(l3), IdxExpr::var(j).plus_const(k.offset)],
+            ),
+        ),
+    );
+    b.end_loop();
+    b.end_loop();
+    b.end_loop();
+    b.finish()
+}
+
+/// Extracts the maximal tilable chain of the generated kernels (single-root,
+/// perfectly nested by construction).
+fn chain_component(tree: &LoopTree, program: &Program) -> Component {
+    let mut chain = Vec::new();
+    let mut node = &tree.roots[0];
+    loop {
+        chain.push(node);
+        match node.children.first() {
+            Some(c) if node.children.len() == 1 && c.tilable => node = c,
+            _ => break,
+        }
+    }
+    Component::extract(tree, program, &chain)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prem_execution_matches_interpreter(k in gen_kernel(), k1 in 1i64..6, k2 in 1i64..6, cores in 1usize..5) {
+        let program = build(&k);
+        let tree = LoopTree::build(&program).unwrap();
+        let comp = chain_component(&tree, &program);
+        // Random-but-clamped solution over the component's levels.
+        let depth = comp.depth();
+        let mut sol = Solution {
+            k: comp.levels.iter().map(|l| l.count).collect(),
+            r: vec![1; depth],
+        };
+        sol.k[0] = k1.min(comp.levels[0].count);
+        if depth > 1 {
+            sol.k[1] = k2.min(comp.levels[1].count);
+        }
+        if comp.levels[0].parallel {
+            sol.r[0] = (cores as i64).min(comp.levels[0].count);
+        }
+        let platform = Platform::default().with_cores(cores.max(sol.r[0] as usize)).with_spm_bytes(1 << 20);
+        let cost = AnalyticCost::new(&program);
+        let model = cost.exec_model(&comp);
+        // Any solution the builder accepts must be functionally correct.
+        if build_schedule(&comp, &sol, &platform, &model).is_ok() {
+            let planned = vec![PlannedComponent { component: comp, solution: sol }];
+            let mut reference = MemStore::patterned(&program);
+            run_program(&program, &mut reference);
+            let mut prem_mem = MemStore::patterned(&program);
+            run_app_prem(&program, &planned, &platform, &mut prem_mem).unwrap();
+            prop_assert!(reference.max_abs_diff(&prem_mem) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn analytic_recurrence_matches_explicit_dag(k in gen_kernel(), k1 in 1i64..6) {
+        let program = build(&k);
+        let tree = LoopTree::build(&program).unwrap();
+        let comp = chain_component(&tree, &program);
+        let mut sol = Solution {
+            k: comp.levels.iter().map(|l| l.count).collect(),
+            r: vec![1; comp.depth()],
+        };
+        sol.k[0] = k1.min(comp.levels[0].count);
+        let platform = Platform::default().with_cores(2).with_spm_bytes(1 << 20);
+        let cost = AnalyticCost::new(&program);
+        let model = cost.exec_model(&comp);
+        if let Ok(sched) = build_schedule(&comp, &sol, &platform, &model) {
+            let recurrence = evaluate(&sched).makespan_ns;
+            let dag = prem::core::build_dag(&sched).longest_path_ns();
+            prop_assert!((recurrence - dag).abs() <= 1e-6 * recurrence.max(1.0),
+                "recurrence {recurrence} vs DAG {dag}");
+            // The event-driven simulator may only be faster (it skips
+            // blocked DMA slots).
+            let sim = simulate(&sched).makespan_ns;
+            prop_assert!(sim <= recurrence * (1.0 + 1e-9), "sim {sim} > model {recurrence}");
+        }
+    }
+
+    #[test]
+    fn dependence_distances_respect_actual_conflicts(n1 in 2i64..10, n2 in 2i64..10, shift in 1i64..3) {
+        // a[i] = a[i - shift] scan: flow distance must be exactly `shift`.
+        let mut b = ProgramBuilder::new("scan");
+        let a = b.array("a", vec![n1 * n2 + shift], ElemType::F32);
+        let i = b.begin_loop("i", shift, 1, n1 * n2);
+        b.stmt(a, vec![IdxExpr::var(i)], AssignKind::Assign,
+               Expr::load(a, vec![IdxExpr::var(i).plus_const(-shift)]));
+        b.end_loop();
+        let program = b.finish();
+        let stmts = prem::ir::lower(&program).unwrap();
+        let deps = prem::polyhedral::analyze_dependences(&stmts);
+        let flow: Vec<_> = deps.iter().filter(|d| d.kind == prem::polyhedral::DepKind::Flow).collect();
+        prop_assert!(!flow.is_empty());
+        for d in flow {
+            prop_assert_eq!(d.dist_at(0), prem::polyhedral::Interval::point(shift));
+        }
+    }
+
+    #[test]
+    fn interval_arithmetic_is_exact_for_affine(c0 in -5i64..5, c1 in -5i64..5, n0 in 1i64..9, n1 in 1i64..9, konst in -10i64..10) {
+        use prem::polyhedral::{AffExpr, Interval};
+        let e = AffExpr::from_parts(vec![c0, c1], konst);
+        let b = [Interval::new(0, n0 - 1), Interval::new(0, n1 - 1)];
+        let bounds = e.bounds(&b);
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for x in 0..n0 {
+            for y in 0..n1 {
+                let v = e.eval(&[x, y]);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        prop_assert_eq!(bounds, Interval::new(lo, hi));
+    }
+}
