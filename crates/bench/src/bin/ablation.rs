@@ -5,15 +5,17 @@
 //! * the non-dominated filter on thread-group assignments;
 //! * the two-level SPM prototype of Chapter 7.
 //!
-//! Usage: `cargo run -p prem-bench --release --bin ablation`
+//! Usage: `cargo run -p prem-bench --release --bin ablation [--quick|--smoke]`
 
+use prem_bench::{new_report, write_report, RunMode};
 use prem_core::{
     build_schedule, evaluate_two_level, nondominated_thread_groups, optimize_component, Component,
     CostProvider, LoopTree, OptimizerOptions, Platform, TwoLevelConfig,
 };
+use prem_obs::Json;
 use prem_sim::SimCost;
 
-fn chain<'a>(tree: &'a LoopTree) -> Vec<&'a prem_core::LoopTreeNode> {
+fn chain(tree: &LoopTree) -> Vec<&prem_core::LoopTreeNode> {
     let mut chain = Vec::new();
     let mut node = &tree.roots[0];
     loop {
@@ -27,7 +29,12 @@ fn chain<'a>(tree: &'a LoopTree) -> Vec<&'a prem_core::LoopTreeNode> {
 }
 
 fn main() {
-    let cfg = prem_kernels::CnnConfig::googlenet_study();
+    let mode = RunMode::from_args();
+    let cfg = if mode == RunMode::Smoke {
+        prem_kernels::CnnConfig::small()
+    } else {
+        prem_kernels::CnnConfig::googlenet_study()
+    };
     let program = cfg.build();
     let tree = LoopTree::build(&program).expect("lowers");
     let comp = Component::extract(&tree, &program, &chain(&tree));
@@ -38,24 +45,43 @@ fn main() {
     println!("Ablations on the CNN study component @ 1/32 GB/s\n");
 
     println!("1) coordinate-descent sweeps (paper: max_iter = 3)");
-    println!("{:>9} {:>14} {:>8} {:>9}", "max_iter", "makespan ns", "evals", "time s");
-    for max_iter in [1usize, 2, 3, 5] {
+    println!(
+        "{:>9} {:>14} {:>8} {:>9}",
+        "max_iter", "makespan ns", "evals", "time s"
+    );
+    let sweeps: &[usize] = if mode.reduced() {
+        &[1, 3]
+    } else {
+        &[1, 2, 3, 5]
+    };
+    let mut sweep_points = Vec::new();
+    for &max_iter in sweeps {
         let t0 = std::time::Instant::now();
         let opts = OptimizerOptions {
             max_iter,
             ..OptimizerOptions::default()
         };
         let r = optimize_component(&comp, &platform, &model, &opts).expect("feasible");
+        let wall_s = t0.elapsed().as_secs_f64();
         println!(
             "{max_iter:>9} {:>14.5e} {:>8} {:>9.2}",
-            r.result.makespan_ns,
-            r.evals,
-            t0.elapsed().as_secs_f64()
+            r.result.makespan_ns, r.evals, wall_s
         );
+        sweep_points.push(Json::obj([
+            ("max_iter".to_string(), Json::from(max_iter)),
+            ("makespan_ns".to_string(), Json::from(r.result.makespan_ns)),
+            ("evals".to_string(), Json::from(r.evals)),
+            ("cache_hits".to_string(), Json::from(r.telemetry.cache_hits)),
+            ("wall_s".to_string(), Json::from(wall_s)),
+        ]));
     }
 
     println!("\n2) find_minimum: ternary (convex assumption, §4.3) vs full scan");
-    println!("{:>9} {:>14} {:>8} {:>9}", "mode", "makespan ns", "evals", "time s");
+    println!(
+        "{:>9} {:>14} {:>8} {:>9}",
+        "mode", "makespan ns", "evals", "time s"
+    );
+    let mut search_points = Vec::new();
     for convex in [true, false] {
         let t0 = std::time::Instant::now();
         let opts = OptimizerOptions {
@@ -63,13 +89,23 @@ fn main() {
             ..OptimizerOptions::default()
         };
         let r = optimize_component(&comp, &platform, &model, &opts).expect("feasible");
+        let wall_s = t0.elapsed().as_secs_f64();
         println!(
             "{:>9} {:>14.5e} {:>8} {:>9.2}",
             if convex { "ternary" } else { "scan" },
             r.result.makespan_ns,
             r.evals,
-            t0.elapsed().as_secs_f64()
+            wall_s
         );
+        search_points.push(Json::obj([
+            (
+                "mode".to_string(),
+                Json::from(if convex { "ternary" } else { "scan" }),
+            ),
+            ("makespan_ns".to_string(), Json::from(r.result.makespan_ns)),
+            ("evals".to_string(), Json::from(r.evals)),
+            ("wall_s".to_string(), Json::from(wall_s)),
+        ]));
     }
 
     println!("\n3) thread-group assignment space (non-dominated filter, §4.3)");
@@ -97,19 +133,50 @@ fn main() {
         .expect("feasible");
     let sched = build_schedule(&comp, &best.solution, &platform, &model).expect("feasible");
     let single = prem_core::evaluate(&sched).makespan_ns;
-    for l2_mb in [1i64, 2, 8] {
+    let l2_sizes: &[i64] = if mode.reduced() { &[1] } else { &[1, 2, 8] };
+    let mut two_level_points = Vec::new();
+    for &l2_mb in l2_sizes {
         let cfg2 = TwoLevelConfig {
             l2_bytes: l2_mb << 20,
             ..TwoLevelConfig::default()
         };
-        match evaluate_two_level(&sched, &platform, &cfg2) {
-            Some(two) => println!(
-                "   L2 = {l2_mb} MiB: {:.5e} ns ({:.2}x vs single-level {:.5e})",
-                two.makespan_ns,
-                single / two.makespan_ns,
-                single
-            ),
-            None => println!("   L2 = {l2_mb} MiB: segment working set exceeds a partition"),
-        }
+        let makespan = match evaluate_two_level(&sched, &platform, &cfg2) {
+            Some(two) => {
+                println!(
+                    "   L2 = {l2_mb} MiB: {:.5e} ns ({:.2}x vs single-level {:.5e})",
+                    two.makespan_ns,
+                    single / two.makespan_ns,
+                    single
+                );
+                Json::from(two.makespan_ns)
+            }
+            None => {
+                println!("   L2 = {l2_mb} MiB: segment working set exceeds a partition");
+                Json::Null
+            }
+        };
+        two_level_points.push(Json::obj([
+            ("l2_mib".to_string(), Json::from(l2_mb)),
+            ("makespan_ns".to_string(), makespan),
+        ]));
     }
+
+    let mut report = new_report("ablation", mode);
+    report
+        .set(
+            "config",
+            Json::obj([
+                ("kernel".to_string(), Json::from("cnn")),
+                ("bus_gbytes".to_string(), Json::from(1.0 / 32.0)),
+            ]),
+        )
+        .set("max_iter_sweep", Json::Arr(sweep_points))
+        .set("find_minimum", Json::Arr(search_points))
+        .set("assignments_all", all)
+        .set("assignments_nondominated", nd.len())
+        .set("two_level", Json::Arr(two_level_points))
+        .set("makespan_ns", best.result.makespan_ns)
+        .set("evals", best.evals)
+        .set("cache_hits", best.telemetry.cache_hits);
+    write_report(&report);
 }

@@ -5,15 +5,19 @@
 //!
 //! Also reports the maximum API-call overhead share (§6.2 states 4.37 %).
 //!
-//! Usage: `cargo run -p prem-bench --release --bin fig6_1 [--quick]`
+//! Usage: `cargo run -p prem-bench --release --bin fig6_1 [--quick|--smoke]`
 
-use prem_bench::{fig61_bus_speeds, ideal, large_suite, parallel_map, run_point, write_csv, Strategy};
+use prem_bench::{
+    fig61_bus_speeds, ideal, new_report, parallel_map, run_pairs, run_point, suite, write_csv,
+    write_report, RunMode, Strategy,
+};
 use prem_core::Platform;
+use prem_obs::Json;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let suite = large_suite();
-    let speeds = if quick {
+    let mode = RunMode::from_args();
+    let suite = suite(mode);
+    let speeds = if mode.reduced() {
         vec![1.0 / 16.0, 1.0, 16.0]
     } else {
         fig61_bus_speeds()
@@ -23,14 +27,17 @@ fn main() {
         .unwrap_or(4);
 
     println!("Figure 6.1 — normalized makespan (log10 scale like the paper's y-axis)");
-    println!("{:<8} {:>9} | {:>12} {:>12} {:>12} | {:>7}", "kernel", "GB/s", "ours-1core", "ours-8core", "greedy-8c", "api%");
+    println!(
+        "{:<8} {:>9} | {:>12} {:>12} {:>12} | {:>7}",
+        "kernel", "GB/s", "ours-1core", "ours-8core", "greedy-8c", "api%"
+    );
     let mut rows = Vec::new();
+    let mut points = Vec::new();
     let mut max_api_share = 0.0f64;
 
     for bench in &suite {
         let base = ideal(bench);
-        let points: Vec<f64> = speeds.clone();
-        let results = parallel_map(points, threads, |&gb| {
+        let results = parallel_map(speeds.clone(), threads, |&gb| {
             let p1 = Platform::default().with_cores(1).with_bus_gbytes(gb);
             let p8 = Platform::default().with_bus_gbytes(gb);
             let ours1 = run_point(bench, &p1, Strategy::Heuristic);
@@ -65,11 +72,23 @@ fn main() {
                 "{},{gb},{n1},{n8},{ng},{},{},{}",
                 bench.name, ours1.seconds, ours8.seconds, greedy.seconds
             ));
+            let mut pairs = vec![
+                ("kernel".to_string(), Json::from(bench.name)),
+                ("bus_gbytes".to_string(), Json::from(gb)),
+                ("norm_ours1".to_string(), Json::from(n1)),
+                ("norm_greedy8".to_string(), Json::from(ng)),
+                ("api_share".to_string(), Json::from(api_share)),
+            ];
+            pairs.extend(run_pairs(&ours8));
+            points.push(Json::obj(pairs));
         }
         println!();
     }
 
-    println!("max API overhead share: {:.2}% (paper: ≤ 4.37%)", max_api_share * 100.0);
+    println!(
+        "max API overhead share: {:.2}% (paper: ≤ 4.37%)",
+        max_api_share * 100.0
+    );
     let path = write_csv(
         "fig6_1.csv",
         "kernel,bus_gbytes,ours1,ours8,greedy8,t_ours1_s,t_ours8_s,t_greedy_s",
@@ -77,4 +96,13 @@ fn main() {
     )
     .expect("write csv");
     println!("wrote {}", path.display());
+    let mut report = new_report("fig6_1", mode);
+    report
+        .set(
+            "config",
+            Json::obj([("speeds_gbytes".to_string(), Json::from(speeds.clone()))]),
+        )
+        .set("max_api_share", max_api_share)
+        .set("points", Json::Arr(points));
+    write_report(&report);
 }

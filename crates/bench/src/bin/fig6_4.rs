@@ -1,26 +1,31 @@
 //! Figure 6.4 — Makespan vs SPM size for the PolyBench-NN kernels, with the
 //! infinite-SPM makespan as the reference line.
 //!
-//! Usage: `cargo run -p prem-bench --release --bin fig6_4 [--quick]`
+//! Usage: `cargo run -p prem-bench --release --bin fig6_4 [--quick|--smoke]`
 
-use prem_bench::{large_suite, parallel_map, run_point, write_csv, Strategy};
+use prem_bench::{
+    new_report, parallel_map, run_pairs, run_point, suite, write_csv, write_report, RunMode,
+    Strategy,
+};
 use prem_core::Platform;
+use prem_obs::Json;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mode = RunMode::from_args();
     // log2(SPM bytes) sweep: 16 KiB … 4 MiB (plus "infinite" = 1 GiB).
-    let sizes: Vec<i64> = if quick {
+    let sizes: Vec<i64> = if mode.reduced() {
         vec![1 << 15, 1 << 17, 1 << 20]
     } else {
         (14..=22).map(|e| 1i64 << e).collect()
     };
-    let suite = large_suite();
+    let suite = suite(mode);
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
 
     println!("Figure 6.4 — makespan (ns) vs per-core SPM size, 8 cores, default 16 GB/s bus");
     let mut rows = Vec::new();
+    let mut points = Vec::new();
     for bench in &suite {
         let infinite = run_point(
             bench,
@@ -33,24 +38,51 @@ fn main() {
         );
         let results = parallel_map(sizes.clone(), threads, |&spm| {
             let p = Platform::default().with_spm_bytes(spm);
-            let r = run_point(bench, &p, Strategy::Heuristic);
-            (spm, r.outcome.makespan_ns)
+            (spm, run_point(bench, &p, Strategy::Heuristic))
         });
-        for (spm, makespan) in results {
+        for (spm, run) in &results {
+            let makespan = run.outcome.makespan_ns;
             let status = if makespan.is_finite() {
                 format!("{makespan:.4e}")
             } else {
                 "infeasible".to_string()
             };
-            println!("  log2(SPM)={:<3} ({:>8} B): {status}", (spm as f64).log2() as i64, spm);
+            println!(
+                "  log2(SPM)={:<3} ({:>8} B): {status}",
+                (*spm as f64).log2() as i64,
+                spm
+            );
             rows.push(format!("{},{spm},{makespan}", bench.name));
+            let mut pairs = vec![
+                ("kernel".to_string(), Json::from(bench.name)),
+                ("spm_bytes".to_string(), Json::from(*spm)),
+            ];
+            pairs.extend(run_pairs(run));
+            points.push(Json::obj(pairs));
         }
         rows.push(format!(
             "{},inf,{}",
             bench.name, infinite.outcome.makespan_ns
         ));
+        let mut pairs = vec![
+            ("kernel".to_string(), Json::from(bench.name)),
+            ("spm_bytes".to_string(), Json::from("inf")),
+        ];
+        pairs.extend(run_pairs(&infinite));
+        points.push(Json::obj(pairs));
         println!();
     }
     let path = write_csv("fig6_4.csv", "kernel,spm_bytes,makespan_ns", &rows).expect("write csv");
     println!("wrote {}", path.display());
+    let mut report = new_report("fig6_4", mode);
+    report
+        .set(
+            "config",
+            Json::obj([(
+                "spm_bytes".to_string(),
+                Json::Arr(sizes.iter().map(|&s| Json::from(s)).collect()),
+            )]),
+        )
+        .set("points", Json::Arr(points));
+    write_report(&report);
 }

@@ -2,22 +2,30 @@
 //! 5 % of the discrete-event machine simulation for every kernel and several
 //! bus speeds (the paper verified the same bound against gem5).
 //!
-//! Usage: `cargo run -p prem-bench --release --bin model_accuracy`
+//! Usage: `cargo run -p prem-bench --release --bin model_accuracy [--quick|--smoke]`
 
-use prem_bench::{large_suite, run_point, Strategy};
+use prem_bench::{new_report, run_point, suite, write_report, RunMode, Strategy};
 use prem_core::{build_schedule, evaluate, Platform};
+use prem_obs::Json;
 use prem_sim::simulate;
 
 fn main() {
-    let suite = large_suite();
+    let mode = RunMode::from_args();
+    let suite = suite(mode);
+    let speeds: &[f64] = if mode.reduced() {
+        &[16.0, 1.0 / 16.0]
+    } else {
+        &[16.0, 1.0, 1.0 / 16.0]
+    };
     let mut worst: f64 = 0.0;
+    let mut points = Vec::new();
     println!("§6.1 — analytic model vs discrete-event simulation");
     println!(
         "{:<9} {:>9} {:<14} {:>14} {:>14} {:>8}",
         "kernel", "GB/s", "component", "predicted ns", "simulated ns", "err"
     );
     for bench in &suite {
-        for gb in [16.0, 1.0, 1.0 / 16.0] {
+        for &gb in speeds {
             let p = Platform::default().with_bus_gbytes(gb);
             let run = run_point(bench, &p, Strategy::Heuristic);
             for c in &run.outcome.components {
@@ -37,9 +45,30 @@ fn main() {
                     sim.makespan_ns,
                     err * 100.0
                 );
+                points.push(Json::obj([
+                    ("kernel".to_string(), Json::from(bench.name)),
+                    ("bus_gbytes".to_string(), Json::from(gb)),
+                    ("component".to_string(), Json::from(c.level_names.join(","))),
+                    ("predicted_ns".to_string(), Json::from(predicted)),
+                    ("simulated_ns".to_string(), Json::from(sim.makespan_ns)),
+                    ("rel_err".to_string(), Json::from(err)),
+                ]));
             }
         }
     }
-    println!("\nworst relative error: {:.2}% (paper bound: 5%)", worst * 100.0);
+    println!(
+        "\nworst relative error: {:.2}% (paper bound: 5%)",
+        worst * 100.0
+    );
+    let mut report = new_report("model_accuracy", mode);
+    report
+        .set(
+            "config",
+            Json::obj([("speeds_gbytes".to_string(), Json::from(speeds.to_vec()))]),
+        )
+        .set("worst_rel_err", worst)
+        .set("bound", 0.05)
+        .set("points", Json::Arr(points));
+    write_report(&report);
     assert!(worst < 0.05, "model accuracy bound violated");
 }

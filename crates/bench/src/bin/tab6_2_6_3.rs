@@ -2,15 +2,19 @@
 //! the Figure 6.1 sweep with the optimization heuristic (6.2) and with the
 //! greedy approach (6.3).
 //!
-//! Usage: `cargo run -p prem-bench --release --bin tab6_2_6_3 [--quick]`
+//! Usage: `cargo run -p prem-bench --release --bin tab6_2_6_3 [--quick|--smoke]`
 
-use prem_bench::{fig61_bus_speeds, large_suite, parallel_map, run_point, write_csv, Strategy};
+use prem_bench::{
+    fig61_bus_speeds, new_report, parallel_map, run_pairs, run_point, suite, write_csv,
+    write_report, RunMode, Strategy,
+};
 use prem_core::Platform;
+use prem_obs::Json;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let suite = large_suite();
-    let speeds = if quick {
+    let mode = RunMode::from_args();
+    let suite = suite(mode);
+    let speeds = if mode.reduced() {
         vec![1.0 / 16.0, 1.0, 16.0]
     } else {
         fig61_bus_speeds()
@@ -20,28 +24,62 @@ fn main() {
         .unwrap_or(4);
 
     let mut rows = Vec::new();
+    let mut summary = Vec::new();
+    let mut points = Vec::new();
     for strategy in [Strategy::Heuristic, Strategy::Greedy] {
         let label = match strategy {
             Strategy::Heuristic => "Figure 6.2 — Optimization Heuristic runtime",
             Strategy::Greedy => "Figure 6.3 — Greedy Approach runtime",
         };
         println!("{label}");
-        println!("{:<10} {:>12} {:>12} {:>12}", "kernel", "min (s)", "max (s)", "avg (s)");
+        println!(
+            "{:<10} {:>12} {:>12} {:>12}",
+            "kernel", "min (s)", "max (s)", "avg (s)"
+        );
         for bench in &suite {
-            let times = parallel_map(speeds.clone(), threads, |&gb| {
+            let runs = parallel_map(speeds.clone(), threads, |&gb| {
                 let p8 = Platform::default().with_bus_gbytes(gb);
-                run_point(bench, &p8, strategy).seconds
+                run_point(bench, &p8, strategy)
             });
+            let times: Vec<f64> = runs.iter().map(|r| r.seconds).collect();
             let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
             let max = times.iter().cloned().fold(0.0, f64::max);
             let avg = times.iter().sum::<f64>() / times.len() as f64;
-            println!("{:<10} {:>12.3} {:>12.3} {:>12.3}", bench.name, min, max, avg);
+            println!(
+                "{:<10} {:>12.3} {:>12.3} {:>12.3}",
+                bench.name, min, max, avg
+            );
             rows.push(format!("{:?},{},{min},{max},{avg}", strategy, bench.name));
+            summary.push(Json::obj([
+                ("strategy".to_string(), Json::from(format!("{strategy:?}"))),
+                ("kernel".to_string(), Json::from(bench.name)),
+                ("min_s".to_string(), Json::from(min)),
+                ("max_s".to_string(), Json::from(max)),
+                ("avg_s".to_string(), Json::from(avg)),
+            ]));
+            for (gb, run) in speeds.iter().zip(&runs) {
+                let mut pairs = vec![
+                    ("strategy".to_string(), Json::from(format!("{strategy:?}"))),
+                    ("kernel".to_string(), Json::from(bench.name)),
+                    ("bus_gbytes".to_string(), Json::from(*gb)),
+                ];
+                pairs.extend(run_pairs(run));
+                points.push(Json::obj(pairs));
+            }
         }
         println!();
     }
-    let path = write_csv("tab6_2_6_3.csv", "strategy,kernel,min_s,max_s,avg_s", &rows)
-        .expect("write csv");
+    let path =
+        write_csv("tab6_2_6_3.csv", "strategy,kernel,min_s,max_s,avg_s", &rows).expect("write csv");
     println!("wrote {}", path.display());
+    let mut report = new_report("tab6_2_6_3", mode);
+    report
+        .set(
+            "config",
+            Json::obj([("speeds_gbytes".to_string(), Json::from(speeds.clone()))]),
+        )
+        .set("rows", Json::Arr(summary))
+        .set("points", Json::Arr(points));
+    write_report(&report);
     println!("(paper, Xeon 3.5 GHz + single-process Python: heuristic minutes, greedy ≤ 0.6 s)");
 }

@@ -4,12 +4,56 @@
 #![warn(missing_docs)]
 
 use prem_core::{
-    ideal_makespan, optimize_app, optimize_app_greedy, AppOutcome, LoopTree, OptimizerOptions,
-    Platform,
+    ideal_makespan, optimize_app_greedy, optimize_app_timed, AppOutcome, LoopTree,
+    OptimizerOptions, Platform,
 };
 use prem_ir::Program;
+use prem_obs::{Json, PhaseTimings, RunReport, Stopwatch};
 use prem_sim::SimCost;
 use std::time::Instant;
+
+/// Problem-size / sweep-size selector shared by every bench binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// The paper-scale experiment (no flag).
+    Full,
+    /// `--quick`: paper-size kernels over a reduced sweep.
+    Quick,
+    /// `--smoke`: small kernels and a minimal sweep — fast enough for a
+    /// debug-build integration test of the binary.
+    Smoke,
+}
+
+impl RunMode {
+    /// Parses `--quick` / `--smoke` from the process arguments
+    /// (`--smoke` wins when both are present).
+    pub fn from_args() -> RunMode {
+        let mut mode = RunMode::Full;
+        for a in std::env::args() {
+            if a == "--smoke" {
+                return RunMode::Smoke;
+            }
+            if a == "--quick" {
+                mode = RunMode::Quick;
+            }
+        }
+        mode
+    }
+
+    /// Lower-case name, as stamped into run reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunMode::Full => "full",
+            RunMode::Quick => "quick",
+            RunMode::Smoke => "smoke",
+        }
+    }
+
+    /// True when sweeps should be cut down (`--quick` or `--smoke`).
+    pub fn reduced(self) -> bool {
+        self != RunMode::Full
+    }
+}
 
 /// The five PolyBench-NN kernels with their analysis artifacts.
 pub struct Bench {
@@ -21,23 +65,40 @@ pub struct Bench {
     pub tree: LoopTree,
     /// The profiled-and-fitted cost provider (gem5-substitute workflow).
     pub cost: SimCost,
+    /// Wall-clock seconds spent building the loop tree (the `analysis`
+    /// phase of the compile pipeline; merged into each run's timings).
+    pub analysis_s: f64,
 }
 
-/// Builds the LARGE-size suite of Figure 6.1.
-pub fn large_suite() -> Vec<Bench> {
-    prem_kernels::all_large()
+/// Builds the PolyBench-NN suite: LARGE sizes (Figure 6.1) normally, the
+/// small test sizes under [`RunMode::Smoke`].
+pub fn suite(mode: RunMode) -> Vec<Bench> {
+    let kernels = if mode == RunMode::Smoke {
+        prem_kernels::all_small()
+    } else {
+        prem_kernels::all_large()
+    };
+    kernels
         .into_iter()
         .map(|(name, program)| {
+            let mut sw = Stopwatch::start();
             let tree = LoopTree::build(&program).expect("kernels lower");
+            let analysis_s = sw.lap();
             let cost = SimCost::new(&program);
             Bench {
                 name,
                 program,
                 tree,
                 cost,
+                analysis_s,
             }
         })
         .collect()
+}
+
+/// Builds the LARGE-size suite of Figure 6.1.
+pub fn large_suite() -> Vec<Bench> {
+    suite(RunMode::Full)
 }
 
 /// One optimization run with its wall-clock time.
@@ -46,6 +107,10 @@ pub struct TimedRun {
     pub outcome: AppOutcome,
     /// Wall-clock seconds the optimizer took.
     pub seconds: f64,
+    /// Per-phase wall-clock: `analysis`, `component_extraction`,
+    /// `tiling_search`, `schedule_build` (heuristic runs only for the
+    /// latter three).
+    pub phases: PhaseTimings,
 }
 
 /// Scheduling strategy selector.
@@ -60,19 +125,26 @@ pub enum Strategy {
 /// Runs one (kernel, platform, strategy) point.
 pub fn run_point(bench: &Bench, platform: &Platform, strategy: Strategy) -> TimedRun {
     let t0 = Instant::now();
+    let mut phases = PhaseTimings::new();
+    phases.add("analysis", bench.analysis_s);
     let outcome = match strategy {
-        Strategy::Heuristic => optimize_app(
-            &bench.tree,
-            &bench.program,
-            platform,
-            &bench.cost,
-            &OptimizerOptions::default(),
-        ),
+        Strategy::Heuristic => {
+            let (outcome, solve) = optimize_app_timed(
+                &bench.tree,
+                &bench.program,
+                platform,
+                &bench.cost,
+                &OptimizerOptions::default(),
+            );
+            phases.absorb(&solve);
+            outcome
+        }
         Strategy::Greedy => optimize_app_greedy(&bench.tree, &bench.program, platform, &bench.cost),
     };
     TimedRun {
         outcome,
         seconds: t0.elapsed().as_secs_f64(),
+        phases,
     }
 }
 
@@ -113,14 +185,52 @@ where
     results.into_iter().map(|r| r.expect("computed")).collect()
 }
 
-/// Writes a CSV file under `results/`, creating the directory.
+/// The output directory for CSVs and run reports: `$PREM_RESULTS_DIR` when
+/// set (the smoke test isolates itself this way), else `results/`.
+pub fn results_dir() -> std::path::PathBuf {
+    std::env::var_os("PREM_RESULTS_DIR")
+        .map(Into::into)
+        .unwrap_or_else(|| "results".into())
+}
+
+/// Key/value pairs summarizing one timed run — makespan, search counters
+/// and per-phase wall-clock. Splice into a `Json::obj` alongside the
+/// point-specific context keys (kernel, bus speed, …).
+pub fn run_pairs(run: &TimedRun) -> Vec<(String, Json)> {
+    let t = run.outcome.search_totals();
+    vec![
+        ("makespan_ns".into(), run.outcome.makespan_ns.into()),
+        ("wall_s".into(), run.seconds.into()),
+        ("evals".into(), t.evals.into()),
+        ("cache_hits".into(), t.cache_hits.into()),
+        ("cache_hit_rate".into(), t.cache_hit_rate().into()),
+        ("phases".into(), run.phases.to_json()),
+    ]
+}
+
+/// Starts a machine-readable run report for binary `bin`, stamped with the
+/// run mode.
+pub fn new_report(bin: &str, mode: RunMode) -> RunReport {
+    let mut r = RunReport::new(bin);
+    r.set("mode", mode.as_str());
+    r
+}
+
+/// Writes `report` into [`results_dir`] and prints the path.
+pub fn write_report(report: &RunReport) -> std::path::PathBuf {
+    let path = report.write_dir(&results_dir()).expect("write report");
+    println!("wrote {}", path.display());
+    path
+}
+
+/// Writes a CSV file under [`results_dir`], creating the directory.
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors.
 pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<std::path::PathBuf> {
-    let dir = std::path::Path::new("results");
-    std::fs::create_dir_all(dir)?;
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
     let path = dir.join(name);
     let mut text = String::from(header);
     text.push('\n');

@@ -154,7 +154,13 @@ fn emit_prem_nodes(
 
 /// Lower bound of the canonical range of one array dimension, as a C
 /// expression over the tiled-loop variables and outer loop variables.
-fn range_lo_expr(program: &Program, comp: &Component, arr: &ArrayUse, dim: usize, k: &[i64]) -> String {
+fn range_lo_expr(
+    program: &Program,
+    comp: &Component,
+    arr: &ArrayUse,
+    dim: usize,
+    k: &[i64],
+) -> String {
     let exprs: Vec<String> = arr.contribs[dim]
         .iter()
         .map(|c| {
@@ -211,9 +217,9 @@ fn emit_component(
     let prefix = names.join("_");
     let threads = sol.threads() as usize;
 
-    // Recompute per-core swap lists (segment index, range).
-    let mut swap_lists: Vec<Vec<Vec<(usize, Vec<Interval>)>>> =
-        vec![vec![Vec::new(); comp.arrays.len()]; threads];
+    // Recompute per-core swap lists (segment index, range), per array.
+    type SwapList = Vec<(usize, Vec<Interval>)>;
+    let mut swap_lists: Vec<Vec<SwapList>> = vec![vec![Vec::new(); comp.arrays.len()]; threads];
     let mut bboxes: Vec<Vec<i64>> = comp.arrays.iter().map(|a| vec![1; a.dims.len()]).collect();
     for (core, lists) in swap_lists.iter_mut().enumerate() {
         let mut seg = 0usize;
@@ -325,10 +331,7 @@ fn emit_component(
     }
     for (ai, arr) in comp.arrays.iter().enumerate() {
         let elem = program.array(arr.array).elem.c_name();
-        let inner: String = bboxes[ai][1..]
-            .iter()
-            .map(|d| format!("[{d}]"))
-            .collect();
+        let inner: String = bboxes[ai][1..].iter().map(|d| format!("[{d}]")).collect();
         for part in 1..=2 {
             out.push_str(&format!(
                 "{pad1}{elem} (*{a}_buf{part}){inner} = ({elem} (*){inner})(__spm_part{part} + {spm_off});\n",
@@ -362,7 +365,15 @@ fn emit_component(
     for (ai, arr) in comp.arrays.iter().enumerate() {
         let guard = format!("1 < {}_nswap[threadID()]", arr.name);
         out.push_str(&format!("{pad1}if ({guard}) {{\n"));
-        emit_swap_call(program, arr, &bboxes[ai], "1", "2", &format!("{pad1}    "), out);
+        emit_swap_call(
+            program,
+            arr,
+            &bboxes[ai],
+            "1",
+            "2",
+            &format!("{pad1}    "),
+            out,
+        );
         out.push_str(&format!("{pad1}}}\n"));
     }
     for arr in &comp.arrays {
@@ -407,7 +418,10 @@ fn emit_component(
             "{inner_pad}    {a} = ({a}_rb % 2) ? {a}_buf2 : {a}_buf1;\n",
             a = arr.name
         ));
-        out.push_str(&format!("{inner_pad}    {a}_rb++;\n{inner_pad}}}\n", a = arr.name));
+        out.push_str(&format!(
+            "{inner_pad}    {a}_rb++;\n{inner_pad}}}\n",
+            a = arr.name
+        ));
         // Issue entry x's swap at the end of segment ST(x-1)-1, so the DMA
         // transfers it during segment ST(x-1) (§3.5).
         out.push_str(&format!(
@@ -564,7 +578,13 @@ mod tests {
     fn emit_for(program: &Program, platform: &Platform) -> String {
         let tree = LoopTree::build(program).unwrap();
         let cost = AnalyticCost::new(program);
-        let out = prem_core::optimize_app(&tree, program, platform, &cost, &OptimizerOptions::default());
+        let out = prem_core::optimize_app(
+            &tree,
+            program,
+            platform,
+            &cost,
+            &OptimizerOptions::default(),
+        );
         assert!(out.makespan_ns.is_finite());
         let comps: Vec<EmitComponent> = out
             .components
@@ -598,7 +618,12 @@ mod tests {
 
     #[test]
     fn lstm_emission_structure_and_syntax() {
-        let program = prem_kernels::LstmConfig { nt: 3, ns: 24, np: 20 }.build();
+        let program = prem_kernels::LstmConfig {
+            nt: 3,
+            ns: 24,
+            np: 20,
+        }
+        .build();
         let platform = Platform::default().with_cores(3).with_spm_bytes(8 * 1024);
         let code = emit_for(&program, &platform);
         assert!(code.contains("allocate_buffer"));
@@ -674,7 +699,10 @@ mod table_3_2_tests {
         // ifog segments swap only at segments 1 and 3 (change stride 2).
         assert!(out.contains("const int i_seg_at[3][2] = {{1, 3}, {1, 3}, {1, 3}};"));
         // U_* and inp_F swap at every segment (change stride 1).
-        assert!(out.contains("const int U_i_seg_at[3][4] = {{1, 2, 3, 4}, {1, 2, 3, 4}, {1, 2, 3, 4}};"));
-        assert!(out.contains("const int inp_F_seg_at[3][4] = {{1, 2, 3, 4}, {1, 2, 3, 4}, {1, 2, 3, 4}};"));
+        assert!(out
+            .contains("const int U_i_seg_at[3][4] = {{1, 2, 3, 4}, {1, 2, 3, 4}, {1, 2, 3, 4}};"));
+        assert!(out.contains(
+            "const int inp_F_seg_at[3][4] = {{1, 2, 3, 4}, {1, 2, 3, 4}, {1, 2, 3, 4}};"
+        ));
     }
 }

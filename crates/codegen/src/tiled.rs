@@ -18,7 +18,7 @@ use prem_ir::{IdxExpr, Node, Program};
 pub fn emit_tiled_c(
     program: &Program,
     components: &[EmitComponent],
-    platform: &Platform,
+    _platform: &Platform,
 ) -> Result<String, EmitError> {
     let mut out = String::new();
     out.push_str("#include <stdint.h>\n#include <float.h>\n\n");
@@ -29,7 +29,7 @@ pub fn emit_tiled_c(
         out.push_str(&format!("{a};\n"));
     }
     out.push_str(&format!("\nvoid {}_tiled(void) {{\n", program.name));
-    emit_nodes_tiled(program, &program.body, components, platform, 1, &mut out)?;
+    emit_nodes_tiled(program, &program.body, components, 1, &mut out)?;
     out.push_str("}\n");
     Ok(out)
 }
@@ -38,7 +38,6 @@ fn emit_nodes_tiled(
     program: &Program,
     nodes: &[Node],
     components: &[EmitComponent],
-    platform: &Platform,
     indent: usize,
     out: &mut String,
 ) -> Result<(), EmitError> {
@@ -60,7 +59,7 @@ fn emit_nodes_tiled(
                     e = l.last(),
                     s = l.stride
                 ));
-                emit_nodes_tiled(program, &l.body, components, platform, indent + 1, out)?;
+                emit_nodes_tiled(program, &l.body, components, indent + 1, out)?;
                 out.push_str(&format!("{pad}}}\n"));
             }
             Node::If(i) => {
@@ -68,7 +67,7 @@ fn emit_nodes_tiled(
                     "{pad}if ({}) {{\n",
                     crate::cexpr::cond_to_c(program, &i.cond)
                 ));
-                emit_nodes_tiled(program, &i.body, components, platform, indent + 1, out)?;
+                emit_nodes_tiled(program, &i.body, components, indent + 1, out)?;
                 out.push_str(&format!("{pad}}}\n"));
             }
             Node::Stmt(s) => {
@@ -128,7 +127,13 @@ fn emit_tiled_component(
         .ok_or(EmitError::MissingLoop(innermost.loop_id))?
         .body;
     let identity = |_: usize, _: usize, e: &IdxExpr| idx_to_c(program, e);
-    emit_nodes(program, body, indent + 2 * comp.levels.len(), &identity, out);
+    emit_nodes(
+        program,
+        body,
+        indent + 2 * comp.levels.len(),
+        &identity,
+        out,
+    );
 
     for _ in 0..2 * comp.levels.len() {
         inner_pad.truncate(inner_pad.len() - 4);

@@ -16,6 +16,7 @@ use crate::schedule::{evaluate, ScheduleResult};
 use crate::segments::build_schedule;
 use crate::tiling::Solution;
 use prem_ir::Program;
+use prem_obs::{PhaseTimings, SearchTelemetry, Stopwatch};
 
 /// Report for one scheduled component.
 #[derive(Debug, Clone)]
@@ -30,6 +31,8 @@ pub struct ComponentReport {
     pub exec_count: u64,
     /// Number of makespan evaluations the optimizer spent.
     pub evals: usize,
+    /// Structured search telemetry for this component's optimization.
+    pub telemetry: SearchTelemetry,
     /// The component itself (for downstream code generation/simulation).
     pub component: Component,
 }
@@ -58,7 +61,10 @@ pub struct AppOutcome {
 impl AppOutcome {
     /// Total bytes transferred by the application.
     pub fn total_bytes(&self) -> i64 {
-        self.components.iter().map(ComponentReport::total_bytes).sum()
+        self.components
+            .iter()
+            .map(ComponentReport::total_bytes)
+            .sum()
     }
 
     /// Total API overhead (ns) across the application.
@@ -76,6 +82,20 @@ impl AppOutcome {
             .map(|c| c.result.spm_bytes)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Aggregated search telemetry across all components (counters and
+    /// wall-clock only; per-assignment detail stays in each
+    /// [`ComponentReport::telemetry`]).
+    pub fn search_totals(&self) -> SearchTelemetry {
+        let mut total = SearchTelemetry {
+            best_makespan_ns: f64::INFINITY,
+            ..SearchTelemetry::default()
+        };
+        for c in &self.components {
+            total.absorb(&c.telemetry);
+        }
+        total
     }
 }
 
@@ -126,6 +146,21 @@ pub fn optimize_app<C: CostProvider>(
     cost: &C,
     opts: &OptimizerOptions,
 ) -> AppOutcome {
+    optimize_app_timed(tree, program, platform, cost, opts).0
+}
+
+/// [`optimize_app`] plus wall-clock accounting per compile-pipeline phase
+/// (`component_extraction`, `tiling_search`, `schedule_build`). The
+/// upstream `analysis` phase (loop-tree construction, dependence analysis)
+/// happens before this entry point; time it around [`LoopTree::build`] and
+/// merge with [`PhaseTimings::absorb`].
+pub fn optimize_app_timed<C: CostProvider>(
+    tree: &LoopTree,
+    program: &Program,
+    platform: &Platform,
+    cost: &C,
+    opts: &OptimizerOptions,
+) -> (AppOutcome, PhaseTimings) {
     let strategy = HeuristicStrategy {
         platform,
         cost,
@@ -142,7 +177,7 @@ pub fn optimize_app_greedy<C: CostProvider>(
     cost: &C,
 ) -> AppOutcome {
     let strategy = GreedyStrategy { platform, cost };
-    run_app(tree, program, cost, &strategy)
+    run_app(tree, program, cost, &strategy).0
 }
 
 fn run_app<C: CostProvider>(
@@ -150,20 +185,32 @@ fn run_app<C: CostProvider>(
     program: &Program,
     cost: &C,
     strategy: &dyn ComponentStrategy,
-) -> AppOutcome {
+) -> (AppOutcome, PhaseTimings) {
     let mut components = Vec::new();
+    let mut timings = PhaseTimings::new();
     let mut makespan = 0.0f64;
     for root in &tree.roots {
-        makespan += extract_component(tree, program, root, Vec::new(), strategy, &mut components);
+        makespan += extract_component(
+            tree,
+            program,
+            root,
+            Vec::new(),
+            strategy,
+            &mut components,
+            &mut timings,
+        );
     }
     // Statements outside any loop execute once each on one core.
     for &sid in &tree.root_stmts {
         makespan += cost.stmt_instance_ns(sid);
     }
-    AppOutcome {
-        makespan_ns: makespan,
-        components,
-    }
+    (
+        AppOutcome {
+            makespan_ns: makespan,
+            components,
+        },
+        timings,
+    )
 }
 
 /// `extract_component` of Algorithm 2. Returns the makespan contribution of
@@ -175,6 +222,7 @@ fn extract_component<'t>(
     mut chain: Vec<&'t LoopTreeNode>,
     strategy: &dyn ComponentStrategy,
     out: &mut Vec<ComponentReport>,
+    timings: &mut PhaseTimings,
 ) -> f64 {
     // A non-tilable node never joins a chain as a tiled level — but a chain
     // must contain at least one level, so a non-tilable head still forms a
@@ -184,23 +232,41 @@ fn extract_component<'t>(
         chain.push(node);
     }
 
-    let solve_chain = |chain: &[&LoopTreeNode], out: &mut Vec<ComponentReport>| -> f64 {
+    let solve_chain = |chain: &[&LoopTreeNode],
+                       out: &mut Vec<ComponentReport>,
+                       timings: &mut PhaseTimings|
+     -> f64 {
+        let mut clock = Stopwatch::start();
         let component = Component::extract(tree, program, chain);
-        match strategy.solve(&component) {
+        timings.add("component_extraction", clock.lap());
+        let solved = strategy.solve(&component);
+        let solve_s = clock.lap();
+        match solved {
             Some(outcome) => {
+                // The final schedule build happens inside the solve; report
+                // it as its own pipeline phase.
+                timings.add("schedule_build", outcome.telemetry.schedule_build_s);
+                timings.add(
+                    "tiling_search",
+                    (solve_s - outcome.telemetry.schedule_build_s).max(0.0),
+                );
                 let report = ComponentReport {
                     level_names: component.levels.iter().map(|l| l.name.clone()).collect(),
                     solution: outcome.solution,
                     result: outcome.result,
                     exec_count: component.exec_count,
                     evals: outcome.evals,
+                    telemetry: outcome.telemetry,
                     component,
                 };
                 let total = report.total_ns();
                 out.push(report);
                 total
             }
-            None => f64::INFINITY,
+            None => {
+                timings.add("tiling_search", solve_s);
+                f64::INFINITY
+            }
         }
     };
 
@@ -208,14 +274,14 @@ fn extract_component<'t>(
         // A non-tilable level mid-chain is folded into the leaf together
         // with everything below it (§3.3); the component is the chain built
         // so far and there is no alternative decomposition.
-        return solve_chain(&chain, out);
+        return solve_chain(&chain, out, timings);
     }
 
     if node.children.is_empty() || !node.perfectly_nests() {
         // Leaf of the chain walk: decide between tiling the chain here (the
         // children are folded into the leaf) and recursing into the children.
         let mut parent_branch = Vec::new();
-        let parent = solve_chain(&chain, &mut parent_branch);
+        let parent = solve_chain(&chain, &mut parent_branch, timings);
 
         if node.children.is_empty() {
             out.append(&mut parent_branch);
@@ -224,8 +290,15 @@ fn extract_component<'t>(
         let mut child_branch = Vec::new();
         let mut children = 0.0f64;
         for child in &node.children {
-            children +=
-                extract_component(tree, program, child, Vec::new(), strategy, &mut child_branch);
+            children += extract_component(
+                tree,
+                program,
+                child,
+                Vec::new(),
+                strategy,
+                &mut child_branch,
+                timings,
+            );
         }
         // Statements directly in this node's body execute I × span times.
         // They are covered by the parent option's leaf; for the children
@@ -243,7 +316,15 @@ fn extract_component<'t>(
     } else {
         // Perfect nest onto a single child: extend the chain (Algorithm 2
         // lines 12–13); a non-tilable child folds inside extract_component.
-        extract_component(tree, program, &node.children[0], chain, strategy, out)
+        extract_component(
+            tree,
+            program,
+            &node.children[0],
+            chain,
+            strategy,
+            out,
+            timings,
+        )
     }
 }
 
@@ -325,10 +406,12 @@ pub fn greedy_component(
     let solution = Solution { k, r };
     let schedule = build_schedule(component, &solution, platform, exec_model).ok()?;
     let result = evaluate(&schedule);
+    let telemetry = SearchTelemetry::single(solution.r.clone(), result.makespan_ns);
     Some(OptimizeOutcome {
         solution,
         result,
         evals: 1,
+        telemetry,
     })
 }
 
@@ -386,7 +469,13 @@ mod tests {
         let tree = LoopTree::build(&program).unwrap();
         let cost = AnalyticCost::new(&program);
         let platform = Platform::default();
-        let out = optimize_app(&tree, &program, &platform, &cost, &OptimizerOptions::default());
+        let out = optimize_app(
+            &tree,
+            &program,
+            &platform,
+            &cost,
+            &OptimizerOptions::default(),
+        );
         assert_eq!(out.components.len(), 1);
         let c = &out.components[0];
         assert!(out.makespan_ns.is_finite());
@@ -394,7 +483,13 @@ mod tests {
         assert!(c.solution.threads() > 1, "solution {}", c.solution);
         // Speedup over single core must be substantial at default bus speed.
         let single = Platform::default().with_cores(1);
-        let out1 = optimize_app(&tree, &program, &single, &cost, &OptimizerOptions::default());
+        let out1 = optimize_app(
+            &tree,
+            &program,
+            &single,
+            &cost,
+            &OptimizerOptions::default(),
+        );
         assert!(
             out.makespan_ns < out1.makespan_ns / 3.0,
             "8-core {} vs 1-core {}",
@@ -410,7 +505,13 @@ mod tests {
         let cost = AnalyticCost::new(&program);
         // Slow bus: memory-bound regime where greedy suffers.
         let platform = Platform::default().with_bus_gbytes(1.0 / 32.0);
-        let ours = optimize_app(&tree, &program, &platform, &cost, &OptimizerOptions::default());
+        let ours = optimize_app(
+            &tree,
+            &program,
+            &platform,
+            &cost,
+            &OptimizerOptions::default(),
+        );
         let greedy = optimize_app_greedy(&tree, &program, &platform, &cost);
         assert!(ours.makespan_ns.is_finite());
         assert!(greedy.makespan_ns.is_finite());
@@ -442,7 +543,13 @@ mod tests {
         let tree = LoopTree::build(&program).unwrap();
         let cost = AnalyticCost::new(&program);
         let single = Platform::default().with_cores(1);
-        let out = optimize_app(&tree, &program, &single, &cost, &OptimizerOptions::default());
+        let out = optimize_app(
+            &tree,
+            &program,
+            &single,
+            &cost,
+            &OptimizerOptions::default(),
+        );
         let ideal = ideal_makespan(&tree, &cost);
         assert!(out.makespan_ns >= ideal * 0.999);
     }

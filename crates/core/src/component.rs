@@ -282,7 +282,9 @@ pub(crate) fn collect_statements(program: &Program) -> Vec<Statement> {
     program.visit_statements(|s, _, _| {
         v[s.id] = Some(s.clone());
     });
-    v.into_iter().map(|s| s.expect("statement present")).collect()
+    v.into_iter()
+        .map(|s| s.expect("statement present"))
+        .collect()
 }
 
 fn build_work(
@@ -360,8 +362,7 @@ fn build_array_uses(
                 entry.outer_terms = vec![Vec::new(); ndims];
                 entry.outer_uniform = true;
             }
-            let level_bounds: Vec<Interval> =
-                level_pos.iter().map(|&lp| bounds[lp]).collect();
+            let level_bounds: Vec<Interval> = level_pos.iter().map(|&lp| bounds[lp]).collect();
             let mut full_hull = Vec::with_capacity(ndims);
             for (d, idx) in acc.indices.iter().enumerate() {
                 let mut comp_coeffs = vec![0i64; levels.len()];
@@ -426,7 +427,15 @@ fn build_array_uses(
         .into_iter()
         .map(|(array, acc)| {
             let decl = program.array(array);
-            let attr = classify(array, &acc.read_hull, &acc.write_hulls, acc.read, acc.written, statements, active);
+            let attr = classify(
+                array,
+                &acc.read_hull,
+                &acc.write_hulls,
+                acc.read,
+                acc.written,
+                statements,
+                active,
+            );
             let affected_by = (0..levels.len())
                 .map(|j| {
                     acc.contribs
@@ -513,7 +522,12 @@ mod tests {
         let s1 = b.begin_loop("s1", 0, 1, ns);
         let p = b.begin_loop("p", 0, 1, np);
         b.begin_if(Cond::atom(IdxExpr::var(p), CmpOp::Eq));
-        b.stmt(i_arr, vec![IdxExpr::var(s1)], AssignKind::Assign, Expr::Const(0.0));
+        b.stmt(
+            i_arr,
+            vec![IdxExpr::var(s1)],
+            AssignKind::Assign,
+            Expr::Const(0.0),
+        );
         b.end_if();
         b.stmt(
             i_arr,

@@ -85,8 +85,7 @@ impl CostProvider for AnalyticCost {
     }
 
     fn stmt_instance_ns(&self, stmt: usize) -> f64 {
-        self.ops.get(stmt).copied().unwrap_or(0) as f64 * self.ns_per_op
-            + self.instance_overhead_ns
+        self.ops.get(stmt).copied().unwrap_or(0) as f64 * self.ns_per_op + self.instance_overhead_ns
     }
 
     fn loop_iter_ns(&self) -> f64 {
@@ -107,7 +106,11 @@ pub struct FittedCost<F> {
 
 impl<F: CostProvider> CostProvider for FittedCost<F> {
     fn exec_model(&self, component: &Component) -> ExecModel {
-        let key = component.levels.last().expect("non-empty component").loop_id;
+        let key = component
+            .levels
+            .last()
+            .expect("non-empty component")
+            .loop_id;
         match self.models.get(&key) {
             Some(m) if m.o.len() == component.depth() => m.clone(),
             _ => self.fallback.exec_model(component),

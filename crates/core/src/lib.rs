@@ -63,10 +63,12 @@ pub mod tiling;
 pub mod timing;
 
 pub use app::{
-    greedy_component, ideal_makespan, optimize_app, optimize_app_greedy, AppOutcome,
-    ComponentReport,
+    greedy_component, ideal_makespan, optimize_app, optimize_app_greedy, optimize_app_timed,
+    AppOutcome, ComponentReport,
 };
-pub use component::{ArrayUse, BufferAttr, CompLevel, Component, ComponentDep, OuterTerm, StmtWork};
+pub use component::{
+    ArrayUse, BufferAttr, CompLevel, Component, ComponentDep, OuterTerm, StmtWork,
+};
 pub use config::{ApiCosts, Platform};
 pub use cost::{AnalyticCost, CostProvider, FittedCost};
 pub use looptree::{LoopTree, LoopTreeNode};

@@ -82,11 +82,7 @@ impl LoopTree {
     }
 
     /// Builds the tree from precomputed analysis results.
-    pub fn build_with(
-        program: &Program,
-        stmts: Vec<StmtPoly>,
-        deps: Vec<Dependence>,
-    ) -> LoopTree {
+    pub fn build_with(program: &Program, stmts: Vec<StmtPoly>, deps: Vec<Dependence>) -> LoopTree {
         let mut roots = Vec::new();
         let mut root_stmts = Vec::new();
         build_nodes(&program.body, &mut roots, &mut root_stmts);
@@ -102,7 +98,7 @@ impl LoopTree {
         // each node).
         let mut annotated = std::mem::take(&mut tree.roots);
         for r in &mut annotated {
-            annotate(r, r.loop_id, &tree.stmts, &tree.deps);
+            annotate(r, r.loop_id, &tree.deps);
         }
         tree.roots = annotated;
         tree
@@ -110,7 +106,7 @@ impl LoopTree {
 
     /// Finds a node by loop id.
     pub fn find(&self, loop_id: usize) -> Option<&LoopTreeNode> {
-        fn walk<'a>(nodes: &'a [LoopTreeNode], id: usize) -> Option<&'a LoopTreeNode> {
+        fn walk(nodes: &[LoopTreeNode], id: usize) -> Option<&LoopTreeNode> {
             for n in nodes {
                 if n.loop_id == id {
                     return Some(n);
@@ -128,7 +124,11 @@ impl LoopTree {
     /// `component_start_loop`: both endpoints inside the component's subtree,
     /// and not carried strictly above the component (outer-carried
     /// dependences are barrier-separated between component executions).
-    pub fn active_deps(&self, component_start_loop: usize, subtree_stmts: &[usize]) -> Vec<&Dependence> {
+    pub fn active_deps(
+        &self,
+        component_start_loop: usize,
+        subtree_stmts: &[usize],
+    ) -> Vec<&Dependence> {
         self.deps
             .iter()
             .filter(|d| {
@@ -221,7 +221,7 @@ fn build_nodes(nodes: &[Node], out: &mut Vec<LoopTreeNode>, out_stmts: &mut Vec<
 
 /// Flag pass: computes `parallel` and `tilable` per node. `comp_start` is the
 /// loop id of the topmost loop of the perfect chain this node belongs to.
-fn annotate(node: &mut LoopTreeNode, comp_start: usize, stmts: &[StmtPoly], deps: &[Dependence]) {
+fn annotate(node: &mut LoopTreeNode, comp_start: usize, deps: &[Dependence]) {
     let subtree = node.subtree_stmts();
     let relevant: Vec<&Dependence> = deps
         .iter()
@@ -250,8 +250,12 @@ fn annotate(node: &mut LoopTreeNode, comp_start: usize, stmts: &[StmtPoly], deps
     // own component.
     let single_perfect = node.perfectly_nests();
     for child in &mut node.children {
-        let start = if single_perfect { comp_start } else { child.loop_id };
-        annotate(child, start, stmts, deps);
+        let start = if single_perfect {
+            comp_start
+        } else {
+            child.loop_id
+        };
+        annotate(child, start, deps);
     }
 }
 
@@ -274,7 +278,12 @@ mod tests {
         let s1 = b.begin_loop("s1", 0, 1, ns);
         let p = b.begin_loop("p", 0, 1, np);
         b.begin_if(prem_ir::Cond::atom(IdxExpr::var(p), CmpOp::Eq));
-        b.stmt(i_arr, vec![IdxExpr::var(s1)], AssignKind::Assign, Expr::Const(0.0));
+        b.stmt(
+            i_arr,
+            vec![IdxExpr::var(s1)],
+            AssignKind::Assign,
+            Expr::Const(0.0),
+        );
         b.end_if();
         b.stmt(
             i_arr,
@@ -339,7 +348,10 @@ mod tests {
         assert!(!pl.parallel, "p must not be parallel");
         // b is parallel within its component.
         let b = &t.children[1];
-        assert!(b.parallel, "b must be parallel (deps carried at t are barriers)");
+        assert!(
+            b.parallel,
+            "b must be parallel (deps carried at t are barriers)"
+        );
     }
 
     #[test]

@@ -130,8 +130,7 @@ pub fn evaluate_two_level(
         let nlines: f64 = (blk.0..=blk.1)
             .map(|j| cores[core].batches[j].ops.len() as f64)
             .sum();
-        blk.2 as f64 / platform.bus_bytes_per_sec * 1.0e9
-            + nlines * platform.dma_line_overhead_ns
+        blk.2 as f64 / platform.bus_bytes_per_sec * 1.0e9 + nlines * platform.dma_line_overhead_ns
     };
 
     // Recurrence. DRAM engine: serialize blocks round-robin by (block level,
@@ -159,7 +158,9 @@ pub fn evaluate_two_level(
     // finished, which the per-core sequential chain guarantees).
     for lvl in 0..max_blocks {
         for i in 0..ncores {
-            let Some(blk) = blocks[i].get(lvl) else { continue };
+            let Some(blk) = blocks[i].get(lvl) else {
+                continue;
+            };
             // Double-buffered L2: wait for block lvl-2's consumption.
             let gate = if lvl >= 2 {
                 let prev = blocks[i][lvl - 2];
@@ -192,7 +193,9 @@ pub fn evaluate_two_level(
                     } else {
                         exec_fin[i][j.saturating_sub(2)]
                     };
-                    let start = gate.max(dram_fin[i][lvl]).max(mem_fin[i][j.saturating_sub(1)]);
+                    let start = gate
+                        .max(dram_fin[i][lvl])
+                        .max(mem_fin[i][j.saturating_sub(1)]);
                     mem_fin[i][j] = start + l1_time[i][j];
                     makespan = makespan.max(mem_fin[i][j]);
                 }

@@ -237,7 +237,11 @@ pub fn build_dag(schedule: &ComponentSchedule) -> PhaseDag {
         let nseg = core.nseg();
         for s in 1..=nseg {
             // Sequential execution.
-            let prev = if s == 1 { init_id[i] } else { exec_id[i][s - 2] };
+            let prev = if s == 1 {
+                init_id[i]
+            } else {
+                exec_id[i][s - 2]
+            };
             dag.edges.push((prev, exec_id[i][s - 1]));
             // Batch s gates exec s.
             if !core.batches[s].is_empty() {
@@ -264,6 +268,8 @@ pub fn build_dag(schedule: &ComponentSchedule) -> PhaseDag {
     // DMA round-robin chain over non-empty batches in (level, core) order.
     let max_b = cores.iter().map(|c| c.nseg() + 2).max().unwrap_or(0);
     let mut prev: Option<usize> = None;
+    // `b` indexes the parallel `core.batches` / `mem_id` structures.
+    #[allow(clippy::needless_range_loop)]
     for b in 1..max_b {
         for (i, core) in cores.iter().enumerate() {
             if b >= core.nseg() + 2 || core.batches[b].is_empty() {
@@ -345,11 +351,7 @@ mod tests {
         let ld = 10.0;
         let e = 100.0;
         let ul = 7.0;
-        let cores = vec![
-            core(4, e, ld, ul),
-            core(4, e, ld, ul),
-            core(4, e, ld, ul),
-        ];
+        let cores = vec![core(4, e, ld, ul), core(4, e, ld, ul), core(4, e, ld, ul)];
         let s = sched(cores);
         let r = evaluate(&s);
         let expected = 3.0 * ld + 4.0 * e + ul;
@@ -367,15 +369,15 @@ mod tests {
         let ld = 100.0;
         let e = 1.0;
         let ul = 100.0;
-        let cores = vec![
-            core(4, e, ld, ul),
-            core(4, e, ld, ul),
-            core(4, e, ld, ul),
-        ];
+        let cores = vec![core(4, e, ld, ul), core(4, e, ld, ul), core(4, e, ld, ul)];
         let r = evaluate(&sched(cores));
         // All 12 loads + 3 unloads serialized = 1500, plus trailing exec ~e.
         assert!(r.makespan_ns >= 1500.0, "makespan {}", r.makespan_ns);
-        assert!(r.makespan_ns <= 1500.0 + 4.0 * e + 1.0, "makespan {}", r.makespan_ns);
+        assert!(
+            r.makespan_ns <= 1500.0 + 4.0 * e + 1.0,
+            "makespan {}",
+            r.makespan_ns
+        );
     }
 
     #[test]

@@ -415,7 +415,12 @@ mod tests {
         let s1 = b.begin_loop("s1", 0, 1, ns);
         let p = b.begin_loop("p", 0, 1, np);
         b.begin_if(Cond::atom(IdxExpr::var(p), CmpOp::Eq));
-        b.stmt(i_arr, vec![IdxExpr::var(s1)], AssignKind::Assign, Expr::Const(0.0));
+        b.stmt(
+            i_arr,
+            vec![IdxExpr::var(s1)],
+            AssignKind::Assign,
+            Expr::Const(0.0),
+        );
         b.end_if();
         b.stmt(
             i_arr,
@@ -596,7 +601,10 @@ mod tests {
             r: vec![1, 1],
         };
         let platform = Platform::default().with_cores(1);
-        let model = ExecModel { o: vec![1.0, 1.0], w: 1.0 };
+        let model = ExecModel {
+            o: vec![1.0, 1.0],
+            w: 1.0,
+        };
         let res = build_schedule(&comp, &sol, &platform, &model);
         assert!(
             matches!(res, Err(Infeasible::PersistenceViolation { .. })),

@@ -118,8 +118,14 @@ impl fmt::Display for Infeasible {
             Infeasible::ParallelismViolation { level } => {
                 write!(f, "level {level} is not parallelizable but R > 1")
             }
-            Infeasible::TooManyThreads { requested, available } => {
-                write!(f, "solution needs {requested} threads, only {available} cores")
+            Infeasible::TooManyThreads {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "solution needs {requested} threads, only {available} cores"
+                )
             }
             Infeasible::TooManySegments { count } => {
                 write!(f, "solution creates {count} segments (cap {SEGMENT_CAP})")
@@ -299,7 +305,10 @@ impl TilePlan {
 
     /// Per-level extents of a tile (clipped at the loop bound).
     pub fn tile_extents(&self, tile: &[i64]) -> Vec<i64> {
-        self.tile_ranges(tile).iter().map(|r| r.len() as i64).collect()
+        self.tile_ranges(tile)
+            .iter()
+            .map(|r| r.len() as i64)
+            .collect()
     }
 }
 
@@ -399,9 +408,10 @@ mod tests {
             }
         }
         // Lexicographic per-core order.
-        assert_eq!(plan.core_tiles(0), vec![
-            vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]
-        ]);
+        assert_eq!(
+            plan.core_tiles(0),
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
+        );
         // Boundary tile of s1: range [545, 649] → extent 105.
         assert_eq!(plan.level_ranges[0][5], Interval::new(545, 649));
         assert_eq!(plan.tile_extents(&[5, 1]), vec![105, 350]);

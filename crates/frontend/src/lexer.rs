@@ -60,8 +60,8 @@ impl fmt::Display for LexError {
 impl std::error::Error for LexError {}
 
 const PUNCTS: &[&str] = &[
-    "<<=", ">>=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "==", "!=", "<=", ">=", "(",
-    ")", "[", "]", "{", "}", ";", ",", "+", "-", "*", "/", "%", "<", ">", "=", "!",
+    "<<=", ">>=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "==", "!=", "<=", ">=", "(", ")",
+    "[", "]", "{", "}", ";", ",", "+", "-", "*", "/", "%", "<", ">", "=", "!",
 ];
 
 /// Tokenizes a source string. Line (`//`) and block (`/* */`) comments are

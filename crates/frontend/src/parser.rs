@@ -5,9 +5,7 @@
 //! loop bounds are substituted before analysis).
 
 use crate::lexer::{lex, Token, TokenKind};
-use prem_ir::{
-    AssignKind, BinOp, CmpOp, Cond, ElemType, Expr, IdxExpr, Program, ProgramBuilder,
-};
+use prem_ir::{AssignKind, BinOp, CmpOp, Cond, ElemType, Expr, IdxExpr, Program, ProgramBuilder};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -465,8 +463,10 @@ impl Parser {
             TokenKind::Ident(name) => {
                 self.bump();
                 // MAX / MIN / fmax / fmin calls.
-                if matches!(name.as_str(), "MAX" | "MIN" | "fmax" | "fmaxf" | "fmin" | "fminf")
-                    && self.eat_punct("(")
+                if matches!(
+                    name.as_str(),
+                    "MAX" | "MIN" | "fmax" | "fmaxf" | "fmin" | "fminf"
+                ) && self.eat_punct("(")
                 {
                     let a = self.parse_value(false)?;
                     self.expect_punct(",")?;

@@ -1,0 +1,5 @@
+//! Placeholder library target for the heavy (network-dependent) suite.
+//!
+//! All substance lives in `tests/` (proptest property suites) and `benches/`
+//! (criterion micro-benchmarks). See the package manifest for why this
+//! package sits outside the hermetic root workspace.

@@ -302,11 +302,13 @@ impl Expr {
     }
 
     /// Builds `a + b`.
+    #[allow(clippy::should_implement_trait)] // builder DSL constructor, not `self + rhs`
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::bin(BinOp::Add, a, b)
     }
 
     /// Builds `a * b`.
+    #[allow(clippy::should_implement_trait)] // builder DSL constructor, not `self * rhs`
     pub fn mul(a: Expr, b: Expr) -> Expr {
         Expr::bin(BinOp::Mul, a, b)
     }

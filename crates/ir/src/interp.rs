@@ -89,7 +89,10 @@ impl MemStore {
     ///
     /// Panics if the stores hold different array sets.
     pub fn max_abs_diff(&self, other: &MemStore) -> f64 {
-        assert_eq!(self.decls, other.decls, "stores describe different programs");
+        assert_eq!(
+            self.decls, other.decls,
+            "stores describe different programs"
+        );
         self.arrays
             .iter()
             .zip(&other.arrays)
@@ -179,7 +182,12 @@ mod tests {
         let x = b.array("b", vec![n], ElemType::F64);
         let c = b.array("c", vec![n], ElemType::F64);
         let i = b.begin_loop("i", 0, 1, n);
-        b.stmt(c, vec![IdxExpr::var(i)], AssignKind::Assign, Expr::Const(0.0));
+        b.stmt(
+            c,
+            vec![IdxExpr::var(i)],
+            AssignKind::Assign,
+            Expr::Const(0.0),
+        );
         let j = b.begin_loop("j", 0, 1, n);
         b.stmt(
             c,
@@ -217,7 +225,12 @@ mod tests {
         let a = b.array("a", vec![10], ElemType::F64);
         let i = b.begin_loop("i", 0, 1, 10);
         b.begin_if(Cond::atom(IdxExpr::var(i).plus_const(-5), CmpOp::Ge));
-        b.stmt(a, vec![IdxExpr::var(i)], AssignKind::Assign, Expr::Const(1.0));
+        b.stmt(
+            a,
+            vec![IdxExpr::var(i)],
+            AssignKind::Assign,
+            Expr::Const(1.0),
+        );
         b.end_if();
         b.end_loop();
         let p = b.finish();

@@ -46,5 +46,7 @@ pub mod types;
 pub use expr::{Access, BinOp, CmpOp, Cond, CondAtom, Env, Expr, IdxExpr};
 pub use interp::{eval_expr, run_block, run_program, DataStore, InterpStats, MemStore};
 pub use lower::{lower, LowerError};
-pub use program::{guarded_span, AssignKind, IfNode, Loop, Node, Program, ProgramBuilder, Statement};
+pub use program::{
+    guarded_span, AssignKind, IfNode, Loop, Node, Program, ProgramBuilder, Statement,
+};
 pub use types::{ArrayDecl, ArrayId, ElemType};

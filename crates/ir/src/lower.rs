@@ -35,11 +35,7 @@ impl std::error::Error for LowerError {}
 /// Converts an [`IdxExpr`] over loop *values* to an [`AffExpr`] over the
 /// statement's normalized counters. `chain` lists the enclosing loops
 /// (id, begin, stride), outermost first.
-fn to_aff(
-    expr: &IdxExpr,
-    chain: &[(usize, i64, i64)],
-    stmt: usize,
-) -> Result<AffExpr, LowerError> {
+fn to_aff(expr: &IdxExpr, chain: &[(usize, i64, i64)], stmt: usize) -> Result<AffExpr, LowerError> {
     let n = chain.len();
     let mut coeffs = vec![0i64; n];
     let mut constant = expr.constant_term();
@@ -139,19 +135,20 @@ pub fn lower(program: &Program) -> Result<Vec<StmtPoly>, LowerError> {
                     *pos_counter += 1;
 
                     let mut accesses = Vec::new();
-                    let lower_access =
-                        |acc: &crate::expr::Access, write: bool| -> Result<AccessInfo, LowerError> {
-                            let indices = acc
-                                .indices
-                                .iter()
-                                .map(|e| to_aff(e, &ctx.chain, s.id))
-                                .collect::<Result<Vec<_>, _>>()?;
-                            Ok(AccessInfo {
-                                array: acc.array,
-                                indices,
-                                is_write: write,
-                            })
-                        };
+                    let lower_access = |acc: &crate::expr::Access,
+                                        write: bool|
+                     -> Result<AccessInfo, LowerError> {
+                        let indices = acc
+                            .indices
+                            .iter()
+                            .map(|e| to_aff(e, &ctx.chain, s.id))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        Ok(AccessInfo {
+                            array: acc.array,
+                            indices,
+                            is_write: write,
+                        })
+                    };
 
                     let build = (|| -> Result<(), LowerError> {
                         // Reads first (implicit read of the target for +=),
@@ -239,7 +236,12 @@ mod tests {
         let a = b.array("a", vec![100], ElemType::F32);
         let t = b.begin_loop("t", 0, 1, 10);
         b.begin_if(Cond::atom(IdxExpr::var(t), CmpOp::Gt)); // t > 0
-        b.stmt(a, vec![IdxExpr::var(t)], AssignKind::Assign, Expr::Const(0.0));
+        b.stmt(
+            a,
+            vec![IdxExpr::var(t)],
+            AssignKind::Assign,
+            Expr::Const(0.0),
+        );
         b.end_if();
         b.end_loop();
         let polys = lower(&b.finish()).unwrap();
@@ -252,11 +254,26 @@ mod tests {
         let mut b = ProgramBuilder::new("k");
         let a = b.array("a", vec![10], ElemType::F32);
         let i = b.begin_loop("i", 0, 1, 10);
-        b.stmt(a, vec![IdxExpr::var(i)], AssignKind::Assign, Expr::Const(0.0));
+        b.stmt(
+            a,
+            vec![IdxExpr::var(i)],
+            AssignKind::Assign,
+            Expr::Const(0.0),
+        );
         b.begin_if(Cond::atom(IdxExpr::var(i), CmpOp::Gt));
-        b.stmt(a, vec![IdxExpr::var(i)], AssignKind::Assign, Expr::Const(1.0));
+        b.stmt(
+            a,
+            vec![IdxExpr::var(i)],
+            AssignKind::Assign,
+            Expr::Const(1.0),
+        );
         b.end_if();
-        b.stmt(a, vec![IdxExpr::var(i)], AssignKind::Assign, Expr::Const(2.0));
+        b.stmt(
+            a,
+            vec![IdxExpr::var(i)],
+            AssignKind::Assign,
+            Expr::Const(2.0),
+        );
         b.end_loop();
         let polys = lower(&b.finish()).unwrap();
         assert!(polys[0].textually_before(&polys[1]));
@@ -271,7 +288,12 @@ mod tests {
         b.end_loop();
         let j = b.begin_loop("j", 0, 1, 10);
         // references i, which is closed
-        b.stmt(a, vec![IdxExpr::var(i)], AssignKind::Assign, Expr::Const(0.0));
+        b.stmt(
+            a,
+            vec![IdxExpr::var(i)],
+            AssignKind::Assign,
+            Expr::Const(0.0),
+        );
         let _ = j;
         b.end_loop();
         let err = lower(&b.finish()).unwrap_err();

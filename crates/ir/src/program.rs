@@ -172,7 +172,7 @@ impl Program {
 
     /// Finds the loop with the given id.
     pub fn find_loop(&self, id: usize) -> Option<&Loop> {
-        fn walk<'a>(nodes: &'a [Node], id: usize) -> Option<&'a Loop> {
+        fn walk(nodes: &[Node], id: usize) -> Option<&Loop> {
             for n in nodes {
                 match n {
                     Node::Loop(l) => {
@@ -408,7 +408,13 @@ impl ProgramBuilder {
     }
 
     /// Opens a loop scope and returns the loop's id (usable in [`IdxExpr`]).
-    pub fn begin_loop(&mut self, name: impl Into<String>, begin: i64, stride: i64, count: i64) -> usize {
+    pub fn begin_loop(
+        &mut self,
+        name: impl Into<String>,
+        begin: i64,
+        stride: i64,
+        count: i64,
+    ) -> usize {
         assert!(stride >= 1, "loop stride must be >= 1");
         assert!(count >= 1, "loop count must be >= 1");
         let id = self.program.loop_count;
@@ -557,7 +563,12 @@ mod tests {
         let mut b = ProgramBuilder::new("strided");
         let a = b.array("a", vec![100], ElemType::F32);
         let i = b.begin_loop("i", 2, 3, 5); // 2, 5, 8, 11, 14
-        b.stmt(a, vec![IdxExpr::var(i)], AssignKind::Assign, Expr::Const(0.0));
+        b.stmt(
+            a,
+            vec![IdxExpr::var(i)],
+            AssignKind::Assign,
+            Expr::Const(0.0),
+        );
         b.end_loop();
         let p = b.finish();
         assert_eq!(p.instance_count(), 5);

@@ -127,12 +127,8 @@ impl CnnConfig {
                     vec![
                         IdxExpr::var(n),
                         IdxExpr::var(c),
-                        IdxExpr::var(p)
-                            .plus_var(r, -1)
-                            .plus_const(self.nr - 1),
-                        IdxExpr::var(q)
-                            .plus_var(s, -1)
-                            .plus_const(self.ns - 1),
+                        IdxExpr::var(p).plus_var(r, -1).plus_const(self.nr - 1),
+                        IdxExpr::var(q).plus_var(s, -1).plus_const(self.ns - 1),
                     ],
                 ),
             ),

@@ -31,7 +31,11 @@ impl LstmConfig {
 
     /// A small size for functional tests.
     pub fn small() -> Self {
-        LstmConfig { nt: 4, ns: 6, np: 5 }
+        LstmConfig {
+            nt: 4,
+            ns: 6,
+            np: 5,
+        }
     }
 
     /// Total data footprint in bytes (f32).
@@ -102,10 +106,7 @@ impl LstmConfig {
                 AssignKind::AddAssign,
                 Expr::mul(
                     Expr::load(w, vec![IdxExpr::var(s1_1), IdxExpr::var(s2)]),
-                    Expr::load(
-                        s_f,
-                        vec![IdxExpr::var(t).plus_const(-1), IdxExpr::var(s2)],
-                    ),
+                    Expr::load(s_f, vec![IdxExpr::var(t).plus_const(-1), IdxExpr::var(s2)]),
                 ),
             );
         }
@@ -122,10 +123,7 @@ impl LstmConfig {
             AssignKind::Assign,
             Expr::add(
                 Expr::mul(
-                    Expr::load(
-                        c_f,
-                        vec![IdxExpr::var(t).plus_const(-1), IdxExpr::var(b0)],
-                    ),
+                    Expr::load(c_f, vec![IdxExpr::var(t).plus_const(-1), IdxExpr::var(b0)]),
                     Expr::load(gates[1], vec![IdxExpr::var(b0)]),
                 ),
                 Expr::mul(

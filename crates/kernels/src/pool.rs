@@ -13,9 +13,7 @@
 //! }
 //! ```
 
-use prem_ir::{
-    AssignKind, BinOp, CmpOp, Cond, ElemType, Expr, IdxExpr, Program, ProgramBuilder,
-};
+use prem_ir::{AssignKind, BinOp, CmpOp, Cond, ElemType, Expr, IdxExpr, Program, ProgramBuilder};
 
 /// Pooling operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -150,7 +148,12 @@ impl PoolConfig {
                 );
             }
             PoolOp::Sum => {
-                b.stmt(out, out_idx(), AssignKind::AddAssign, Expr::load(inp, inp_idx()));
+                b.stmt(
+                    out,
+                    out_idx(),
+                    AssignKind::AddAssign,
+                    Expr::load(inp, inp_idx()),
+                );
             }
         }
         for _ in 0..6 {
@@ -178,10 +181,10 @@ mod tests {
                         let mut want = f64::MIN;
                         for r in 0..cfg.window {
                             for s in 0..cfg.window {
-                                want = want.max(store.load(
-                                    1,
-                                    &[n, c, pp * cfg.stride + r, qq * cfg.stride + s],
-                                ));
+                                want = want.max(
+                                    store
+                                        .load(1, &[n, c, pp * cfg.stride + r, qq * cfg.stride + s]),
+                                );
                             }
                         }
                         assert_eq!(store.load(0, &[n, c, pp, qq]), want);

@@ -3,6 +3,10 @@
 //! the IR construction and the interpreter, and later the full PREM machine
 //! simulation.
 
+// The loop nests below deliberately mirror the kernels index-for-index;
+// iterator rewrites would obscure that correspondence.
+#![allow(clippy::needless_range_loop)]
+
 use crate::cnn::CnnConfig;
 use crate::lstm::LstmConfig;
 use crate::pool::{PoolConfig, PoolOp};
@@ -66,8 +70,7 @@ pub fn lstm_reference(cfg: &LstmConfig, store: &MemStore) -> LstmReference {
 /// Computes the CNN forward pass; returns `out_F` flattened row-major
 /// (array ids per [`CnnConfig::build`]: `out_F` 0, `W` 1, `inp_F` 2).
 pub fn cnn_reference(cfg: &CnnConfig, store: &MemStore) -> Vec<f64> {
-    let mut out =
-        vec![0.0f64; (cfg.nn * cfg.nk * cfg.np * cfg.nq) as usize];
+    let mut out = vec![0.0f64; (cfg.nn * cfg.nk * cfg.np * cfg.nq) as usize];
     let mut idx = 0usize;
     for n in 0..cfg.nn {
         for k in 0..cfg.nk {
@@ -79,7 +82,8 @@ pub fn cnn_reference(cfg: &CnnConfig, store: &MemStore) -> Vec<f64> {
                         for r in 0..cfg.nr {
                             for s in 0..cfg.ns {
                                 acc += store.load(1, &[k, c, r, s])
-                                    * store.load(2, &[n, c, p + cfg.nr - r - 1, q + cfg.ns - s - 1]);
+                                    * store
+                                        .load(2, &[n, c, p + cfg.nr - r - 1, q + cfg.ns - s - 1]);
                             }
                         }
                     }
@@ -106,8 +110,7 @@ pub fn pool_reference(cfg: &PoolConfig, store: &MemStore) -> Vec<f64> {
                     };
                     for r in 0..cfg.window {
                         for s in 0..cfg.window {
-                            let v =
-                                store.load(1, &[n, c, p * cfg.stride + r, q * cfg.stride + s]);
+                            let v = store.load(1, &[n, c, p * cfg.stride + r, q * cfg.stride + s]);
                             acc = match cfg.op {
                                 PoolOp::Max => acc.max(v),
                                 PoolOp::Sum => acc + v,
@@ -136,8 +139,8 @@ pub fn rnn_reference(cfg: &RnnConfig, store: &MemStore) -> Vec<f64> {
         for s1 in 0..ns {
             tmp[s1] = 0.0;
             for p in 0..np {
-                tmp[s1] += store.load(2, &[s1 as i64, p as i64])
-                    * store.load(4, &[t as i64, p as i64]);
+                tmp[s1] +=
+                    store.load(2, &[s1 as i64, p as i64]) * store.load(4, &[t as i64, p as i64]);
             }
         }
         // In-place Gauss–Seidel-style sweep, operating directly on `s` so

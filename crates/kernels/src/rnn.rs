@@ -33,7 +33,11 @@ impl RnnConfig {
 
     /// A small size for functional tests.
     pub fn small() -> Self {
-        RnnConfig { nt: 3, ns: 5, np: 4 }
+        RnnConfig {
+            nt: 3,
+            ns: 5,
+            np: 4,
+        }
     }
 
     /// Total data footprint in bytes (f32).
@@ -56,7 +60,12 @@ impl RnnConfig {
         let s1 = b.begin_loop("s1", 0, 1, self.ns);
         let p = b.begin_loop("p", 0, 1, self.np);
         b.begin_if(Cond::atom(IdxExpr::var(p), CmpOp::Eq));
-        b.stmt(tmp, vec![IdxExpr::var(s1)], AssignKind::Assign, Expr::Const(0.0));
+        b.stmt(
+            tmp,
+            vec![IdxExpr::var(s1)],
+            AssignKind::Assign,
+            Expr::Const(0.0),
+        );
         b.end_if();
         b.stmt(
             tmp,

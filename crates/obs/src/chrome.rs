@@ -1,0 +1,170 @@
+//! Chrome Trace Format (JSON Array Format) builder.
+//!
+//! Produces the `{"traceEvents": [...]}` document that Perfetto
+//! (<https://ui.perfetto.dev>) and `chrome://tracing` ingest. Only the
+//! subset this project needs is implemented: complete duration events
+//! (`ph: "X"`) and process/thread-name metadata (`ph: "M"`). Timestamps are
+//! microseconds per the format; the simulator's nanosecond times survive as
+//! fractional microseconds.
+
+use crate::json::Json;
+
+/// One complete duration event (`ph: "X"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Event name (shown on the slice).
+    pub name: String,
+    /// Category (comma-separated tags; filterable in the UI).
+    pub cat: String,
+    /// Process id — one process per logical machine/pipeline.
+    pub pid: u64,
+    /// Thread id — one track per core, plus dedicated tracks (e.g. DMA).
+    pub tid: u64,
+    /// Start timestamp in microseconds.
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Extra `args` shown when the slice is selected.
+    pub args: Vec<(String, Json)>,
+}
+
+/// A Chrome-trace document under construction.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    events: Vec<Json>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events recorded so far (metadata included).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Names process `pid` in the UI.
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.metadata("process_name", pid, None, name);
+    }
+
+    /// Names thread `tid` of process `pid` in the UI.
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.metadata("thread_name", pid, Some(tid), name);
+    }
+
+    fn metadata(&mut self, kind: &str, pid: u64, tid: Option<u64>, name: &str) {
+        let mut pairs = vec![
+            ("name".to_string(), Json::from(kind)),
+            ("ph".to_string(), Json::from("M")),
+            ("pid".to_string(), Json::from(pid as i64)),
+        ];
+        if let Some(tid) = tid {
+            pairs.push(("tid".to_string(), Json::from(tid as i64)));
+        }
+        pairs.push(("args".to_string(), Json::obj([("name", name)])));
+        self.events.push(Json::Obj(pairs));
+    }
+
+    /// Records a complete duration event.
+    pub fn span(&mut self, span: TraceSpan) {
+        let mut pairs = vec![
+            ("name".to_string(), Json::from(span.name)),
+            ("cat".to_string(), Json::from(span.cat)),
+            ("ph".to_string(), Json::from("X")),
+            ("ts".to_string(), Json::from(span.ts_us)),
+            ("dur".to_string(), Json::from(span.dur_us)),
+            ("pid".to_string(), Json::from(span.pid as i64)),
+            ("tid".to_string(), Json::from(span.tid as i64)),
+        ];
+        if !span.args.is_empty() {
+            pairs.push(("args".to_string(), Json::Obj(span.args)));
+        }
+        self.events.push(Json::Obj(pairs));
+    }
+
+    /// The complete document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("traceEvents", Json::Arr(self.events.clone())),
+            ("displayTimeUnit", Json::from("ns")),
+        ])
+    }
+
+    /// Pretty-printed document text.
+    pub fn render(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Writes the document to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChromeTrace {
+        let mut t = ChromeTrace::new();
+        t.process_name(0, "PREM machine");
+        t.thread_name(0, 0, "core 0");
+        t.thread_name(0, 9, "DMA");
+        t.span(TraceSpan {
+            name: "exec 1".into(),
+            cat: "exec".into(),
+            pid: 0,
+            tid: 0,
+            ts_us: 0.25,
+            dur_us: 1.5,
+            args: vec![("segment".into(), Json::from(1i64))],
+        });
+        t
+    }
+
+    #[test]
+    fn document_has_valid_trace_events() {
+        let doc = Json::parse(&sample().render()).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 4);
+        for e in events {
+            assert!(e.get("ph").and_then(Json::as_str).is_some());
+            assert!(e.get("pid").and_then(Json::as_f64).is_some());
+        }
+        let x = &events[3];
+        assert_eq!(x.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(x.get("ts").and_then(Json::as_f64), Some(0.25));
+        assert_eq!(x.get("dur").and_then(Json::as_f64), Some(1.5));
+        assert_eq!(x.get("tid").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn metadata_events_name_threads() {
+        let doc = sample().to_json();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let m = &events[2];
+        assert_eq!(m.get("ph").and_then(Json::as_str), Some("M"));
+        assert_eq!(m.get("name").and_then(Json::as_str), Some("thread_name"));
+        assert_eq!(
+            m.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str),
+            Some("DMA")
+        );
+    }
+}

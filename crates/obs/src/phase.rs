@@ -1,0 +1,157 @@
+//! Wall-clock accounting per compile-pipeline phase.
+
+use crate::chrome::{ChromeTrace, TraceSpan};
+use crate::json::Json;
+use std::time::Instant;
+
+/// Ordered, accumulating map from phase name to wall-clock seconds.
+///
+/// The compile pipeline interleaves its phases (component extraction and
+/// tiling search alternate per component), so each phase accumulates the
+/// total time spent in it rather than a single span.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseTimings {
+    entries: Vec<(String, f64)>,
+}
+
+impl PhaseTimings {
+    /// An empty accounting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `seconds` to `phase` (creating it at the end of the order).
+    pub fn add(&mut self, phase: &str, seconds: f64) {
+        match self.entries.iter_mut().find(|(n, _)| n == phase) {
+            Some((_, s)) => *s += seconds,
+            None => self.entries.push((phase.to_string(), seconds)),
+        }
+    }
+
+    /// Seconds accumulated for `phase`, if any.
+    pub fn get(&self, phase: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == phase)
+            .map(|(_, s)| *s)
+    }
+
+    /// Phases in insertion order.
+    pub fn phases(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(n, s)| (n.as_str(), *s))
+    }
+
+    /// Sum over all phases.
+    pub fn total_s(&self) -> f64 {
+        self.entries.iter().map(|(_, s)| s).sum()
+    }
+
+    /// Folds another accounting into this one.
+    pub fn absorb(&mut self, other: &PhaseTimings) {
+        for (n, s) in other.phases() {
+            self.add(n, s);
+        }
+    }
+
+    /// JSON object `{phase: seconds, ...}` in insertion order.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.entries
+                .iter()
+                .map(|(n, s)| (n.clone(), Json::from(*s)))
+                .collect(),
+        )
+    }
+
+    /// Renders the phases as consecutive spans on one Chrome-trace track
+    /// (`tid`), starting at `ts_us`. Returns the end timestamp.
+    pub fn to_chrome(&self, trace: &mut ChromeTrace, pid: u64, tid: u64, ts_us: f64) -> f64 {
+        let mut t = ts_us;
+        for (name, s) in self.phases() {
+            let dur_us = s * 1e6;
+            trace.span(TraceSpan {
+                name: name.to_string(),
+                cat: "pipeline".into(),
+                pid,
+                tid,
+                ts_us: t,
+                dur_us,
+                args: Vec::new(),
+            });
+            t += dur_us;
+        }
+        t
+    }
+}
+
+/// A restartable stopwatch for feeding [`PhaseTimings`].
+#[derive(Debug)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Seconds since start (or the last [`Stopwatch::lap`]), restarting.
+    pub fn lap(&mut self) -> f64 {
+        let now = Instant::now();
+        let s = now.duration_since(self.0).as_secs_f64();
+        self.0 = now;
+        s
+    }
+
+    /// Seconds since start without restarting.
+    pub fn elapsed_s(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_in_order() {
+        let mut t = PhaseTimings::new();
+        t.add("analysis", 0.5);
+        t.add("search", 1.0);
+        t.add("analysis", 0.25);
+        assert_eq!(t.get("analysis"), Some(0.75));
+        assert_eq!(
+            t.phases().map(|(n, _)| n.to_string()).collect::<Vec<_>>(),
+            vec!["analysis", "search"]
+        );
+        assert!((t.total_s() - 1.75).abs() < 1e-12);
+
+        let mut u = PhaseTimings::new();
+        u.add("search", 1.0);
+        u.absorb(&t);
+        assert_eq!(u.get("search"), Some(2.0));
+    }
+
+    #[test]
+    fn chrome_spans_are_consecutive() {
+        let mut t = PhaseTimings::new();
+        t.add("a", 1e-6);
+        t.add("b", 2e-6);
+        let mut trace = ChromeTrace::new();
+        let end = t.to_chrome(&mut trace, 1, 0, 10.0);
+        assert!((end - 13.0).abs() < 1e-9);
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn stopwatch_laps_are_positive() {
+        let mut w = Stopwatch::start();
+        assert!(w.lap() >= 0.0);
+        assert!(w.elapsed_s() >= 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Machine-readable run reports for the bench binaries.
+//!
+//! Every `crates/bench/src/bin/*` binary writes one of these under
+//! `results/<bench>.json` next to its CSV, so the evaluation trajectory can
+//! be tracked by tooling instead of by scraping stdout tables.
+
+use crate::json::Json;
+use std::path::{Path, PathBuf};
+
+/// Schema identifier stamped into every report.
+pub const SCHEMA: &str = "prem-run-report/v1";
+
+/// An ordered collection of report fields, serialized as one JSON object.
+///
+/// The constructor stamps `schema` and `bench`; everything else is appended
+/// with [`RunReport::set`] in whatever order the binary finds natural.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    fields: Vec<(String, Json)>,
+}
+
+impl RunReport {
+    /// A fresh report for bench binary `bench`.
+    pub fn new(bench: &str) -> Self {
+        RunReport {
+            fields: vec![
+                ("schema".to_string(), Json::from(SCHEMA)),
+                ("bench".to_string(), Json::from(bench)),
+            ],
+        }
+    }
+
+    /// Sets `key` (replacing an earlier value, keeping its position).
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
+        let value = value.into();
+        match self.fields.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => self.fields.push((key.to_string(), value)),
+        }
+        self
+    }
+
+    /// The bench name the report was created with.
+    pub fn bench(&self) -> &str {
+        self.fields[1].1.as_str().unwrap_or("")
+    }
+
+    /// The whole report as JSON.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(self.fields.clone())
+    }
+
+    /// Writes `<dir>/<bench>.json` (pretty-printed), creating `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_dir(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.bench()));
+        std::fs::write(&path, self.to_json().to_pretty())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_stamps_schema_and_bench() {
+        let mut r = RunReport::new("tab6_2_6_3");
+        r.set("makespan_ns", 1.5e9).set("evals", 123usize);
+        let j = r.to_json();
+        assert_eq!(j.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(j.get("bench").and_then(Json::as_str), Some("tab6_2_6_3"));
+        assert_eq!(j.get("evals").and_then(Json::as_f64), Some(123.0));
+    }
+
+    #[test]
+    fn set_replaces_in_place() {
+        let mut r = RunReport::new("x");
+        r.set("a", 1i64).set("b", 2i64).set("a", 3i64);
+        match r.to_json() {
+            Json::Obj(pairs) => {
+                assert_eq!(pairs[2], ("a".to_string(), Json::from(3i64)));
+                assert_eq!(pairs.len(), 4);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn writes_parseable_file() {
+        let dir = std::env::temp_dir().join("prem_obs_report_test");
+        let mut r = RunReport::new("smoke");
+        r.set("wall_s", 0.5);
+        let path = r.write_dir(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let j = Json::parse(&text).unwrap();
+        assert_eq!(j.get("bench").and_then(Json::as_str), Some("smoke"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,248 @@
+//! Structured optimizer search telemetry.
+//!
+//! The component optimizer (Algorithm 1) explores one coordinate-descent
+//! search per non-dominated thread-group assignment; each search memoizes
+//! makespan evaluations. The types here record, per assignment: how many
+//! schedules were actually built (`evals`), how many lookups the memo cache
+//! absorbed (`cache_hits`) and the best-so-far makespan after each
+//! coordinate sweep (`sweep_best_ns`, a convergence curve that is monotone
+//! non-increasing by construction).
+
+use crate::json::Json;
+
+/// Telemetry of the coordinate descent for one thread-group assignment.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AssignmentTelemetry {
+    /// The thread-group assignment `R` (threads per level, outermost first).
+    pub r: Vec<i64>,
+    /// Uncached makespan evaluations (schedule constructions).
+    pub evals: usize,
+    /// Memoized lookups answered from the cache.
+    pub cache_hits: usize,
+    /// Best makespan seen so far after each coordinate sweep, in ns
+    /// (cumulative minimum across the descent's starts and sweeps).
+    pub sweep_best_ns: Vec<f64>,
+    /// Final best makespan of this assignment in ns (`+∞` if infeasible).
+    pub best_makespan_ns: f64,
+}
+
+impl AssignmentTelemetry {
+    /// JSON object for reports.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("r", Json::from(self.r.clone())),
+            ("evals", Json::from(self.evals)),
+            ("cache_hits", Json::from(self.cache_hits)),
+            ("sweep_best_ns", Json::from(self.sweep_best_ns.clone())),
+            ("best_makespan_ns", Json::from(self.best_makespan_ns)),
+        ])
+    }
+}
+
+/// Aggregated telemetry of one component optimization.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SearchTelemetry {
+    /// Per-assignment records, in deterministic enumeration order.
+    pub assignments: Vec<AssignmentTelemetry>,
+    /// Total uncached evaluations across assignments.
+    pub evals: usize,
+    /// Total cache hits across assignments.
+    pub cache_hits: usize,
+    /// Best makespan across assignments in ns.
+    pub best_makespan_ns: f64,
+    /// Wall-clock seconds spent searching (descent over all assignments).
+    pub search_s: f64,
+    /// Wall-clock seconds spent building/evaluating the final schedule.
+    pub schedule_build_s: f64,
+}
+
+impl SearchTelemetry {
+    /// Aggregates per-assignment records (totals and best makespan).
+    pub fn from_assignments(assignments: Vec<AssignmentTelemetry>) -> Self {
+        let evals = assignments.iter().map(|a| a.evals).sum();
+        let cache_hits = assignments.iter().map(|a| a.cache_hits).sum();
+        let best_makespan_ns = assignments
+            .iter()
+            .map(|a| a.best_makespan_ns)
+            .fold(f64::INFINITY, f64::min);
+        SearchTelemetry {
+            assignments,
+            evals,
+            cache_hits,
+            best_makespan_ns,
+            search_s: 0.0,
+            schedule_build_s: 0.0,
+        }
+    }
+
+    /// Telemetry of a search that evaluated exactly one candidate (the
+    /// greedy baseline and other single-shot strategies).
+    pub fn single(r: Vec<i64>, makespan_ns: f64) -> Self {
+        SearchTelemetry::from_assignments(vec![AssignmentTelemetry {
+            r,
+            evals: 1,
+            cache_hits: 0,
+            sweep_best_ns: vec![makespan_ns],
+            best_makespan_ns: makespan_ns,
+        }])
+    }
+
+    /// Total makespan lookups: uncached evaluations plus cache hits.
+    pub fn lookups(&self) -> usize {
+        self.evals + self.cache_hits
+    }
+
+    /// Fraction of lookups answered by the memo cache (0 when none).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Global convergence curve: best makespan known after each sweep index,
+    /// taking every assignment's descent into account. Monotone
+    /// non-increasing by construction.
+    pub fn convergence(&self) -> Vec<f64> {
+        let len = self
+            .assignments
+            .iter()
+            .map(|a| a.sweep_best_ns.len())
+            .max()
+            .unwrap_or(0);
+        let mut curve = Vec::with_capacity(len);
+        let mut best = f64::INFINITY;
+        for s in 0..len {
+            for a in &self.assignments {
+                // An assignment whose descent already finished contributes
+                // its final value.
+                let v = match a.sweep_best_ns.get(s) {
+                    Some(&v) => v,
+                    None => a.best_makespan_ns,
+                };
+                best = best.min(v);
+            }
+            curve.push(best);
+        }
+        curve
+    }
+
+    /// Folds another component's telemetry into an application-level total.
+    /// Per-assignment detail is not merged — only counters and times.
+    pub fn absorb(&mut self, other: &SearchTelemetry) {
+        self.evals += other.evals;
+        self.cache_hits += other.cache_hits;
+        self.search_s += other.search_s;
+        self.schedule_build_s += other.schedule_build_s;
+        self.best_makespan_ns = self.best_makespan_ns.min(other.best_makespan_ns);
+    }
+
+    /// JSON object for reports. `detail` includes the per-assignment records.
+    pub fn to_json(&self, detail: bool) -> Json {
+        let mut pairs = vec![
+            ("evals".to_string(), Json::from(self.evals)),
+            ("cache_hits".to_string(), Json::from(self.cache_hits)),
+            (
+                "cache_hit_rate".to_string(),
+                Json::from(self.cache_hit_rate()),
+            ),
+            (
+                "best_makespan_ns".to_string(),
+                Json::from(self.best_makespan_ns),
+            ),
+            ("search_s".to_string(), Json::from(self.search_s)),
+            (
+                "schedule_build_s".to_string(),
+                Json::from(self.schedule_build_s),
+            ),
+            ("convergence_ns".to_string(), Json::from(self.convergence())),
+        ];
+        if detail {
+            pairs.push((
+                "assignments".to_string(),
+                Json::Arr(self.assignments.iter().map(|a| a.to_json()).collect()),
+            ));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SearchTelemetry {
+        SearchTelemetry::from_assignments(vec![
+            AssignmentTelemetry {
+                r: vec![8, 1],
+                evals: 10,
+                cache_hits: 5,
+                sweep_best_ns: vec![100.0, 80.0, 80.0],
+                best_makespan_ns: 80.0,
+            },
+            AssignmentTelemetry {
+                r: vec![4, 2],
+                evals: 7,
+                cache_hits: 3,
+                sweep_best_ns: vec![90.0, 70.0],
+                best_makespan_ns: 70.0,
+            },
+        ])
+    }
+
+    #[test]
+    fn totals_sum_over_assignments() {
+        let t = sample();
+        assert_eq!(t.evals, 17);
+        assert_eq!(t.cache_hits, 8);
+        assert_eq!(t.lookups(), 25);
+        assert!((t.cache_hit_rate() - 8.0 / 25.0).abs() < 1e-12);
+        assert_eq!(t.best_makespan_ns, 70.0);
+    }
+
+    #[test]
+    fn convergence_is_monotone_and_covers_short_assignments() {
+        let t = sample();
+        let c = t.convergence();
+        assert_eq!(c, vec![90.0, 70.0, 70.0]);
+        assert!(c.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn single_shot_telemetry() {
+        let t = SearchTelemetry::single(vec![8], 42.0);
+        assert_eq!(t.evals, 1);
+        assert_eq!(t.cache_hit_rate(), 0.0);
+        assert_eq!(t.convergence(), vec![42.0]);
+    }
+
+    #[test]
+    fn absorb_accumulates_counters() {
+        let mut t = sample();
+        t.absorb(&SearchTelemetry::single(vec![1], 60.0));
+        assert_eq!(t.evals, 18);
+        assert_eq!(t.best_makespan_ns, 60.0);
+    }
+
+    #[test]
+    fn json_has_expected_keys() {
+        let j = sample().to_json(true);
+        for key in [
+            "evals",
+            "cache_hits",
+            "cache_hit_rate",
+            "best_makespan_ns",
+            "convergence_ns",
+            "assignments",
+        ] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(
+            j.get("assignments")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+    }
+}

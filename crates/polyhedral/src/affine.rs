@@ -187,7 +187,11 @@ impl AffExpr {
     /// # Errors
     ///
     /// Returns `Err` if a dimension with a non-zero coefficient has no image.
-    pub fn remap(&self, mapping: &[Option<usize>], new_ndims: usize) -> Result<AffExpr, RemapError> {
+    pub fn remap(
+        &self,
+        mapping: &[Option<usize>],
+        new_ndims: usize,
+    ) -> Result<AffExpr, RemapError> {
         let mut coeffs = vec![0; new_ndims];
         for (i, &c) in self.coeffs.iter().enumerate() {
             if c == 0 {

@@ -90,7 +90,11 @@ impl Dependence {
 
 impl fmt::Display for Dependence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} S{} -> S{} on a{} δ=(", self.kind, self.src, self.dst, self.array)?;
+        write!(
+            f,
+            "{} S{} -> S{} on a{} δ=(",
+            self.kind, self.src, self.dst, self.array
+        )?;
         for (i, d) in self.dist.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
@@ -217,9 +221,7 @@ fn dependence_pair(
     let shared: Vec<usize> = a.loops[..shared_len].iter().map(|l| l.var).collect();
 
     // Initial distance box: δ_k = y_k - x_k over the loops' bounds.
-    let mut dist: Vec<Interval> = (0..shared_len)
-        .map(|k| t_bounds[k] - s_bounds[k])
-        .collect();
+    let mut dist: Vec<Interval> = (0..shared_len).map(|k| t_bounds[k] - s_bounds[k]).collect();
 
     // Build equations from each array dimension.
     let equations = build_equations(a, acc_a, b, acc_b, shared_len);
@@ -531,7 +533,9 @@ mod tests {
                 AccessInfo::write(0, vec![AffExpr::var(0, 2)]),
                 AccessInfo::read(
                     1,
-                    vec![AffExpr::var(0, 2).sub(&AffExpr::var(1, 2).with_coeff(0, 0)).add_const(2)],
+                    vec![AffExpr::var(0, 2)
+                        .sub(&AffExpr::var(1, 2).with_coeff(0, 0))
+                        .add_const(2)],
                 ),
             ],
         };

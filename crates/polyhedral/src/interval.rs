@@ -88,7 +88,7 @@ impl Interval {
     ///
     /// Provided so collections-style call sites read naturally.
     pub fn is_len_zero(&self) -> bool {
-        self.len() == 0
+        self.is_empty()
     }
 
     /// Intersection of two intervals.

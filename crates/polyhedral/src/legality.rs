@@ -26,11 +26,7 @@ use crate::interval::{div_floor, Interval};
 pub fn is_active_within(dep: &Dependence, component_start: usize) -> bool {
     match dep.carry {
         crate::dependence::Carry::Level(l) if l < component_start => false,
-        _ => dep
-            .dist
-            .iter()
-            .take(component_start)
-            .all(|d| d.contains(0)),
+        _ => dep.dist.iter().take(component_start).all(|d| d.contains(0)),
     }
 }
 
@@ -42,12 +38,8 @@ pub fn is_level_parallel<'a, I>(deps: I, level: usize) -> bool
 where
     I: IntoIterator<Item = &'a Dependence>,
 {
-    deps.into_iter().all(|d| {
-        d.dist
-            .get(level)
-            .map(|iv| iv.is_zero())
-            .unwrap_or(true)
-    })
+    deps.into_iter()
+        .all(|d| d.dist.get(level).map(|iv| iv.is_zero()).unwrap_or(true))
 }
 
 /// Length of the longest prefix of `levels` (shared-prefix positions,
@@ -55,7 +47,7 @@ where
 /// sizes: every dependence must have a non-negative distance at each banded
 /// level. Levels past the returned length must be folded into the leaf
 /// (§3.3).
-pub fn tilable_prefix<'a>(deps: &[&'a Dependence], levels: &[usize]) -> usize {
+pub fn tilable_prefix(deps: &[&Dependence], levels: &[usize]) -> usize {
     for (i, &lv) in levels.iter().enumerate() {
         let ok = deps.iter().all(|d| {
             d.dist
@@ -246,11 +238,26 @@ mod tests {
 
     #[test]
     fn lex_negative_detection() {
-        assert!(!can_be_lex_negative(&[Interval::point(1), Interval::point(-5)]));
-        assert!(can_be_lex_negative(&[Interval::point(0), Interval::point(-1)]));
-        assert!(can_be_lex_negative(&[Interval::new(0, 2), Interval::new(-3, 1)]));
-        assert!(!can_be_lex_negative(&[Interval::new(1, 2), Interval::new(-3, 1)]));
-        assert!(!can_be_lex_negative(&[Interval::point(0), Interval::point(0)]));
+        assert!(!can_be_lex_negative(&[
+            Interval::point(1),
+            Interval::point(-5)
+        ]));
+        assert!(can_be_lex_negative(&[
+            Interval::point(0),
+            Interval::point(-1)
+        ]));
+        assert!(can_be_lex_negative(&[
+            Interval::new(0, 2),
+            Interval::new(-3, 1)
+        ]));
+        assert!(!can_be_lex_negative(&[
+            Interval::new(1, 2),
+            Interval::new(-3, 1)
+        ]));
+        assert!(!can_be_lex_negative(&[
+            Interval::point(0),
+            Interval::point(0)
+        ]));
     }
 
     #[test]
@@ -265,11 +272,7 @@ mod tests {
     fn tilable_prefix_stops_at_negative() {
         // CNN-like: carried at c (index 1) with r distance spanning negatives.
         let d = dep(
-            vec![
-                Interval::zero(),
-                Interval::new(1, 95),
-                Interval::new(-2, 2),
-            ],
+            vec![Interval::zero(), Interval::new(1, 95), Interval::new(-2, 2)],
             Carry::Level(1),
         );
         let deps_vec = [&d];
@@ -291,7 +294,10 @@ mod tests {
     fn verify_tiling_rejects_negative_inner() {
         // Distance (1, -2): tiling both levels can reorder illegally
         // (tile diff (0, -1) is feasible for K = (4, 2)).
-        let d = dep(vec![Interval::point(1), Interval::point(-2)], Carry::Level(0));
+        let d = dep(
+            vec![Interval::point(1), Interval::point(-2)],
+            Carry::Level(0),
+        );
         let deps_vec = [&d];
         assert!(verify_tiling(&deps_vec, &[0, 1], &[4, 2]).is_err());
         // With K = 1 on the first level the tile diff equals the distance and
@@ -320,10 +326,7 @@ mod tests {
             vec![Interval::point(2), Interval::point(0)],
             Carry::Level(0),
         );
-        let equal_outer = dep(
-            vec![Interval::zero(), Interval::point(3)],
-            Carry::Level(1),
-        );
+        let equal_outer = dep(vec![Interval::zero(), Interval::point(3)], Carry::Level(1));
         assert!(!is_active_within(&carried_outer, 1));
         assert!(is_active_within(&equal_outer, 1));
         assert!(is_active_within(&carried_outer, 0));

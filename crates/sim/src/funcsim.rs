@@ -258,7 +258,10 @@ struct SpmStore<'a, 'b> {
 impl DataStore for SpmStore<'_, '_> {
     fn load(&self, array: prem_ir::ArrayId, idx: &[i64]) -> f64 {
         let Some(ai) = self.spm.array_pos(array) else {
-            self.spm.violation.borrow_mut().get_or_insert((array, idx.to_vec()));
+            self.spm
+                .violation
+                .borrow_mut()
+                .get_or_insert((array, idx.to_vec()));
             return 0.0;
         };
         let buf = self.spm.current[ai];
@@ -276,7 +279,10 @@ impl DataStore for SpmStore<'_, '_> {
 
     fn store(&mut self, array: prem_ir::ArrayId, idx: &[i64], value: f64) {
         let Some(ai) = self.spm.array_pos(array) else {
-            self.spm.violation.borrow_mut().get_or_insert((array, idx.to_vec()));
+            self.spm
+                .violation
+                .borrow_mut()
+                .get_or_insert((array, idx.to_vec()));
             return;
         };
         let buf = self.spm.current[ai];
@@ -409,14 +415,7 @@ fn run_component(
             let mut interp_stats = InterpStats::default();
             {
                 let mut spm_store = SpmStore { spm: &mut spm };
-                run_tile(
-                    comp,
-                    &ranges,
-                    &body,
-                    env,
-                    &mut spm_store,
-                    &mut interp_stats,
-                );
+                run_tile(comp, &ranges, &body, env, &mut spm_store, &mut interp_stats);
             }
             stats.instances += interp_stats.instances;
             stats.segments += 1;
@@ -504,7 +503,15 @@ fn run_tile<S: DataStore>(
         let r = level_ranges[depth];
         for counter in r.lo..=r.hi {
             env.set(lv.loop_id, lv.begin + lv.stride * counter);
-            rec(comp, level_ranges, depth + 1, innermost_body, env, store, stats);
+            rec(
+                comp,
+                level_ranges,
+                depth + 1,
+                innermost_body,
+                env,
+                store,
+                stats,
+            );
         }
         env.unset(lv.loop_id);
     }
@@ -530,7 +537,11 @@ mod tests {
             &cost,
             &OptimizerOptions::default(),
         );
-        assert!(out.makespan_ns.is_finite(), "{}: no feasible schedule", program.name);
+        assert!(
+            out.makespan_ns.is_finite(),
+            "{}: no feasible schedule",
+            program.name
+        );
         let planned: Vec<PlannedComponent> = out
             .components
             .iter()
@@ -565,7 +576,15 @@ mod tests {
     #[test]
     fn lstm_prem_execution_is_exact() {
         let platform = Platform::default().with_spm_bytes(4 * 1024).with_cores(3);
-        check_kernel(&LstmConfig { nt: 3, ns: 24, np: 20 }.build(), &platform);
+        check_kernel(
+            &LstmConfig {
+                nt: 3,
+                ns: 24,
+                np: 20,
+            }
+            .build(),
+            &platform,
+        );
     }
 
     #[test]
@@ -578,6 +597,14 @@ mod tests {
     #[test]
     fn rnn_prem_execution_is_exact() {
         let platform = Platform::default().with_spm_bytes(8 * 1024).with_cores(4);
-        check_kernel(&RnnConfig { nt: 2, ns: 24, np: 16 }.build(), &platform);
+        check_kernel(
+            &RnnConfig {
+                nt: 2,
+                ns: 24,
+                np: 16,
+            }
+            .build(),
+            &platform,
+        );
     }
 }

@@ -145,7 +145,9 @@ pub fn simulate(schedule: &ComponentSchedule) -> SimReport {
         let mut served = None;
         for off in 0..ncores {
             let i = (rr + off) % ncores;
-            let Some(&j) = queues[i].front() else { continue };
+            let Some(&j) = queues[i].front() else {
+                continue;
+            };
             if let Some(rel) = release(i, j) {
                 if rel <= dma_free {
                     served = Some((i, j, dma_free));
@@ -156,8 +158,8 @@ pub fn simulate(schedule: &ComponentSchedule) -> SimReport {
         if served.is_none() {
             // Jump to the earliest known release.
             let mut earliest: Option<(f64, usize, usize)> = None;
-            for i in 0..ncores {
-                let Some(&j) = queues[i].front() else { continue };
+            for (i, queue) in queues.iter().enumerate() {
+                let Some(&j) = queue.front() else { continue };
                 if let Some(rel) = release(i, j) {
                     if earliest.map(|(t, _, _)| rel < t).unwrap_or(true) {
                         earliest = Some((rel, i, j));
@@ -183,10 +185,139 @@ pub fn simulate(schedule: &ComponentSchedule) -> SimReport {
         });
     }
 
-    let makespan = trace
+    let makespan = trace.iter().map(|e| e.end_ns).fold(0.0f64, f64::max);
+    trace.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns));
+    SimReport {
+        makespan_ns: makespan,
+        dma_busy_ns: dma_busy,
+        trace,
+    }
+}
+
+/// Simulates one component execution with the **TDMA** DMA arbitration of
+/// the original streaming model (Soliman et al., §2.1.1): the DMA serves
+/// each core only inside its fixed time slot of `slot_ns`, idling through a
+/// slot whose owner has no released batch. The paper replaced this with the
+/// round-robin scheme of [`simulate`] (§3.5); comparing the two shows why.
+pub fn simulate_tdma(schedule: &ComponentSchedule, slot_ns: f64) -> SimReport {
+    assert!(slot_ns > 0.0, "slot length must be positive");
+    let cores = &schedule.cores;
+    let ncores = cores.len();
+
+    let mut exec_fin: Vec<Vec<Option<f64>>> =
+        cores.iter().map(|c| vec![None; c.nseg() + 1]).collect();
+    let mut mem_fin: Vec<Vec<Option<f64>>> = cores
         .iter()
-        .map(|e| e.end_ns)
-        .fold(0.0f64, f64::max);
+        .map(|c| {
+            c.batches
+                .iter()
+                .map(|b| if b.is_empty() { Some(0.0) } else { None })
+                .collect()
+        })
+        .collect();
+    let mut queues: Vec<std::collections::VecDeque<usize>> = cores
+        .iter()
+        .map(|c| {
+            (1..c.nseg() + 2)
+                .filter(|&j| !c.batches[j].is_empty())
+                .collect()
+        })
+        .collect();
+    // Remaining transfer time of the head batch once started (a batch may
+    // span multiple slots; it pauses at slot boundaries).
+    let mut remaining: Vec<f64> = (0..ncores)
+        .map(|i| {
+            queues[i]
+                .front()
+                .map(|&j| cores[i].batches[j].time_ns)
+                .unwrap_or(0.0)
+        })
+        .collect();
+
+    let mut trace = Vec::new();
+    let mut dma_busy = 0.0;
+    for (i, c) in cores.iter().enumerate() {
+        exec_fin[i][0] = Some(c.init_api_ns);
+        trace.push(TraceEvent {
+            core: i,
+            kind: PhaseKind::Init,
+            start_ns: 0.0,
+            end_ns: c.init_api_ns,
+        });
+    }
+
+    let mut slot_index = 0usize;
+    loop {
+        // Propagate executions.
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for (i, c) in cores.iter().enumerate() {
+                for s in 1..=c.nseg() {
+                    if exec_fin[i][s].is_some() {
+                        continue;
+                    }
+                    let (Some(prev), Some(mem)) = (exec_fin[i][s - 1], mem_fin[i][s]) else {
+                        break;
+                    };
+                    let start = prev.max(mem);
+                    let fin = start + c.exec_ns[s - 1] + c.api_ns[s - 1];
+                    exec_fin[i][s] = Some(fin);
+                    trace.push(TraceEvent {
+                        core: i,
+                        kind: PhaseKind::Exec { seg: s },
+                        start_ns: start,
+                        end_ns: fin,
+                    });
+                    progressed = true;
+                }
+            }
+        }
+        if queues.iter().all(|q| q.is_empty()) {
+            break;
+        }
+
+        // The slot belonging to core `slot_index % ncores`.
+        let i = slot_index % ncores;
+        let slot_start = slot_index as f64 * slot_ns;
+        let slot_end = slot_start + slot_ns;
+        slot_index += 1;
+
+        let Some(&j) = queues[i].front() else {
+            continue;
+        };
+        let nseg = cores[i].nseg();
+        let release = if j == nseg + 1 {
+            exec_fin[i][nseg]
+        } else {
+            exec_fin[i][j.saturating_sub(2)]
+        };
+        let Some(rel) = release else { continue };
+        if rel >= slot_end {
+            continue; // not released during this slot
+        }
+        let start = rel.max(slot_start);
+        let budget = slot_end - start;
+        let used = budget.min(remaining[i]);
+        trace.push(TraceEvent {
+            core: i,
+            kind: PhaseKind::Mem { batch: j },
+            start_ns: start,
+            end_ns: start + used,
+        });
+        dma_busy += used;
+        remaining[i] -= used;
+        if remaining[i] <= 1e-12 {
+            mem_fin[i][j] = Some(start + used);
+            queues[i].pop_front();
+            remaining[i] = queues[i]
+                .front()
+                .map(|&j2| cores[i].batches[j2].time_ns)
+                .unwrap_or(0.0);
+        }
+    }
+
+    let makespan = trace.iter().map(|e| e.end_ns).fold(0.0f64, f64::max);
     trace.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns));
     SimReport {
         makespan_ns: makespan,
@@ -319,135 +450,5 @@ mod tests {
         for w in mems.windows(2) {
             assert!(w[1].start_ns >= w[0].end_ns - 1e-9);
         }
-    }
-}
-
-/// Simulates one component execution with the **TDMA** DMA arbitration of
-/// the original streaming model (Soliman et al., §2.1.1): the DMA serves
-/// each core only inside its fixed time slot of `slot_ns`, idling through a
-/// slot whose owner has no released batch. The paper replaced this with the
-/// round-robin scheme of [`simulate`] (§3.5); comparing the two shows why.
-pub fn simulate_tdma(schedule: &ComponentSchedule, slot_ns: f64) -> SimReport {
-    assert!(slot_ns > 0.0, "slot length must be positive");
-    let cores = &schedule.cores;
-    let ncores = cores.len();
-
-    let mut exec_fin: Vec<Vec<Option<f64>>> =
-        cores.iter().map(|c| vec![None; c.nseg() + 1]).collect();
-    let mut mem_fin: Vec<Vec<Option<f64>>> = cores
-        .iter()
-        .map(|c| {
-            c.batches
-                .iter()
-                .map(|b| if b.is_empty() { Some(0.0) } else { None })
-                .collect()
-        })
-        .collect();
-    let mut queues: Vec<std::collections::VecDeque<usize>> = cores
-        .iter()
-        .map(|c| {
-            (1..c.nseg() + 2)
-                .filter(|&j| !c.batches[j].is_empty())
-                .collect()
-        })
-        .collect();
-    // Remaining transfer time of the head batch once started (a batch may
-    // span multiple slots; it pauses at slot boundaries).
-    let mut remaining: Vec<f64> = (0..ncores)
-        .map(|i| {
-            queues[i]
-                .front()
-                .map(|&j| cores[i].batches[j].time_ns)
-                .unwrap_or(0.0)
-        })
-        .collect();
-
-    let mut trace = Vec::new();
-    let mut dma_busy = 0.0;
-    for (i, c) in cores.iter().enumerate() {
-        exec_fin[i][0] = Some(c.init_api_ns);
-        trace.push(TraceEvent {
-            core: i,
-            kind: PhaseKind::Init,
-            start_ns: 0.0,
-            end_ns: c.init_api_ns,
-        });
-    }
-
-    let mut slot_index = 0usize;
-    loop {
-        // Propagate executions.
-        let mut progressed = true;
-        while progressed {
-            progressed = false;
-            for (i, c) in cores.iter().enumerate() {
-                for s in 1..=c.nseg() {
-                    if exec_fin[i][s].is_some() {
-                        continue;
-                    }
-                    let (Some(prev), Some(mem)) = (exec_fin[i][s - 1], mem_fin[i][s]) else {
-                        break;
-                    };
-                    let start = prev.max(mem);
-                    let fin = start + c.exec_ns[s - 1] + c.api_ns[s - 1];
-                    exec_fin[i][s] = Some(fin);
-                    trace.push(TraceEvent {
-                        core: i,
-                        kind: PhaseKind::Exec { seg: s },
-                        start_ns: start,
-                        end_ns: fin,
-                    });
-                    progressed = true;
-                }
-            }
-        }
-        if queues.iter().all(|q| q.is_empty()) {
-            break;
-        }
-
-        // The slot belonging to core `slot_index % ncores`.
-        let i = slot_index % ncores;
-        let slot_start = slot_index as f64 * slot_ns;
-        let slot_end = slot_start + slot_ns;
-        slot_index += 1;
-
-        let Some(&j) = queues[i].front() else { continue };
-        let nseg = cores[i].nseg();
-        let release = if j == nseg + 1 {
-            exec_fin[i][nseg]
-        } else {
-            exec_fin[i][j.saturating_sub(2)]
-        };
-        let Some(rel) = release else { continue };
-        if rel >= slot_end {
-            continue; // not released during this slot
-        }
-        let start = rel.max(slot_start);
-        let budget = slot_end - start;
-        let used = budget.min(remaining[i]);
-        trace.push(TraceEvent {
-            core: i,
-            kind: PhaseKind::Mem { batch: j },
-            start_ns: start,
-            end_ns: start + used,
-        });
-        dma_busy += used;
-        remaining[i] -= used;
-        if remaining[i] <= 1e-12 {
-            mem_fin[i][j] = Some(start + used);
-            queues[i].pop_front();
-            remaining[i] = queues[i]
-                .front()
-                .map(|&j2| cores[i].batches[j2].time_ns)
-                .unwrap_or(0.0);
-        }
-    }
-
-    let makespan = trace.iter().map(|e| e.end_ns).fold(0.0f64, f64::max);
-    trace.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns));
-    SimReport {
-        makespan_ns: makespan,
-        dma_busy_ns: dma_busy,
-        trace,
     }
 }

@@ -1,7 +1,9 @@
-//! Trace rendering: ASCII Gantt charts (the Figure 3.4 / Figure 2.2 view)
-//! and CSV export of simulated timelines.
+//! Trace rendering: ASCII Gantt charts (the Figure 3.4 / Figure 2.2 view),
+//! CSV export and Chrome Trace Format (Perfetto) export of simulated
+//! timelines.
 
 use crate::machine::{PhaseKind, TraceEvent};
+use prem_obs::{ChromeTrace, Json, TraceSpan};
 
 /// Renders a simulated timeline as an ASCII Gantt chart with one row per
 /// core plus a DMA row, `width` characters across the makespan.
@@ -26,8 +28,8 @@ pub fn render_gantt(trace: &[TraceEvent], width: usize) -> String {
         };
         let a = col(e.start_ns).min(width);
         let b = col(e.end_ns).min(width).max(a);
-        for c in a..=b {
-            rows[row][c] = ch;
+        for cell in &mut rows[row][a..=b] {
+            *cell = ch;
         }
         if matches!(e.kind, PhaseKind::Mem { .. }) {
             // Mark the owning core at the start of the phase if it fits.
@@ -56,18 +58,80 @@ pub fn render_gantt(trace: &[TraceEvent], width: usize) -> String {
 }
 
 /// Exports a timeline as CSV (`core,kind,detail,start_ns,end_ns`).
+///
+/// `detail` is the segment number for `exec` rows and the batch number for
+/// `mem` rows; `init` rows have no detail and leave the field **empty**
+/// (an `init` phase is not batch 0 — emitting `0` made the two
+/// indistinguishable to downstream parsers).
 pub fn trace_to_csv(trace: &[TraceEvent]) -> String {
     let mut out = String::from("core,kind,detail,start_ns,end_ns\n");
     for e in trace {
         let (kind, detail) = match e.kind {
-            PhaseKind::Init => ("init", 0),
-            PhaseKind::Exec { seg } => ("exec", seg),
-            PhaseKind::Mem { batch } => ("mem", batch),
+            PhaseKind::Init => ("init", String::new()),
+            PhaseKind::Exec { seg } => ("exec", seg.to_string()),
+            PhaseKind::Mem { batch } => ("mem", batch.to_string()),
         };
         out.push_str(&format!(
             "{},{kind},{detail},{},{}\n",
             e.core, e.start_ns, e.end_ns
         ));
+    }
+    out
+}
+
+/// Exports a timeline as a Chrome Trace Format JSON document that Perfetto
+/// (<https://ui.perfetto.dev>) and `chrome://tracing` open directly.
+///
+/// Layout: one process (`pid 0`) for the simulated machine; one thread
+/// track per core carrying its `init`/`exec` phases, plus a dedicated
+/// `DMA` track (`tid` = core count) carrying every memory phase, tagged
+/// with the owning core and batch number in `args` — the Gantt view of
+/// Figure 3.4, zoomable.
+pub fn trace_to_chrome(trace: &[TraceEvent]) -> ChromeTrace {
+    let mut out = ChromeTrace::new();
+    let ncores = trace.iter().map(|e| e.core + 1).max().unwrap_or(0);
+    out.process_name(0, "PREM machine");
+    for core in 0..ncores {
+        out.thread_name(0, core as u64, &format!("core {core}"));
+    }
+    let dma_tid = ncores as u64;
+    out.thread_name(0, dma_tid, "DMA");
+    for e in trace {
+        let (name, cat, tid, args) = match e.kind {
+            PhaseKind::Init => (
+                "init".to_string(),
+                "init",
+                e.core as u64,
+                vec![("core".to_string(), Json::from(e.core))],
+            ),
+            PhaseKind::Exec { seg } => (
+                format!("exec s{seg}"),
+                "exec",
+                e.core as u64,
+                vec![
+                    ("core".to_string(), Json::from(e.core)),
+                    ("segment".to_string(), Json::from(seg)),
+                ],
+            ),
+            PhaseKind::Mem { batch } => (
+                format!("mem c{} b{batch}", e.core),
+                "mem",
+                dma_tid,
+                vec![
+                    ("core".to_string(), Json::from(e.core)),
+                    ("batch".to_string(), Json::from(batch)),
+                ],
+            ),
+        };
+        out.span(TraceSpan {
+            name,
+            cat: cat.to_string(),
+            pid: 0,
+            tid,
+            ts_us: e.start_ns / 1e3,
+            dur_us: (e.end_ns - e.start_ns) / 1e3,
+            args,
+        });
     }
     out
 }
@@ -122,13 +186,64 @@ mod tests {
         let csv = trace_to_csv(&sample_trace());
         let mut lines = csv.lines();
         assert_eq!(lines.next(), Some("core,kind,detail,start_ns,end_ns"));
-        assert_eq!(lines.next(), Some("0,init,0,0,10"));
+        // Init rows carry an *empty* detail — distinguishable from a mem
+        // row's batch 0.
+        assert_eq!(lines.next(), Some("0,init,,0,10"));
         assert!(csv.contains("0,exec,1,30,100"));
         assert!(csv.contains("0,mem,1,10,30"));
+        // Round-trip: every row splits into exactly 5 fields and only
+        // init's detail is empty.
+        for line in csv.lines().skip(1) {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), 5, "row {line:?}");
+            assert_eq!(fields[2].is_empty(), fields[1] == "init", "row {line:?}");
+            if !fields[2].is_empty() {
+                fields[2].parse::<usize>().expect("numeric detail");
+            }
+        }
     }
 
     #[test]
     fn empty_trace_is_empty_output() {
         assert_eq!(render_gantt(&[], 40), "");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_tracks_cores_and_dma() {
+        use prem_obs::Json;
+        let doc = Json::parse(&trace_to_chrome(&sample_trace()).render()).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // 1 process_name + 2 core names + 1 DMA name + 4 phase events.
+        assert_eq!(events.len(), 8);
+        for e in events {
+            for key in ["ph", "pid"] {
+                assert!(e.get(key).is_some(), "event missing {key}: {e}");
+            }
+            if e.get("ph").and_then(Json::as_str) == Some("X") {
+                for key in ["ts", "dur", "tid", "name", "cat"] {
+                    assert!(e.get(key).is_some(), "span missing {key}: {e}");
+                }
+            }
+        }
+        // The mem phase lives on the DMA track (tid = ncores = 2) and names
+        // its owning core; exec phases live on their core's track.
+        let mem = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("mem"))
+            .unwrap();
+        assert_eq!(mem.get("tid").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(
+            mem.get("args")
+                .and_then(|a| a.get("core"))
+                .and_then(Json::as_f64),
+            Some(0.0)
+        );
+        let exec = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("exec"))
+            .unwrap();
+        assert_eq!(exec.get("tid").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(exec.get("ts").and_then(Json::as_f64), Some(0.03));
+        assert_eq!(exec.get("dur").and_then(Json::as_f64), Some(0.07));
     }
 }

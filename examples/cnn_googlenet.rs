@@ -23,7 +23,13 @@ fn main() {
 
     for bus in [16.0, 1.0 / 32.0, 1.0 / 512.0] {
         let platform = Platform::default().with_bus_gbytes(bus);
-        let ours = optimize_app(&tree, &program, &platform, &cost, &OptimizerOptions::default());
+        let ours = optimize_app(
+            &tree,
+            &program,
+            &platform,
+            &cost,
+            &OptimizerOptions::default(),
+        );
         let greedy = optimize_app_greedy(&tree, &program, &platform, &cost);
         println!("bus {bus:>9.5} GB/s:");
         let c = &ours.components[0];

@@ -30,7 +30,10 @@ const SOURCE: &str = r#"
 
 fn main() {
     let program = parse_kernel("jacobi_rowsum", SOURCE, &[]).expect("parses");
-    println!("parsed `{}`: {} loops, {} statements", program.name, program.loop_count, program.stmt_count);
+    println!(
+        "parsed `{}`: {} loops, {} statements",
+        program.name, program.loop_count, program.stmt_count
+    );
 
     let tree = LoopTree::build(&program).expect("valid SCoP");
     println!("\nloop tree:");
@@ -49,7 +52,13 @@ fn main() {
 
     let platform = Platform::default().with_spm_bytes(16 * 1024);
     let cost = SimCost::new(&program);
-    let out = optimize_app(&tree, &program, &platform, &cost, &OptimizerOptions::default());
+    let out = optimize_app(
+        &tree,
+        &program,
+        &platform,
+        &cost,
+        &OptimizerOptions::default(),
+    );
     println!("\nschedule ({} components):", out.components.len());
     for c in &out.components {
         println!(
@@ -93,6 +102,9 @@ fn main() {
     let prem_c = emit_prem_c(&program, &comps, &platform).expect("emits");
     std::fs::write("generated_original.c", &original).expect("write");
     std::fs::write("generated_prem.c", &prem_c).expect("write");
-    println!("wrote generated_original.c ({} lines) and generated_prem.c ({} lines)",
-        original.lines().count(), prem_c.lines().count());
+    println!(
+        "wrote generated_original.c ({} lines) and generated_prem.c ({} lines)",
+        original.lines().count(),
+        prem_c.lines().count()
+    );
 }

@@ -34,9 +34,7 @@ fn main() {
     let schedule = build_schedule(&component, &solution, &platform, &model).expect("feasible");
 
     println!("component (s1_0, p): K = (109, 350), R = (3, 1)");
-    println!(
-        "M = (6, 2) iteration ranges → 12 tiles on 3 cores, 4 segments each\n"
-    );
+    println!("M = (6, 2) iteration ranges → 12 tiles on 3 cores, 4 segments each\n");
 
     println!("buffer attributes and bounding boxes:");
     for (arr, bb) in component.arrays.iter().zip(&schedule.bounding_boxes) {
@@ -67,9 +65,14 @@ fn main() {
     }
 
     let result = evaluate(&schedule);
-    println!("\nanalytic makespan of one component execution: {:.4e} ns", result.makespan_ns);
-    println!("  exec {:.3e} ns, memory {:.3e} ns, API {:.3e} ns, {} B moved",
-        result.exec_ns, result.mem_ns, result.api_ns, result.bytes);
+    println!(
+        "\nanalytic makespan of one component execution: {:.4e} ns",
+        result.makespan_ns
+    );
+    println!(
+        "  exec {:.3e} ns, memory {:.3e} ns, API {:.3e} ns, {} B moved",
+        result.exec_ns, result.mem_ns, result.api_ns, result.bytes
+    );
 
     // Figure 3.4 — the simulated streaming timeline.
     let sim = simulate(&schedule);
@@ -87,6 +90,18 @@ fn main() {
     }
     println!("simulated makespan: {:.4e} ns", sim.makespan_ns);
     println!("\n{}", prem::sim::render_gantt(&sim.trace, 100));
+
+    // The same timeline as a Chrome Trace Format file — open it at
+    // https://ui.perfetto.dev for a zoomable Figure 3.4.
+    let chrome = prem::sim::trace_to_chrome(&sim.trace);
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = std::path::Path::new("results/lstm_schedule_trace.json");
+    chrome.write(path).expect("write chrome trace");
+    println!("wrote {} (open in Perfetto)", path.display());
+
     let err = (result.makespan_ns - sim.makespan_ns).abs() / sim.makespan_ns;
-    println!("analytic vs simulated error: {:.2}% (paper bound: 5%)", err * 100.0);
+    println!(
+        "analytic vs simulated error: {:.2}% (paper bound: 5%)",
+        err * 100.0
+    );
 }

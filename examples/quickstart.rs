@@ -34,7 +34,13 @@ fn main() {
     // 3. Optimization on a small platform (8 cores, 8 KiB SPMs).
     let platform = Platform::default().with_spm_bytes(8 * 1024);
     let cost = SimCost::new(&program);
-    let out = optimize_app(&tree, &program, &platform, &cost, &OptimizerOptions::default());
+    let out = optimize_app(
+        &tree,
+        &program,
+        &platform,
+        &cost,
+        &OptimizerOptions::default(),
+    );
     println!("\n== schedule ==");
     for c in &out.components {
         println!(

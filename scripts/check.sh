@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repo health gate: formatting, lints, and the hermetic tier-1 suite.
+#
+# Everything here runs offline — the workspace has no registry
+# dependencies (the proptest/criterion suites live in the excluded
+# `crates/heavy` package; see its Cargo.toml for the opt-in).
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "== workspace tests"
+cargo test --workspace -q
+
+echo "All checks passed."

@@ -36,5 +36,6 @@ pub use prem_core as core;
 pub use prem_frontend as frontend;
 pub use prem_ir as ir;
 pub use prem_kernels as kernels;
+pub use prem_obs as obs;
 pub use prem_polyhedral as polyhedral;
 pub use prem_sim as sim;

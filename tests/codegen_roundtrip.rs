@@ -43,7 +43,11 @@ fn original_emission_reparses_equivalently() {
         let mut s2 = MemStore::patterned(&reparsed);
         run_program(&program, &mut s1);
         run_program(&reparsed, &mut s2);
-        assert_eq!(s1.max_abs_diff(&s2), 0.0, "{name} diverges after round trip");
+        assert_eq!(
+            s1.max_abs_diff(&s2),
+            0.0,
+            "{name} diverges after round trip"
+        );
     }
 }
 
@@ -53,7 +57,13 @@ fn prem_emission_valid_for_all_kernels() {
         let platform = Platform::default().with_spm_bytes(8 * 1024);
         let tree = LoopTree::build(&program).unwrap();
         let cost = SimCost::new(&program);
-        let out = optimize_app(&tree, &program, &platform, &cost, &OptimizerOptions::default());
+        let out = optimize_app(
+            &tree,
+            &program,
+            &platform,
+            &cost,
+            &OptimizerOptions::default(),
+        );
         let comps: Vec<EmitComponent> = out
             .components
             .iter()
@@ -101,7 +111,13 @@ fn emitted_c_compiles_with_gcc_when_available() {
         let platform = Platform::default().with_spm_bytes(8 * 1024);
         let tree = LoopTree::build(&program).unwrap();
         let cost = SimCost::new(&program);
-        let out = optimize_app(&tree, &program, &platform, &cost, &OptimizerOptions::default());
+        let out = optimize_app(
+            &tree,
+            &program,
+            &platform,
+            &cost,
+            &OptimizerOptions::default(),
+        );
         let comps: Vec<EmitComponent> = out
             .components
             .iter()
@@ -114,7 +130,8 @@ fn emitted_c_compiles_with_gcc_when_available() {
             emit_original_c(&program),
             emit_prem_c(&program, &comps, &platform).unwrap(),
         ] {
-            let path = std::env::temp_dir().join(format!("prem_rt_{name}_{}.c", std::process::id()));
+            let path =
+                std::env::temp_dir().join(format!("prem_rt_{name}_{}.c", std::process::id()));
             std::fs::write(&path, &code).unwrap();
             let out = std::process::Command::new("gcc")
                 .args(["-std=c99", "-fsyntax-only"])

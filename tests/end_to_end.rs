@@ -9,7 +9,13 @@ use prem::sim::{run_app_prem, PlannedComponent, SimCost};
 fn check(program: &Program, platform: &Platform) -> prem::sim::FuncStats {
     let tree = LoopTree::build(program).expect("lowers");
     let cost = SimCost::new(program);
-    let out = optimize_app(&tree, program, platform, &cost, &OptimizerOptions::default());
+    let out = optimize_app(
+        &tree,
+        program,
+        platform,
+        &cost,
+        &OptimizerOptions::default(),
+    );
     assert!(
         out.makespan_ns.is_finite(),
         "{}: no feasible schedule on {platform:?}",
@@ -48,14 +54,20 @@ fn all_kernels_on_default_like_platform() {
 #[test]
 fn all_kernels_on_single_core() {
     for (_, program) in prem::kernels::all_small() {
-        check(&program, &Platform::default().with_cores(1).with_spm_bytes(8 * 1024));
+        check(
+            &program,
+            &Platform::default().with_cores(1).with_spm_bytes(8 * 1024),
+        );
     }
 }
 
 #[test]
 fn all_kernels_on_three_cores_tiny_spm() {
     for (_, program) in prem::kernels::all_small() {
-        check(&program, &Platform::default().with_cores(3).with_spm_bytes(2 * 1024));
+        check(
+            &program,
+            &Platform::default().with_cores(3).with_spm_bytes(2 * 1024),
+        );
     }
 }
 

@@ -20,7 +20,13 @@ fn gcc_available() -> bool {
 fn run_generated(program: &Program, platform: &Platform) -> HashMap<String, Vec<f64>> {
     let tree = LoopTree::build(program).unwrap();
     let cost = SimCost::new(program);
-    let out = optimize_app(&tree, program, platform, &cost, &OptimizerOptions::default());
+    let out = optimize_app(
+        &tree,
+        program,
+        platform,
+        &cost,
+        &OptimizerOptions::default(),
+    );
     assert!(out.makespan_ns.is_finite(), "{}: infeasible", program.name);
     for c in &out.components {
         assert_eq!(c.solution.threads(), 1, "host execution needs 1 thread");
@@ -158,7 +164,12 @@ fn tensor_f64(n0: i64, n1: i64, n2: i64) -> Program {
     let j = b.begin_loop("j", 0, 1, n1);
     let k = b.begin_loop("k", 0, 1, n2);
     b.begin_if(Cond::atom(IdxExpr::var(j), CmpOp::Eq).and(Cond::atom(IdxExpr::var(k), CmpOp::Eq)));
-    b.stmt(s, vec![IdxExpr::var(i)], AssignKind::Assign, Expr::Const(1.0));
+    b.stmt(
+        s,
+        vec![IdxExpr::var(i)],
+        AssignKind::Assign,
+        Expr::Const(1.0),
+    );
     b.end_if();
     b.stmt(
         s,
@@ -190,11 +201,7 @@ fn generated_cnn_runs_within_f32_tolerance() {
     // The CNN kernel uses f32 arrays: the C side rounds inputs/outputs to
     // float while the interpreter computes in f64 — compare with tolerance.
     let platform = Platform::default().with_cores(1).with_spm_bytes(8 * 1024);
-    compare(
-        &prem::kernels::CnnConfig::small().build(),
-        &platform,
-        1e-4,
-    );
+    compare(&prem::kernels::CnnConfig::small().build(), &platform, 1e-4);
 }
 
 #[test]

@@ -7,7 +7,7 @@ use prem::core::{
 };
 use prem::ir::Program;
 
-fn chain_component<'a>(tree: &'a LoopTree, program: &Program) -> Component {
+fn chain_component(tree: &LoopTree, program: &Program) -> Component {
     let mut chain = Vec::new();
     let mut node = &tree.roots[0];
     loop {
@@ -26,8 +26,8 @@ fn compare(program: &Program, platform: &Platform, tolerance: f64) {
     let cost = AnalyticCost::new(program);
     let model = cost.exec_model(&comp);
     let exhaustive = optimize_exhaustive(&comp, platform, &model).expect("feasible");
-    let heuristic =
-        optimize_component(&comp, platform, &model, &OptimizerOptions::default()).expect("feasible");
+    let heuristic = optimize_component(&comp, platform, &model, &OptimizerOptions::default())
+        .expect("feasible");
     assert!(
         heuristic.result.makespan_ns <= exhaustive.result.makespan_ns * tolerance,
         "{}: heuristic {} vs exhaustive {} ({}x)",
@@ -130,7 +130,9 @@ fn different_seeds_stay_close() {
     let comp = chain_component(&tree, &program);
     let cost = AnalyticCost::new(&program);
     let model = cost.exec_model(&comp);
-    let platform = Platform::default().with_spm_bytes(8 * 1024).with_bus_gbytes(0.25);
+    let platform = Platform::default()
+        .with_spm_bytes(8 * 1024)
+        .with_bus_gbytes(0.25);
     let mut best = f64::INFINITY;
     let mut worst = 0.0f64;
     for seed in 0..6u64 {
@@ -142,5 +144,8 @@ fn different_seeds_stay_close() {
         best = best.min(r.result.makespan_ns);
         worst = worst.max(r.result.makespan_ns);
     }
-    assert!(worst <= best * 1.15, "seed spread too wide: {best}..{worst}");
+    assert!(
+        worst <= best * 1.15,
+        "seed spread too wide: {best}..{worst}"
+    );
 }

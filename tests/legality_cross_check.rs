@@ -14,7 +14,13 @@ fn chosen_solutions_pass_precise_tiling_verifier() {
         let platform = Platform::default().with_spm_bytes(8 * 1024);
         let tree = LoopTree::build(&program).unwrap();
         let cost = SimCost::new(&program);
-        let out = optimize_app(&tree, &program, &platform, &cost, &OptimizerOptions::default());
+        let out = optimize_app(
+            &tree,
+            &program,
+            &platform,
+            &cost,
+            &OptimizerOptions::default(),
+        );
         for report in &out.components {
             let comp = &report.component;
             // Active deps for this component, expressed over the shared
@@ -78,11 +84,21 @@ fn skewed_dependence_prevents_inner_tiling() {
     );
     // …and with enough SPM the only legal solution is a single segment.
     let platform = Platform::default().with_spm_bytes(16 * 1024);
-    let out = optimize_app(&tree, &program, &platform, &cost, &OptimizerOptions::default());
+    let out = optimize_app(
+        &tree,
+        &program,
+        &platform,
+        &cost,
+        &OptimizerOptions::default(),
+    );
     assert!(out.makespan_ns.is_finite());
     let report = &out.components[0];
     assert_eq!(report.level_names, vec!["i"]);
-    assert_eq!(report.solution.k, vec![31], "single tile is the only legal K");
+    assert_eq!(
+        report.solution.k,
+        vec![31],
+        "single tile is the only legal K"
+    );
 
     // Functional check through the PREM machine.
     use prem::ir::{run_program, MemStore};
@@ -161,7 +177,9 @@ fn late_guard_bias_array_schedules_and_executes() {
     // tiles that exclude it must neither transfer it nor evict carried data
     // (the code-review scenario for empty canonical ranges and
     // late-tile range changes).
-    use prem::ir::{run_program, AssignKind, CmpOp, Cond, ElemType, Expr, IdxExpr, MemStore, ProgramBuilder};
+    use prem::ir::{
+        run_program, AssignKind, CmpOp, Cond, ElemType, Expr, IdxExpr, MemStore, ProgramBuilder,
+    };
     use prem::sim::{run_app_prem, PlannedComponent};
 
     let (n, m) = (24i64, 20i64);
@@ -172,7 +190,12 @@ fn late_guard_bias_array_schedules_and_executes() {
     let i = b.begin_loop("i", 0, 1, n);
     let j = b.begin_loop("j", 0, 1, m);
     b.begin_if(Cond::atom(IdxExpr::var(j), CmpOp::Eq));
-    b.stmt(acc, vec![IdxExpr::var(i)], AssignKind::Assign, Expr::Const(0.0));
+    b.stmt(
+        acc,
+        vec![IdxExpr::var(i)],
+        AssignKind::Assign,
+        Expr::Const(0.0),
+    );
     b.end_if();
     b.stmt(
         acc,
@@ -196,8 +219,17 @@ fn late_guard_bias_array_schedules_and_executes() {
     let platform = Platform::default().with_cores(2).with_spm_bytes(2 * 1024);
     let tree = LoopTree::build(&program).unwrap();
     let cost = SimCost::new(&program);
-    let out = optimize_app(&tree, &program, &platform, &cost, &OptimizerOptions::default());
-    assert!(out.makespan_ns.is_finite(), "late-guard kernel must schedule");
+    let out = optimize_app(
+        &tree,
+        &program,
+        &platform,
+        &cost,
+        &OptimizerOptions::default(),
+    );
+    assert!(
+        out.makespan_ns.is_finite(),
+        "late-guard kernel must schedule"
+    );
 
     let planned: Vec<PlannedComponent> = out
         .components
@@ -238,7 +270,10 @@ fn late_guard_bias_array_schedules_and_executes() {
         .filter(|o| o.array_idx == bias_idx && o.is_load)
         .count();
     let i_tiles = 4; // ceil(24/6)
-    assert_eq!(bias_loads, i_tiles, "one bias load per i-tile, none for j-tiles without j=m-1");
+    assert_eq!(
+        bias_loads, i_tiles,
+        "one bias load per i-tile, none for j-tiles without j=m-1"
+    );
 
     let planned2 = vec![PlannedComponent {
         component: comp,

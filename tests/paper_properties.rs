@@ -180,10 +180,15 @@ fn rnn_scales_worse_than_cnn() {
         let tree = LoopTree::build(program).unwrap();
         let cost = SimCost::new(program);
         let opts = OptimizerOptions::default();
-        let m1 = optimize_app(&tree, program, &Platform::default().with_cores(1), &cost, &opts)
-            .makespan_ns;
-        let m8 =
-            optimize_app(&tree, program, &Platform::default(), &cost, &opts).makespan_ns;
+        let m1 = optimize_app(
+            &tree,
+            program,
+            &Platform::default().with_cores(1),
+            &cost,
+            &opts,
+        )
+        .makespan_ns;
+        let m8 = optimize_app(&tree, program, &Platform::default(), &cost, &opts).makespan_ns;
         m1 / m8
     };
     let cnn_speedup = speedup(&cnn);

@@ -1,0 +1,84 @@
+//! Search-telemetry invariants across the whole PolyBench-NN suite (small
+//! sizes): every kernel's optimization reports eval/cache counters and a
+//! per-sweep convergence curve, and observing them does not change the
+//! chosen solutions.
+
+use prem::core::{optimize_app_timed, LoopTree, OptimizerOptions, Platform};
+use prem::sim::SimCost;
+
+#[test]
+fn telemetry_covers_every_polybench_kernel() {
+    for (name, program) in prem::kernels::all_small() {
+        let tree = LoopTree::build(&program).expect("kernels lower");
+        let cost = SimCost::new(&program);
+        let platform = Platform::default();
+        let (out, phases) = optimize_app_timed(
+            &tree,
+            &program,
+            &platform,
+            &cost,
+            &OptimizerOptions::default(),
+        );
+
+        let totals = out.search_totals();
+        assert!(totals.evals > 0, "{name}: no evaluations recorded");
+        assert_eq!(
+            totals.lookups(),
+            totals.evals + totals.cache_hits,
+            "{name}: lookups must partition into evals + cache hits"
+        );
+        let rate = totals.cache_hit_rate();
+        assert!((0.0..=1.0).contains(&rate), "{name}: hit rate {rate}");
+
+        for c in &out.components {
+            let t = &c.telemetry;
+            assert_eq!(
+                t.evals + t.cache_hits,
+                t.assignments.iter().map(|a| a.evals + a.cache_hits).sum(),
+                "{name}: component counters must sum over assignments"
+            );
+            let curve = t.convergence();
+            assert!(!curve.is_empty(), "{name}: empty convergence curve");
+            for w in curve.windows(2) {
+                assert!(
+                    w[1] <= w[0],
+                    "{name}: convergence must be monotone non-increasing"
+                );
+            }
+            let last = *curve.last().unwrap();
+            assert_eq!(
+                last, t.best_makespan_ns,
+                "{name}: curve must end at the best makespan"
+            );
+        }
+
+        // Pipeline phases are all present and non-negative.
+        for phase in ["component_extraction", "tiling_search", "schedule_build"] {
+            let s = phases.get(phase).unwrap_or_else(|| {
+                panic!("{name}: missing phase {phase}");
+            });
+            assert!(s >= 0.0, "{name}: negative {phase} time");
+        }
+
+        // Telemetry is pure observation: a second run picks identical
+        // solutions and records identical counters.
+        let (again, _) = optimize_app_timed(
+            &tree,
+            &program,
+            &platform,
+            &cost,
+            &OptimizerOptions::default(),
+        );
+        assert_eq!(
+            out.makespan_ns, again.makespan_ns,
+            "{name}: unstable result"
+        );
+        for (a, b) in out.components.iter().zip(&again.components) {
+            assert_eq!(a.solution, b.solution, "{name}: unstable solution");
+            assert_eq!(
+                a.telemetry.evals, b.telemetry.evals,
+                "{name}: unstable eval count"
+            );
+        }
+    }
+}
