@@ -9,8 +9,8 @@
 
 use prem_bench::{new_report, write_report, RunMode};
 use prem_core::{
-    build_schedule, evaluate_two_level, nondominated_thread_groups, optimize_component, Component,
-    CostProvider, LoopTree, OptimizerOptions, Platform, TwoLevelConfig,
+    build_schedule, evaluate_two_level, nondominated_thread_groups, optimize_component,
+    AnalysisCache, Component, CostProvider, LoopTree, OptimizerOptions, Platform, TwoLevelConfig,
 };
 use prem_obs::Json;
 use prem_sim::SimCost;
@@ -41,6 +41,9 @@ fn main() {
     let cost = SimCost::new(&program);
     let model = cost.exec_model(&comp);
     let platform = Platform::default().with_bus_gbytes(1.0 / 32.0);
+    // One memo for the whole study: every ablation re-searches the same
+    // component, so segment structure carries across sections 1, 2 and 4.
+    let cache = std::sync::Arc::new(AnalysisCache::new());
 
     println!("Ablations on the CNN study component @ 1/32 GB/s\n");
 
@@ -59,18 +62,21 @@ fn main() {
         let t0 = std::time::Instant::now();
         let opts = OptimizerOptions {
             max_iter,
+            analysis_cache: Some(cache.clone()),
             ..OptimizerOptions::default()
         };
         let r = optimize_component(&comp, &platform, &model, &opts).expect("feasible");
         let wall_s = t0.elapsed().as_secs_f64();
         println!(
             "{max_iter:>9} {:>14.5e} {:>8} {:>9.2}",
-            r.result.makespan_ns, r.evals, wall_s
+            r.result.makespan_ns,
+            r.evals(),
+            wall_s
         );
         sweep_points.push(Json::obj([
             ("max_iter".to_string(), Json::from(max_iter)),
             ("makespan_ns".to_string(), Json::from(r.result.makespan_ns)),
-            ("evals".to_string(), Json::from(r.evals)),
+            ("evals".to_string(), Json::from(r.evals())),
             ("cache_hits".to_string(), Json::from(r.telemetry.cache_hits)),
             ("wall_s".to_string(), Json::from(wall_s)),
         ]));
@@ -86,6 +92,7 @@ fn main() {
         let t0 = std::time::Instant::now();
         let opts = OptimizerOptions {
             convex_search: convex,
+            analysis_cache: Some(cache.clone()),
             ..OptimizerOptions::default()
         };
         let r = optimize_component(&comp, &platform, &model, &opts).expect("feasible");
@@ -94,7 +101,7 @@ fn main() {
             "{:>9} {:>14.5e} {:>8} {:>9.2}",
             if convex { "ternary" } else { "scan" },
             r.result.makespan_ns,
-            r.evals,
+            r.evals(),
             wall_s
         );
         search_points.push(Json::obj([
@@ -103,7 +110,7 @@ fn main() {
                 Json::from(if convex { "ternary" } else { "scan" }),
             ),
             ("makespan_ns".to_string(), Json::from(r.result.makespan_ns)),
-            ("evals".to_string(), Json::from(r.evals)),
+            ("evals".to_string(), Json::from(r.evals())),
             ("wall_s".to_string(), Json::from(wall_s)),
         ]));
     }
@@ -129,8 +136,11 @@ fn main() {
     println!("   non-dominated        : {}", nd.len());
 
     println!("\n4) two-level SPM prototype (Ch. 7): heuristic best solution re-timed");
-    let best = optimize_component(&comp, &platform, &model, &OptimizerOptions::default())
-        .expect("feasible");
+    let opts = OptimizerOptions {
+        analysis_cache: Some(cache.clone()),
+        ..OptimizerOptions::default()
+    };
+    let best = optimize_component(&comp, &platform, &model, &opts).expect("feasible");
     let sched = build_schedule(&comp, &best.solution, &platform, &model).expect("feasible");
     let single = prem_core::evaluate(&sched).makespan_ns;
     let l2_sizes: &[i64] = if mode.reduced() { &[1] } else { &[1, 2, 8] };
@@ -176,7 +186,7 @@ fn main() {
         .set("assignments_nondominated", nd.len())
         .set("two_level", Json::Arr(two_level_points))
         .set("makespan_ns", best.result.makespan_ns)
-        .set("evals", best.evals)
+        .set("evals", best.evals())
         .set("cache_hits", best.telemetry.cache_hits);
     write_report(&report);
 }

@@ -1,0 +1,631 @@
+//! Tier 1 of the two-tier makespan cost engine: the structure-dependent
+//! [`ComponentAnalysis`] precompute and the allocation-free
+//! [`ComponentAnalysis::makespan_only`] fold.
+//!
+//! [`crate::segments::build_schedule`] materializes every `MemOp`, `Batch`
+//! and per-segment cost vector — necessary for codegen and simulation, but
+//! wasteful inside a search loop that only consumes one scalar makespan.
+//! This module splits the work:
+//!
+//! * **Analysis (structure)** — everything that depends only on
+//!   `(component, solution, cores, exec_model)`: the `SegmentToSwap` lists
+//!   per array with the line structure of each transferred range, the
+//!   per-segment execution times, bounding boxes and SPM requirement. No
+//!   platform *timing* scalar (bus speed, API costs) is baked in, so one
+//!   analysis serves every bus-speed sweep point.
+//! * **Fold (scalars)** — [`ComponentAnalysis::makespan_only`] replays the
+//!   batch-placement rules of `build_schedule` and the round-robin
+//!   recurrence of [`crate::schedule::evaluate`] over scratch buffers,
+//!   producing a makespan that is **bitwise identical** to the materializing
+//!   tier (the float additions happen in the same order on the same
+//!   values).
+//!
+//! [`AnalysisCache`] memoizes analyses across optimizer runs so `fig6_1`
+//! style sweeps that vary only platform scalars reuse the expensive tile
+//! enumeration.
+
+use crate::component::{BufferAttr, Component};
+use crate::config::Platform;
+use crate::segments::ComponentSchedule;
+use crate::tiling::{Infeasible, Solution, TilePlan};
+use crate::timing::{transfer_time_from_lines, ExecModel, TransferShape};
+use prem_polyhedral::Interval;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One entry of an array's `SegmentToSwap` list: the segment (1-based) where
+/// a new canonical range binds, plus the line structure of the transfer —
+/// everything the fold needs to price the swap on any platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwapEntry {
+    /// Segment index (1-based) whose tile first binds this range.
+    pub seg: usize,
+    /// `DataLineNum` of the transferred range.
+    pub lines: i64,
+    /// `DataLineSize` of the transferred range (elements per line).
+    pub line_elems: i64,
+}
+
+/// Per-array metadata the fold needs without re-touching the component.
+#[derive(Debug, Clone, PartialEq)]
+struct ArrayMeta {
+    ndims: usize,
+    elem_bytes: i64,
+    loads: bool,
+    unloads: bool,
+}
+
+/// Structure-dependent precompute for one core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreAnalysis {
+    /// Number of execution segments on this core.
+    pub nseg: usize,
+    /// Execution time per segment in ns (tiled code only, no API).
+    pub exec_ns: Vec<f64>,
+    /// `SegmentToSwap` list per array.
+    pub swap_lists: Vec<Vec<SwapEntry>>,
+    /// Canonical ranges per array per swap entry; retained only when the
+    /// analysis was built for materialization (`retain_ranges`).
+    pub(crate) ranges: Option<Vec<Vec<Vec<Interval>>>>,
+}
+
+/// Everything about a `(component, solution)` pair that does not depend on
+/// platform timing scalars. Build once, fold on every sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentAnalysis {
+    /// The analyzed solution.
+    pub solution: Solution,
+    /// Per-core analyses (length = core count used to build the plan).
+    pub cores: Vec<CoreAnalysis>,
+    /// Bounding box per array (§5.3.1), sizing the SPM buffers.
+    pub bounding_boxes: Vec<Vec<i64>>,
+    /// Bytes of SPM needed (both double-buffer partitions).
+    pub spm_bytes_needed: i64,
+    /// Total bytes transferred by all cores.
+    pub total_bytes: i64,
+    /// Total number of DMA transfers.
+    pub total_ops: usize,
+    arrays: Vec<ArrayMeta>,
+}
+
+/// Result of the fast makespan fold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FastEval {
+    /// Makespan of one component execution in ns.
+    pub makespan_ns: f64,
+    /// Longest single phase in ns (see
+    /// [`crate::schedule::ScheduleResult::max_phase_ns`]).
+    pub max_phase_ns: f64,
+}
+
+/// Reusable scratch buffers for [`ComponentAnalysis::makespan_only`]; one
+/// per search thread, reused across every candidate evaluation.
+#[derive(Debug, Default)]
+pub struct MakespanScratch {
+    batch_time: Vec<Vec<f64>>,
+    batch_ops: Vec<Vec<u32>>,
+    api: Vec<Vec<f64>>,
+    init: Vec<f64>,
+    prev: Vec<f64>,
+    prev2: Vec<f64>,
+    mem_fin: Vec<f64>,
+}
+
+impl ComponentAnalysis {
+    /// Builds the analysis: tile plan, persistence/overlap checks, swap
+    /// lists, per-segment execution times and the SPM requirement — the
+    /// exact scan [`crate::segments::build_schedule`] performs, minus any
+    /// platform-priced materialization. With `retain_ranges` the canonical
+    /// ranges are kept so [`crate::segments::materialize_schedule`] can
+    /// rebuild the full [`ComponentSchedule`]; without it the analysis is
+    /// compact enough to cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Infeasible`] for thread-limit, overlap or persistence
+    /// violations. The SPM capacity is *not* checked here (it depends on the
+    /// platform); callers gate on [`ComponentAnalysis::spm_bytes_needed`].
+    pub fn build(
+        component: &Component,
+        solution: &Solution,
+        cores: usize,
+        exec_model: &ExecModel,
+        retain_ranges: bool,
+    ) -> Result<ComponentAnalysis, Infeasible> {
+        let plan = TilePlan::build(component, solution, cores)?;
+        crate::segments::check_persistence(component, &plan)?;
+
+        let narr = component.arrays.len();
+        let mut bounding_boxes: Vec<Vec<i64>> = component
+            .arrays
+            .iter()
+            .map(|a| vec![0; a.dims.len()])
+            .collect();
+        let rw_deps: Vec<bool> = component
+            .arrays
+            .iter()
+            .map(|a| crate::segments::array_has_rw_deps(component, a.array))
+            .collect();
+        let arrays: Vec<ArrayMeta> = component
+            .arrays
+            .iter()
+            .map(|a| ArrayMeta {
+                ndims: a.dims.len(),
+                elem_bytes: a.elem_bytes,
+                loads: matches!(a.attr, BufferAttr::Ro | BufferAttr::Rw),
+                unloads: matches!(a.attr, BufferAttr::Wo | BufferAttr::Rw),
+            })
+            .collect();
+
+        let mut out_cores: Vec<CoreAnalysis> = Vec::with_capacity(cores);
+        let mut total_bytes = 0i64;
+        let mut total_ops = 0usize;
+
+        // Scratch buffers reused across segments.
+        let mut ranges: Vec<Interval> = Vec::new();
+        let mut scratch_range: Vec<Interval> = Vec::new();
+        let mut extents: Vec<i64> = Vec::new();
+
+        for core in 0..cores {
+            let nseg = plan.core_nseg(core);
+            let mut ca = CoreAnalysis {
+                nseg,
+                exec_ns: Vec::with_capacity(nseg),
+                swap_lists: vec![Vec::new(); narr],
+                ranges: if retain_ranges {
+                    Some(vec![Vec::new(); narr])
+                } else {
+                    None
+                },
+            };
+            if nseg == 0 {
+                out_cores.push(ca);
+                continue;
+            }
+
+            // Last bound range per array — change detection without
+            // retaining the full range history.
+            let mut last: Vec<Option<Vec<Interval>>> = vec![None; narr];
+            let mut overlap_error: Option<Infeasible> = None;
+            let mut s0 = 0usize;
+            plan.for_each_core_tile(core, |tile| {
+                if overlap_error.is_some() {
+                    return;
+                }
+                plan.tile_ranges_into(tile, &mut ranges);
+                for (ai, arr) in component.arrays.iter().enumerate() {
+                    scratch_range.clear();
+                    for dim in &arr.contribs {
+                        let mut hull = Interval::empty();
+                        for c in dim {
+                            hull = hull.hull(&c.bounds(&ranges));
+                        }
+                        scratch_range.push(hull);
+                    }
+                    let r = &scratch_range;
+                    if r.iter().any(Interval::is_empty) {
+                        // Every access is guard-excluded from this tile: the
+                        // segment does not touch the array, so no swap
+                        // happens and the previously bound range persists.
+                        continue;
+                    }
+                    for (bb, iv) in bounding_boxes[ai].iter_mut().zip(r) {
+                        *bb = (*bb).max(iv.len() as i64);
+                    }
+                    let changed = match &last[ai] {
+                        Some(prev) if prev == r => false,
+                        Some(prev) => {
+                            // Range changed: §5.3.1 overlap rule for arrays
+                            // with RAW/WAW dependences.
+                            if rw_deps[ai] && prem_polyhedral::ranges_overlap(prev, r) {
+                                overlap_error = Some(Infeasible::RangeOverlap {
+                                    array: arr.name.clone(),
+                                });
+                                return;
+                            }
+                            true
+                        }
+                        None => true,
+                    };
+                    if changed {
+                        let meta = &arrays[ai];
+                        let shape = TransferShape {
+                            range: r.iter().map(|iv| iv.len() as i64).collect(),
+                            array: arr.dims.clone(),
+                            elem_bytes: arr.elem_bytes,
+                        };
+                        let bytes = shape.bytes();
+                        if meta.loads {
+                            total_bytes += bytes;
+                            total_ops += 1;
+                        }
+                        if meta.unloads {
+                            total_bytes += bytes;
+                            total_ops += 1;
+                        }
+                        ca.swap_lists[ai].push(SwapEntry {
+                            seg: s0 + 1,
+                            lines: shape.data_line_num(),
+                            line_elems: shape.data_line_size(),
+                        });
+                        if let Some(rr) = &mut ca.ranges {
+                            rr[ai].push(r.clone());
+                        }
+                        match &mut last[ai] {
+                            Some(prev) => {
+                                prev.clear();
+                                prev.extend_from_slice(r);
+                            }
+                            None => last[ai] = Some(r.clone()),
+                        }
+                    }
+                }
+                // Execution time from actual (clipped) extents.
+                extents.clear();
+                extents.extend(ranges.iter().map(|r| r.len() as i64));
+                ca.exec_ns.push(exec_model.tile_time_ns(&extents));
+                s0 += 1;
+            });
+            if let Some(e) = overlap_error {
+                return Err(e);
+            }
+            out_cores.push(ca);
+        }
+
+        let mut spm_bytes_needed = 0i64;
+        for (arr, bb) in component.arrays.iter().zip(&bounding_boxes) {
+            spm_bytes_needed += 2 * arr.elem_bytes * bb.iter().product::<i64>();
+        }
+
+        Ok(ComponentAnalysis {
+            solution: solution.clone(),
+            cores: out_cores,
+            bounding_boxes,
+            spm_bytes_needed,
+            total_bytes,
+            total_ops,
+            arrays,
+        })
+    }
+
+    /// The fast tier: folds the swap lists and execution times into the
+    /// round-robin streaming recurrence without materializing a single
+    /// `MemOp`. The returned makespan and `max_phase_ns` are bitwise
+    /// identical to
+    /// `evaluate(&build_schedule(component, solution, platform, model)?)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Infeasible::SpmOverflow`] when the bounding boxes exceed
+    /// the platform's SPM, mirroring the materializing tier's final check.
+    pub fn makespan_only(
+        &self,
+        platform: &Platform,
+        scratch: &mut MakespanScratch,
+    ) -> Result<FastEval, Infeasible> {
+        if self.spm_bytes_needed > platform.spm_bytes {
+            return Err(Infeasible::SpmOverflow {
+                needed: self.spm_bytes_needed,
+                capacity: platform.spm_bytes,
+            });
+        }
+        let api = &platform.api;
+        let narr = self.arrays.len();
+        let ncores = self.cores.len();
+        scratch.batch_time.resize_with(ncores, Vec::new);
+        scratch.batch_ops.resize_with(ncores, Vec::new);
+        scratch.api.resize_with(ncores, Vec::new);
+        for v in [&mut scratch.init, &mut scratch.prev, &mut scratch.prev2] {
+            v.clear();
+            v.resize(ncores, 0.0);
+        }
+        scratch.mem_fin.clear();
+        scratch.mem_fin.resize(ncores, 0.0);
+
+        // Phase 1: replay build_schedule's batch placement and API charges,
+        // accumulating only per-batch/segment totals. Addition order matches
+        // the materializing tier exactly (per array, per swap entry, load
+        // before unload), which keeps the f64 sums bitwise equal.
+        let mut max_phase = 0.0f64;
+        for (i, core) in self.cores.iter().enumerate() {
+            let nseg = core.nseg;
+            let bt = &mut scratch.batch_time[i];
+            bt.clear();
+            bt.resize(nseg + 2, 0.0);
+            let bo = &mut scratch.batch_ops[i];
+            bo.clear();
+            bo.resize(nseg + 2, 0);
+            let ap = &mut scratch.api[i];
+            ap.clear();
+            ap.resize(nseg, 0.0);
+            if nseg == 0 {
+                continue; // init stays 0, like the materializing tier
+            }
+            let mut init = 0.0f64;
+            for (ai, list) in core.swap_lists.iter().enumerate() {
+                let meta = &self.arrays[ai];
+                for (x, e) in list.iter().enumerate() {
+                    if meta.loads {
+                        let batch = if x == 0 { 1 } else { list[x - 1].seg + 1 };
+                        let cost = api.swap_cost(meta.ndims);
+                        if batch <= 2 {
+                            init += cost;
+                        } else {
+                            ap[batch - 3] += cost;
+                        }
+                        bt[batch] += transfer_time_from_lines(
+                            e.lines,
+                            e.line_elems,
+                            meta.elem_bytes,
+                            platform,
+                        ) + api.dma_int_handler;
+                        bo[batch] += 1;
+                    }
+                    if meta.unloads {
+                        let batch = match list.get(x + 1) {
+                            Some(next) => next.seg + 1,
+                            None => nseg + 1,
+                        };
+                        if !meta.loads && batch <= nseg {
+                            let cost = api.swap_cost(meta.ndims);
+                            if batch <= 2 {
+                                init += cost;
+                            } else {
+                                ap[batch - 3] += cost;
+                            }
+                        }
+                        bt[batch] += transfer_time_from_lines(
+                            e.lines,
+                            e.line_elems,
+                            meta.elem_bytes,
+                            platform,
+                        ) + api.dma_int_handler;
+                        bo[batch] += 1;
+                    }
+                }
+            }
+            init += 2.0 * narr as f64 * api.allocate_buffer + api.dispatch + api.end_segment;
+            for s in ap.iter_mut() {
+                *s += api.end_segment;
+            }
+            ap[nseg - 1] += 2.0 * narr as f64 * api.deallocate_buffer;
+            scratch.init[i] = init;
+
+            max_phase = max_phase.max(init);
+            for (e, a) in core.exec_ns.iter().zip(ap.iter()) {
+                max_phase = max_phase.max(e + a);
+            }
+            for b in bt.iter() {
+                max_phase = max_phase.max(*b);
+            }
+        }
+
+        // Phase 2: the evaluate() recurrence with rolling per-core state.
+        // prev = exec_fin[i][j-1], prev2 = exec_fin[i][j-2] at the top of
+        // level j; prev stops advancing once the core runs out of segments,
+        // which leaves it at exec_fin[i][nseg] for the final-unload gate.
+        let max_nseg = self.cores.iter().map(|c| c.nseg).max().unwrap_or(0);
+        let mut dma_free = 0.0f64;
+        let mut makespan = 0.0f64;
+        for i in 0..ncores {
+            scratch.prev[i] = scratch.init[i];
+            scratch.prev2[i] = scratch.init[i];
+        }
+        for j in 1..=max_nseg + 1 {
+            for m in scratch.mem_fin.iter_mut() {
+                *m = 0.0;
+            }
+            for i in 0..ncores {
+                let nseg = self.cores[i].nseg;
+                if j > nseg + 1 || scratch.batch_ops[i][j] == 0 {
+                    continue;
+                }
+                let gate = if j == nseg + 1 {
+                    scratch.prev[i]
+                } else {
+                    scratch.prev2[i]
+                };
+                let start = dma_free.max(gate);
+                let fin = start + scratch.batch_time[i][j];
+                dma_free = fin;
+                scratch.mem_fin[i] = fin;
+                makespan = makespan.max(fin);
+            }
+            for (i, core) in self.cores.iter().enumerate() {
+                if j > core.nseg {
+                    continue;
+                }
+                let start = scratch.prev[i].max(scratch.mem_fin[i]);
+                let fin = start + core.exec_ns[j - 1] + scratch.api[i][j - 1];
+                scratch.prev2[i] = scratch.prev[i];
+                scratch.prev[i] = fin;
+                makespan = makespan.max(fin);
+            }
+        }
+
+        Ok(FastEval {
+            makespan_ns: makespan,
+            max_phase_ns: max_phase,
+        })
+    }
+
+    /// Materializes the full [`ComponentSchedule`] from a retained analysis;
+    /// see [`crate::segments::materialize_schedule`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Infeasible::SpmOverflow`] when the SPM requirement exceeds
+    /// the platform's capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the analysis was built without `retain_ranges`.
+    pub fn materialize(
+        &self,
+        component: &Component,
+        platform: &Platform,
+    ) -> Result<ComponentSchedule, Infeasible> {
+        crate::segments::materialize_schedule(self, component, platform)
+    }
+
+    /// Approximate cache weight: number of stored swap entries and execution
+    /// times (each a few machine words).
+    fn weight(&self) -> usize {
+        self.cores
+            .iter()
+            .map(|c| c.exec_ns.len() + c.swap_lists.iter().map(Vec::len).sum::<usize>())
+            .sum::<usize>()
+            .max(1)
+    }
+}
+
+/// One-shot fast-tier makespan of a solution: `+∞` when infeasible, else
+/// bitwise equal to the materializing tier's
+/// `evaluate(&build_schedule(...)).makespan_ns`. Allocates fresh scratch —
+/// search loops should use
+/// [`crate::optimizer::MakespanEvaluator`] instead, which reuses buffers
+/// and memoizes.
+pub fn fast_makespan(
+    component: &Component,
+    solution: &Solution,
+    platform: &Platform,
+    exec_model: &ExecModel,
+) -> f64 {
+    let spm_estimate = crate::tiling::spm_bytes_for(component, &solution.k);
+    if spm_estimate > platform.spm_bytes {
+        return f64::INFINITY;
+    }
+    let Ok(analysis) =
+        ComponentAnalysis::build(component, solution, platform.cores, exec_model, false)
+    else {
+        return f64::INFINITY;
+    };
+    match analysis.makespan_only(platform, &mut MakespanScratch::default()) {
+        Ok(fast) => fast.makespan_ns,
+        Err(_) => f64::INFINITY,
+    }
+}
+
+/// Cache key: the component's loop structure, the execution model and the
+/// search coordinates. Platform timing scalars are deliberately absent —
+/// that is the whole point of the cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct AnalysisKey {
+    levels: Vec<(usize, i64)>,
+    model_bits: Vec<u64>,
+    cores: usize,
+    solution: Solution,
+}
+
+fn analysis_key(
+    component: &Component,
+    exec_model: &ExecModel,
+    cores: usize,
+    solution: &Solution,
+) -> AnalysisKey {
+    AnalysisKey {
+        levels: component
+            .levels
+            .iter()
+            .map(|l| (l.loop_id, l.count))
+            .collect(),
+        model_bits: exec_model
+            .o
+            .iter()
+            .map(|v| v.to_bits())
+            .chain([exec_model.w.to_bits()])
+            .collect(),
+        cores,
+        solution: solution.clone(),
+    }
+}
+
+type CacheEntry = Result<Arc<ComponentAnalysis>, Infeasible>;
+
+const CACHE_SHARDS: usize = 16;
+/// Analyses heavier than this (in [`ComponentAnalysis::weight`] units) are
+/// not cached — a `K = 1` solution of a large kernel can carry 100k+
+/// segments and would evict everything useful.
+const MAX_ENTRY_WEIGHT: usize = 1 << 16;
+/// Total cache budget in weight units (~a few hundred MB worst case).
+const MAX_TOTAL_WEIGHT: usize = 1 << 22;
+
+/// Shared, sharded memo of [`ComponentAnalysis`] results (including
+/// infeasibility verdicts), keyed by structure only. One cache serves every
+/// optimizer run of a sweep: points that differ only in bus speed or API
+/// costs hit for every candidate the previous points explored.
+pub struct AnalysisCache {
+    shards: Vec<Mutex<HashMap<AnalysisKey, CacheEntry>>>,
+    weight: AtomicUsize,
+}
+
+impl Default for AnalysisCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for AnalysisCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisCache")
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+impl AnalysisCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        AnalysisCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            weight: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of cached analyses across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the analysis (or infeasibility verdict) for the key, building
+    /// it on a miss. The second element is `true` when the result came from
+    /// the cache. Builds happen outside the shard lock; a racing duplicate
+    /// build is accepted (last insert wins, both values are identical).
+    pub fn get_or_build(
+        &self,
+        component: &Component,
+        solution: &Solution,
+        cores: usize,
+        exec_model: &ExecModel,
+    ) -> (CacheEntry, bool) {
+        let key = analysis_key(component, exec_model, cores, solution);
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        let shard = &self.shards[(hasher.finish() as usize) % CACHE_SHARDS];
+        if let Some(entry) = shard.lock().unwrap().get(&key) {
+            return (entry.clone(), true);
+        }
+        let built: CacheEntry =
+            ComponentAnalysis::build(component, solution, cores, exec_model, false).map(Arc::new);
+        let weight = built.as_ref().map(|a| a.weight()).unwrap_or(1);
+        if weight <= MAX_ENTRY_WEIGHT {
+            let total = self.weight.fetch_add(weight, Ordering::Relaxed) + weight;
+            if total <= MAX_TOTAL_WEIGHT {
+                shard.lock().unwrap().insert(key, built.clone());
+            } else {
+                self.weight.fetch_sub(weight, Ordering::Relaxed);
+            }
+        }
+        (built, false)
+    }
+}

@@ -29,8 +29,6 @@ pub struct ComponentReport {
     pub result: ScheduleResult,
     /// Execution count `I`.
     pub exec_count: u64,
-    /// Number of makespan evaluations the optimizer spent.
-    pub evals: usize,
     /// Structured search telemetry for this component's optimization.
     pub telemetry: SearchTelemetry,
     /// The component itself (for downstream code generation/simulation).
@@ -38,6 +36,12 @@ pub struct ComponentReport {
 }
 
 impl ComponentReport {
+    /// Number of makespan evaluations the optimizer spent — derived from
+    /// the telemetry so the two can never diverge.
+    pub fn evals(&self) -> usize {
+        self.telemetry.evals
+    }
+
     /// Contribution of this component to the application makespan.
     pub fn total_ns(&self) -> f64 {
         self.result.makespan_ns * self.exec_count as f64
@@ -255,7 +259,6 @@ fn extract_component<'t>(
                     solution: outcome.solution,
                     result: outcome.result,
                     exec_count: component.exec_count,
-                    evals: outcome.evals,
                     telemetry: outcome.telemetry,
                     component,
                 };
@@ -410,7 +413,6 @@ pub fn greedy_component(
     Some(OptimizeOutcome {
         solution,
         result,
-        evals: 1,
         telemetry,
     })
 }

@@ -49,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod app;
 pub mod component;
 pub mod config;
@@ -62,6 +63,10 @@ pub mod segments;
 pub mod tiling;
 pub mod timing;
 
+pub use analysis::{
+    fast_makespan, AnalysisCache, ComponentAnalysis, CoreAnalysis, FastEval, MakespanScratch,
+    SwapEntry,
+};
 pub use app::{
     greedy_component, ideal_makespan, optimize_app, optimize_app_greedy, optimize_app_timed,
     AppOutcome, ComponentReport,
@@ -76,9 +81,14 @@ pub use multilevel::{evaluate_two_level, TwoLevelConfig, TwoLevelResult};
 pub use multitask::{analyze, PremTask, Schedulability, TaskResponse};
 pub use optimizer::{
     find_minimum, nondominated_thread_groups, optimize_component, optimize_exhaustive,
-    select_tile_sizes, MakespanEvaluator, OptimizeOutcome, OptimizerOptions,
+    select_tile_sizes, MakespanEvaluator, OptimizeOutcome, OptimizerOptions, SearchEngine,
 };
 pub use schedule::{build_dag, evaluate, PhaseDag, PhaseNode, ScheduleResult};
-pub use segments::{build_schedule, Batch, ComponentSchedule, CorePlan, MemOp};
+pub use segments::{
+    build_schedule, materialize_schedule, Batch, ComponentSchedule, CorePlan, MemOp,
+};
 pub use tiling::{Infeasible, Solution, TilePlan, SEGMENT_CAP};
-pub use timing::{fit_exec_model, transfer_time_ns, ExecModel, ExecSample, TransferShape};
+pub use timing::{
+    fit_exec_model, transfer_time_from_lines, transfer_time_ns, ExecModel, ExecSample,
+    TransferShape,
+};

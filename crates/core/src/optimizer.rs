@@ -7,6 +7,7 @@
 //! in each tile size. An exhaustive optimizer is provided for validation on
 //! small components.
 
+use crate::analysis::{AnalysisCache, ComponentAnalysis, MakespanScratch};
 use crate::component::Component;
 use crate::config::Platform;
 use crate::schedule::{evaluate, ScheduleResult};
@@ -16,10 +17,11 @@ use crate::timing::ExecModel;
 use prem_obs::{AssignmentTelemetry, SearchTelemetry};
 use prem_polyhedral::div_ceil;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Options controlling the heuristic search.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct OptimizerOptions {
     /// Coordinate-descent sweeps (`max_iter`, the paper uses 3).
     pub max_iter: usize,
@@ -33,6 +35,10 @@ pub struct OptimizerOptions {
     /// multitasking system where non-preemptive phases block higher-priority
     /// tasks (§2.1.2, `multitask`).
     pub max_phase_ns: Option<f64>,
+    /// Shared [`AnalysisCache`] keyed on structure only: sweeps that vary
+    /// platform timing scalars (bus speed, API costs) across optimizer runs
+    /// reuse every tile enumeration. `None` disables cross-run reuse.
+    pub analysis_cache: Option<Arc<AnalysisCache>>,
 }
 
 impl Default for OptimizerOptions {
@@ -42,7 +48,22 @@ impl Default for OptimizerOptions {
             seed: 0x5eed,
             convex_search: true,
             max_phase_ns: None,
+            analysis_cache: None,
         }
+    }
+}
+
+impl PartialEq for OptimizerOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.max_iter == other.max_iter
+            && self.seed == other.seed
+            && self.convex_search == other.convex_search
+            && self.max_phase_ns == other.max_phase_ns
+            && match (&self.analysis_cache, &other.analysis_cache) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
     }
 }
 
@@ -53,11 +74,18 @@ pub struct OptimizeOutcome {
     pub solution: Solution,
     /// Schedule evaluation of the best solution (one component execution).
     pub result: ScheduleResult,
-    /// Number of makespan evaluations performed.
-    pub evals: usize,
     /// Structured search telemetry: per-assignment eval counts, memo-cache
-    /// hit rates and per-sweep convergence (see [`SearchTelemetry`]).
+    /// hit rates, tier-level counters and per-sweep convergence (see
+    /// [`SearchTelemetry`]).
     pub telemetry: SearchTelemetry,
+}
+
+impl OptimizeOutcome {
+    /// Number of makespan evaluations performed — derived from the
+    /// telemetry so the two can never diverge.
+    pub fn evals(&self) -> usize {
+        self.telemetry.evals
+    }
 }
 
 /// All valid, non-dominated thread-group assignments for a component on `p`
@@ -132,17 +160,31 @@ pub fn select_tile_sizes(component: &Component, j: usize, r: i64) -> Vec<i64> {
 }
 
 /// A memoizing makespan evaluator for one component.
+///
+/// Candidate queries go through the fast tier
+/// ([`ComponentAnalysis::makespan_only`]) over reused scratch buffers; the
+/// materializing tier runs only for [`MakespanEvaluator::full`] (the search
+/// winner) and, in debug builds, as a sampled differential check of the
+/// fast tier.
 pub struct MakespanEvaluator<'a> {
     component: &'a Component,
     platform: &'a Platform,
     exec_model: &'a ExecModel,
     cache: HashMap<Solution, f64>,
+    analysis_cache: Option<Arc<AnalysisCache>>,
+    scratch: MakespanScratch,
     /// Optional cap on the longest phase (see [`OptimizerOptions`]).
     pub max_phase_ns: Option<f64>,
-    /// Number of (uncached) schedule constructions.
+    /// Number of (uncached) makespan evaluations.
     pub evals: usize,
     /// Number of lookups answered from the memo cache.
     pub cache_hits: usize,
+    /// Evaluations answered by the fast tier (reached the fold, i.e. passed
+    /// the analytic SPM pre-gate and the structural feasibility checks).
+    pub fast_evals: usize,
+    /// Analyses answered by the shared [`AnalysisCache`] instead of being
+    /// rebuilt.
+    pub analysis_reuses: usize,
 }
 
 impl<'a> MakespanEvaluator<'a> {
@@ -157,10 +199,20 @@ impl<'a> MakespanEvaluator<'a> {
             platform,
             exec_model,
             cache: HashMap::new(),
+            analysis_cache: None,
+            scratch: MakespanScratch::default(),
             max_phase_ns: None,
             evals: 0,
             cache_hits: 0,
+            fast_evals: 0,
+            analysis_reuses: 0,
         }
+    }
+
+    /// Attaches a shared [`AnalysisCache`] for cross-run precompute reuse.
+    pub fn with_analysis_cache(mut self, cache: Option<Arc<AnalysisCache>>) -> Self {
+        self.analysis_cache = cache;
+        self
     }
 
     /// Makespan of a solution in ns (`+∞` when infeasible).
@@ -170,7 +222,64 @@ impl<'a> MakespanEvaluator<'a> {
             return v;
         }
         self.evals += 1;
-        let v = match build_schedule(self.component, solution, self.platform, self.exec_model) {
+        let v = self.fast_makespan(solution);
+        #[cfg(debug_assertions)]
+        if self.evals <= 4 || self.evals.is_multiple_of(101) {
+            self.check_differential(solution, v);
+        }
+        self.cache.insert(solution.clone(), v);
+        v
+    }
+
+    /// The fast tier: analytic SPM pre-gate, (cached) structure analysis,
+    /// then the allocation-free recurrence fold.
+    fn fast_makespan(&mut self, solution: &Solution) -> f64 {
+        let spm_estimate = crate::tiling::spm_bytes_for(self.component, &solution.k);
+        if spm_estimate > self.platform.spm_bytes {
+            return f64::INFINITY;
+        }
+        let analysis = match &self.analysis_cache {
+            Some(cache) => {
+                let (entry, reused) = cache.get_or_build(
+                    self.component,
+                    solution,
+                    self.platform.cores,
+                    self.exec_model,
+                );
+                if reused {
+                    self.analysis_reuses += 1;
+                }
+                match entry {
+                    Ok(a) => a,
+                    Err(_) => return f64::INFINITY,
+                }
+            }
+            None => match ComponentAnalysis::build(
+                self.component,
+                solution,
+                self.platform.cores,
+                self.exec_model,
+                false,
+            ) {
+                Ok(a) => Arc::new(a),
+                Err(_) => return f64::INFINITY,
+            },
+        };
+        self.fast_evals += 1;
+        match analysis.makespan_only(self.platform, &mut self.scratch) {
+            Ok(fast) => match self.max_phase_ns {
+                Some(cap) if fast.max_phase_ns > cap => f64::INFINITY,
+                _ => fast.makespan_ns,
+            },
+            Err(_) => f64::INFINITY,
+        }
+    }
+
+    /// Debug-only differential: the fast tier must agree bitwise with the
+    /// materializing tier (sampled to keep debug test runs affordable).
+    #[cfg(debug_assertions)]
+    fn check_differential(&self, solution: &Solution, fast: f64) {
+        let slow = match build_schedule(self.component, solution, self.platform, self.exec_model) {
             Ok(s) => {
                 let r = evaluate(&s);
                 match self.max_phase_ns {
@@ -180,15 +289,184 @@ impl<'a> MakespanEvaluator<'a> {
             }
             Err(_) => f64::INFINITY,
         };
-        self.cache.insert(solution.clone(), v);
-        v
+        debug_assert_eq!(
+            fast.to_bits(),
+            slow.to_bits(),
+            "two-tier divergence for k={:?} r={:?}: fast {fast} vs full {slow}",
+            solution.k,
+            solution.r
+        );
     }
 
-    /// Full schedule evaluation of a solution.
+    /// Full schedule evaluation of a solution (the materializing tier).
     pub fn full(&self, solution: &Solution) -> Option<ScheduleResult> {
         build_schedule(self.component, solution, self.platform, self.exec_model)
             .ok()
             .map(|s| evaluate(&s))
+    }
+}
+
+/// What one assignment driver (coordinate descent or exhaustive
+/// enumeration) reports back to the [`SearchEngine`].
+struct DriveOutcome {
+    solution: Solution,
+    makespan_ns: f64,
+    sweep_best_ns: Vec<f64>,
+    pruned: usize,
+}
+
+/// The unified parallel search core: a worker pool over non-dominated
+/// thread-group assignments, each driven by a per-assignment memoizing
+/// [`MakespanEvaluator`]. Both Algorithm 1's coordinate descent and the
+/// exhaustive validator run on it, so they share parallelism, memoization,
+/// the fast cost tier and telemetry collection.
+///
+/// Determinism: workers pull assignment indices from an atomic counter, but
+/// each assignment's search depends only on its own index-derived seed, and
+/// the final winner is picked by a strict `<` scan in assignment order — the
+/// result is independent of thread count and scheduling.
+pub struct SearchEngine<'a> {
+    component: &'a Component,
+    platform: &'a Platform,
+    exec_model: &'a ExecModel,
+    max_phase_ns: Option<f64>,
+    analysis_cache: Option<Arc<AnalysisCache>>,
+    threads: Option<usize>,
+}
+
+impl<'a> SearchEngine<'a> {
+    /// Creates an engine for one component on one platform.
+    pub fn new(
+        component: &'a Component,
+        platform: &'a Platform,
+        exec_model: &'a ExecModel,
+    ) -> Self {
+        SearchEngine {
+            component,
+            platform,
+            exec_model,
+            max_phase_ns: None,
+            analysis_cache: None,
+            threads: None,
+        }
+    }
+
+    /// Caps the longest single phase (see [`OptimizerOptions::max_phase_ns`]).
+    pub fn with_max_phase_ns(mut self, cap: Option<f64>) -> Self {
+        self.max_phase_ns = cap;
+        self
+    }
+
+    /// Attaches a shared [`AnalysisCache`].
+    pub fn with_analysis_cache(mut self, cache: Option<Arc<AnalysisCache>>) -> Self {
+        self.analysis_cache = cache;
+        self
+    }
+
+    /// Overrides the worker count (`1` forces a serial search; the result
+    /// is identical either way).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    fn evaluator(&self) -> MakespanEvaluator<'a> {
+        let mut ev = MakespanEvaluator::new(self.component, self.platform, self.exec_model)
+            .with_analysis_cache(self.analysis_cache.clone());
+        ev.max_phase_ns = self.max_phase_ns;
+        ev
+    }
+
+    /// Algorithm 1's coordinate descent over every assignment.
+    pub fn descend(&self, opts: &OptimizerOptions) -> Option<OptimizeOutcome> {
+        assert!(self.component.depth() > 0);
+        self.explore(|r, idx, ev| descend_assignment(self.component, opts, r, idx, ev))
+    }
+
+    /// Exhaustive enumeration of the full candidate space (with SPM
+    /// dominance pruning), parallel over assignments.
+    pub fn exhaustive(&self) -> Option<OptimizeOutcome> {
+        self.explore(|r, _idx, ev| enumerate_assignment(self.component, self.platform, r, ev))
+    }
+
+    /// Runs `drive` over every non-dominated assignment on the worker pool
+    /// and materializes the winner.
+    fn explore<D>(&self, drive: D) -> Option<OptimizeOutcome>
+    where
+        D: Fn(&[i64], u64, &mut MakespanEvaluator<'a>) -> DriveOutcome + Sync,
+    {
+        let assignments = nondominated_thread_groups(self.component, self.platform.cores);
+        let nthreads = self
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .min(assignments.len().max(1));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        type Slot = Option<(Solution, f64, AssignmentTelemetry, (usize, usize, usize))>;
+        let results: Vec<std::sync::Mutex<Slot>> = assignments
+            .iter()
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
+
+        let search_clock = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..nthreads {
+                s.spawn(|| loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(r) = assignments.get(idx) else { break };
+                    let mut ev = self.evaluator();
+                    let d = drive(r, idx as u64, &mut ev);
+                    let telemetry = AssignmentTelemetry {
+                        r: r.clone(),
+                        evals: ev.evals,
+                        cache_hits: ev.cache_hits,
+                        sweep_best_ns: d.sweep_best_ns,
+                        best_makespan_ns: d.makespan_ns,
+                    };
+                    let tiers = (ev.fast_evals, ev.analysis_reuses, d.pruned);
+                    *results[idx].lock().unwrap() =
+                        Some((d.solution, d.makespan_ns, telemetry, tiers));
+                });
+            }
+        });
+        let search_s = search_clock.elapsed().as_secs_f64();
+
+        let mut best: Option<(Solution, f64)> = None;
+        let mut per_assignment = Vec::with_capacity(assignments.len());
+        let (mut fast_evals, mut analysis_reuses, mut pruned) = (0usize, 0usize, 0usize);
+        for slot in results {
+            let (sol, m, t, tiers) = slot.into_inner().unwrap().expect("worker finished");
+            per_assignment.push(t);
+            fast_evals += tiers.0;
+            analysis_reuses += tiers.1;
+            pruned += tiers.2;
+            if best.as_ref().map(|(_, b)| m < *b).unwrap_or(true) {
+                best = Some((sol, m));
+            }
+        }
+        let mut telemetry = SearchTelemetry::from_assignments(per_assignment);
+        telemetry.search_s = search_s;
+        telemetry.fast_evals = fast_evals;
+        telemetry.analysis_reuses = analysis_reuses;
+        telemetry.pruned = pruned;
+
+        let (solution, m) = best?;
+        if !m.is_finite() {
+            return None;
+        }
+        let build_clock = Instant::now();
+        let evaluator = self.evaluator();
+        let result = evaluator.full(&solution)?;
+        telemetry.schedule_build_s = build_clock.elapsed().as_secs_f64();
+        telemetry.full_builds += 1;
+        Some(OptimizeOutcome {
+            solution,
+            result,
+            telemetry,
+        })
     }
 }
 
@@ -202,64 +480,10 @@ pub fn optimize_component(
     exec_model: &ExecModel,
     opts: &OptimizerOptions,
 ) -> Option<OptimizeOutcome> {
-    let depth = component.depth();
-    assert!(depth > 0);
-    let assignments = nondominated_thread_groups(component, platform.cores);
-
-    // Assignments are searched independently (solution caches cannot overlap
-    // across different R vectors), so they run on worker threads; each gets
-    // a seed derived deterministically from its index, keeping the result
-    // independent of scheduling order.
-    let nthreads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(assignments.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<(Solution, f64, AssignmentTelemetry)>>> = assignments
-        .iter()
-        .map(|_| std::sync::Mutex::new(None))
-        .collect();
-
-    let search_clock = Instant::now();
-    std::thread::scope(|s| {
-        for _ in 0..nthreads {
-            s.spawn(|| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(r) = assignments.get(idx) else { break };
-                let outcome =
-                    descend_assignment(component, platform, exec_model, opts, r, idx as u64);
-                *results[idx].lock().unwrap() = Some(outcome);
-            });
-        }
-    });
-    let search_s = search_clock.elapsed().as_secs_f64();
-
-    let mut best: Option<(Solution, f64)> = None;
-    let mut per_assignment = Vec::with_capacity(assignments.len());
-    for slot in results {
-        let (sol, m, t) = slot.into_inner().unwrap().expect("worker finished");
-        per_assignment.push(t);
-        if best.as_ref().map(|(_, b)| m < *b).unwrap_or(true) {
-            best = Some((sol, m));
-        }
-    }
-    let mut telemetry = SearchTelemetry::from_assignments(per_assignment);
-    telemetry.search_s = search_s;
-
-    let (solution, m) = best?;
-    if !m.is_finite() {
-        return None;
-    }
-    let build_clock = Instant::now();
-    let evaluator = MakespanEvaluator::new(component, platform, exec_model);
-    let result = evaluator.full(&solution)?;
-    telemetry.schedule_build_s = build_clock.elapsed().as_secs_f64();
-    Some(OptimizeOutcome {
-        solution,
-        result,
-        evals: telemetry.evals,
-        telemetry,
-    })
+    SearchEngine::new(component, platform, exec_model)
+        .with_max_phase_ns(opts.max_phase_ns)
+        .with_analysis_cache(opts.analysis_cache.clone())
+        .descend(opts)
 }
 
 /// Coordinate descent for one thread-group assignment: the paper's random
@@ -267,16 +491,13 @@ pub fn optimize_component(
 /// compute-bound); evaluations are memoized, so the overlap is cheap.
 fn descend_assignment(
     component: &Component,
-    platform: &Platform,
-    exec_model: &ExecModel,
     opts: &OptimizerOptions,
     r: &[i64],
     assignment_index: u64,
-) -> (Solution, f64, AssignmentTelemetry) {
+    evaluator: &mut MakespanEvaluator<'_>,
+) -> DriveOutcome {
     let depth = component.depth();
     let mut rng = SplitMix::new(opts.seed ^ assignment_index.wrapping_mul(0x9e37_79b9));
-    let mut evaluator = MakespanEvaluator::new(component, platform, exec_model);
-    evaluator.max_phase_ns = opts.max_phase_ns;
 
     let candidates: Vec<Vec<i64>> = (0..depth)
         .map(|j| select_tile_sizes(component, j, r[j]))
@@ -303,9 +524,7 @@ fn descend_assignment(
                     sol.k[j] = kj;
                     ev.makespan(&sol)
                 };
-                k[j] = find_minimum(&candidates[j], opts.convex_search, |kj| {
-                    f(kj, &mut evaluator)
-                });
+                k[j] = find_minimum(&candidates[j], opts.convex_search, |kj| f(kj, evaluator));
             }
             // Convergence curve: best makespan known after this sweep. The
             // current `k` was evaluated while scanning its last coordinate,
@@ -324,95 +543,107 @@ fn descend_assignment(
             best = Some((sol, m));
         }
     }
-    let (sol, m) = best.expect("two starts evaluated");
-    let telemetry = AssignmentTelemetry {
-        r: r.to_vec(),
-        evals: evaluator.evals,
-        cache_hits: evaluator.cache_hits,
+    let (solution, makespan_ns) = best.expect("two starts evaluated");
+    DriveOutcome {
+        solution,
+        makespan_ns,
         sweep_best_ns,
-        best_makespan_ns: m,
-    };
-    (sol, m, telemetry)
+        pruned: 0,
+    }
 }
 
 /// Exhaustive optimization over the full `select_tile_sizes` ×
 /// thread-assignment space; exponential, for validation on small components.
+/// Runs on the shared [`SearchEngine`] worker pool (parallel over
+/// assignments) with SPM dominance pruning; the result is identical to a
+/// serial, unpruned enumeration.
 pub fn optimize_exhaustive(
     component: &Component,
     platform: &Platform,
     exec_model: &ExecModel,
 ) -> Option<OptimizeOutcome> {
-    let depth = component.depth();
-    let assignments = nondominated_thread_groups(component, platform.cores);
-    let mut evaluator = MakespanEvaluator::new(component, platform, exec_model);
-    let mut best: Option<(Solution, f64)> = None;
-    let mut per_assignment = Vec::with_capacity(assignments.len());
-    let search_clock = Instant::now();
+    SearchEngine::new(component, platform, exec_model).exhaustive()
+}
 
-    for r in assignments {
-        let (evals0, hits0) = (evaluator.evals, evaluator.cache_hits);
-        let mut assignment_best = f64::INFINITY;
-        let candidates: Vec<Vec<i64>> = (0..depth)
-            .map(|j| select_tile_sizes(component, j, r[j]))
-            .collect();
-        let mut idx = vec![0usize; depth];
-        loop {
+/// Exhaustive enumeration of one assignment's candidate space in
+/// lexicographic order, pruning SPM-dominated tails: `spm_bytes_for` is
+/// monotone in every tile-size component, and candidates are sorted
+/// ascending, so once the analytic pre-gate rejects a `K` every remaining
+/// candidate of the innermost level (a dominated `Z` tuple under the same
+/// `R`) is infeasible too. Only provably-infeasible candidates are skipped,
+/// which preserves the exact optimum.
+fn enumerate_assignment(
+    component: &Component,
+    platform: &Platform,
+    r: &[i64],
+    evaluator: &mut MakespanEvaluator<'_>,
+) -> DriveOutcome {
+    let depth = component.depth();
+    let candidates: Vec<Vec<i64>> = (0..depth)
+        .map(|j| select_tile_sizes(component, j, r[j]))
+        .collect();
+    let mut idx = vec![0usize; depth];
+    let mut k_vec = vec![0i64; depth];
+    let mut best: Option<(Solution, f64)> = None;
+    let mut assignment_best = f64::INFINITY;
+    let mut pruned = 0usize;
+    let last = depth - 1;
+    loop {
+        for (j, &i) in idx.iter().enumerate() {
+            k_vec[j] = candidates[j][i];
+        }
+        if crate::tiling::spm_bytes_for(component, &k_vec) > platform.spm_bytes {
+            // This candidate and the rest of the innermost level are all
+            // SPM-infeasible (monotonicity) — skip straight to the carry.
+            pruned += candidates[last].len() - idx[last];
+            idx[last] = candidates[last].len() - 1;
+        } else {
             let sol = Solution {
-                k: idx
-                    .iter()
-                    .enumerate()
-                    .map(|(j, &i)| candidates[j][i])
-                    .collect(),
-                r: r.clone(),
+                k: k_vec.clone(),
+                r: r.to_vec(),
             };
             let m = evaluator.makespan(&sol);
             assignment_best = assignment_best.min(m);
             if best.as_ref().map(|(_, b)| m < *b).unwrap_or(true) {
                 best = Some((sol, m));
             }
-            // Increment.
-            let mut j = depth;
-            let mut done = false;
-            loop {
-                if j == 0 {
-                    done = true;
-                    break;
-                }
-                j -= 1;
-                idx[j] += 1;
-                if idx[j] < candidates[j].len() {
-                    break;
-                }
-                idx[j] = 0;
-            }
-            if done {
+        }
+        // Increment.
+        let mut j = depth;
+        let mut done = false;
+        loop {
+            if j == 0 {
+                done = true;
                 break;
             }
+            j -= 1;
+            idx[j] += 1;
+            if idx[j] < candidates[j].len() {
+                break;
+            }
+            idx[j] = 0;
         }
-        per_assignment.push(AssignmentTelemetry {
-            r,
-            evals: evaluator.evals - evals0,
-            cache_hits: evaluator.cache_hits - hits0,
-            sweep_best_ns: vec![assignment_best],
-            best_makespan_ns: assignment_best,
-        });
+        if done {
+            break;
+        }
     }
-    let mut telemetry = SearchTelemetry::from_assignments(per_assignment);
-    telemetry.search_s = search_clock.elapsed().as_secs_f64();
-
-    let (solution, m) = best?;
-    if !m.is_finite() {
-        return None;
-    }
-    let build_clock = Instant::now();
-    let result = evaluator.full(&solution)?;
-    telemetry.schedule_build_s = build_clock.elapsed().as_secs_f64();
-    Some(OptimizeOutcome {
+    let (solution, makespan_ns) = best.unwrap_or_else(|| {
+        // Every candidate was SPM-pruned: report the smallest-tiles corner
+        // as infeasible, matching what an unpruned enumeration would score.
+        (
+            Solution {
+                k: candidates.iter().map(|c| c[0]).collect(),
+                r: r.to_vec(),
+            },
+            f64::INFINITY,
+        )
+    });
+    DriveOutcome {
         solution,
-        result,
-        evals: telemetry.evals,
-        telemetry,
-    })
+        makespan_ns,
+        sweep_best_ns: vec![assignment_best],
+        pruned,
+    }
 }
 
 /// `find_minimum`: returns the candidate minimizing `f`. With
@@ -642,8 +873,9 @@ mod tests {
         let out =
             optimize_component(&comp, &platform, &model, &OptimizerOptions::default()).unwrap();
         let t = &out.telemetry;
-        // evals field stays the sum of per-assignment uncached evaluations.
-        assert_eq!(out.evals, t.evals);
+        // The evals accessor is the sum of per-assignment uncached
+        // evaluations.
+        assert_eq!(out.evals(), t.evals);
         assert_eq!(
             t.evals,
             t.assignments.iter().map(|a| a.evals).sum::<usize>()
@@ -694,7 +926,7 @@ mod tests {
         let a = optimize_component(&comp, &platform, &model, &opts).unwrap();
         let b = optimize_component(&comp, &platform, &model, &opts).unwrap();
         assert_eq!(a.solution, b.solution);
-        assert_eq!(a.evals, b.evals);
+        assert_eq!(a.evals(), b.evals());
         assert_eq!(a.telemetry.cache_hits, b.telemetry.cache_hits);
     }
 }

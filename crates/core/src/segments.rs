@@ -9,6 +9,7 @@
 //! concurrently with the execution of segment `j-1` and gates the execution
 //! of segment `j` (the round-robin streaming schedule of Figure 3.4).
 
+use crate::analysis::ComponentAnalysis;
 use crate::component::{ArrayUse, BufferAttr, Component};
 use crate::config::Platform;
 use crate::tiling::{Infeasible, Solution, TilePlan};
@@ -121,37 +122,36 @@ pub fn build_schedule(
             capacity: platform.spm_bytes,
         });
     }
+    let analysis = ComponentAnalysis::build(component, solution, platform.cores, exec_model, true)?;
+    materialize_schedule(&analysis, component, platform)
+}
 
-    let plan = TilePlan::build(component, solution, platform.cores)?;
-    check_persistence(component, &plan)?;
-
+/// The materializing tier: prices a retained [`ComponentAnalysis`] on a
+/// platform, building every `MemOp`, `Batch` and API charge. Used once for
+/// the search winner and by codegen/simulation; the search loop itself goes
+/// through [`ComponentAnalysis::makespan_only`].
+///
+/// # Errors
+///
+/// Returns [`Infeasible::SpmOverflow`] when the bounding boxes exceed the
+/// platform's SPM capacity.
+///
+/// # Panics
+///
+/// Panics if the analysis was built without `retain_ranges`.
+pub fn materialize_schedule(
+    analysis: &ComponentAnalysis,
+    component: &Component,
+    platform: &Platform,
+) -> Result<ComponentSchedule, Infeasible> {
     let narr = component.arrays.len();
-    let mut bounding_boxes: Vec<Vec<i64>> = component
-        .arrays
-        .iter()
-        .map(|a| vec![0; a.dims.len()])
-        .collect();
+    let mut cores: Vec<CorePlan> = Vec::with_capacity(analysis.cores.len());
 
-    // Per-core range tracking.
-    let mut cores: Vec<CorePlan> = Vec::with_capacity(platform.cores);
-    let mut total_bytes = 0i64;
-    let mut total_ops = 0usize;
-    let rw_deps: Vec<bool> = component
-        .arrays
-        .iter()
-        .map(|a| array_has_rw_deps(component, a.array))
-        .collect();
-
-    // Scratch buffers reused across segments.
-    let mut ranges: Vec<Interval> = Vec::new();
-    let mut scratch_range: Vec<Interval> = Vec::new();
-    let mut extents: Vec<i64> = Vec::new();
-
-    for core in 0..platform.cores {
-        let nseg = plan.core_nseg(core);
+    for ca in &analysis.cores {
+        let nseg = ca.nseg;
         let mut cp = CorePlan {
             nseg,
-            exec_ns: Vec::with_capacity(nseg),
+            exec_ns: ca.exec_ns.clone(),
             api_ns: vec![0.0; nseg],
             init_api_ns: 0.0,
             batches: vec![Batch::default(); nseg + 2],
@@ -160,75 +160,23 @@ pub fn build_schedule(
             cores.push(cp);
             continue;
         }
-
-        // Canonical ranges per array per segment + SegmentToSwap lists.
-        // swap_lists[a] = (segment index (1-based), range at that segment).
-        let mut swap_lists: Vec<Vec<(usize, Vec<Interval>)>> = vec![Vec::new(); narr];
-        let mut overlap_error: Option<Infeasible> = None;
-        let mut s0 = 0usize;
-        plan.for_each_core_tile(core, |tile| {
-            if overlap_error.is_some() {
-                return;
-            }
-            plan.tile_ranges_into(tile, &mut ranges);
-            for (ai, arr) in component.arrays.iter().enumerate() {
-                scratch_range.clear();
-                for dim in &arr.contribs {
-                    let mut hull = Interval::empty();
-                    for c in dim {
-                        hull = hull.hull(&c.bounds(&ranges));
-                    }
-                    scratch_range.push(hull);
-                }
-                let r = &scratch_range;
-                if r.iter().any(Interval::is_empty) {
-                    // Every access is guard-excluded from this tile: the
-                    // segment does not touch the array, so no swap happens
-                    // and the previously bound range persists.
-                    continue;
-                }
-                for (bb, iv) in bounding_boxes[ai].iter_mut().zip(r) {
-                    *bb = (*bb).max(iv.len() as i64);
-                }
-                match swap_lists[ai].last() {
-                    Some((_, prev)) if prev == r => {}
-                    Some((_, prev)) => {
-                        // Range changed: §5.3.1 overlap rule for arrays with
-                        // RAW/WAW dependences.
-                        if rw_deps[ai] && prem_polyhedral::ranges_overlap(prev, r) {
-                            overlap_error = Some(Infeasible::RangeOverlap {
-                                array: arr.name.clone(),
-                            });
-                            return;
-                        }
-                        swap_lists[ai].push((s0 + 1, r.clone()));
-                    }
-                    None => swap_lists[ai].push((s0 + 1, r.clone())),
-                }
-            }
-            // Execution time from actual (clipped) extents.
-            extents.clear();
-            extents.extend(ranges.iter().map(|r| r.len() as i64));
-            cp.exec_ns.push(exec_model.tile_time_ns(&extents));
-            s0 += 1;
-        });
-        if let Some(e) = overlap_error {
-            return Err(e);
-        }
+        let ranges = ca
+            .ranges
+            .as_ref()
+            .expect("materialize requires an analysis built with retain_ranges");
 
         // Build batches from swap lists.
         for (ai, arr) in component.arrays.iter().enumerate() {
-            let list = &swap_lists[ai];
+            let list = &ca.swap_lists[ai];
             let loads = matches!(arr.attr, BufferAttr::Ro | BufferAttr::Rw);
             let unloads = matches!(arr.attr, BufferAttr::Wo | BufferAttr::Rw);
-            for (x, (_seg, range)) in list.iter().enumerate() {
+            for x in 0..list.len() {
+                let range = &ranges[ai][x];
                 let shape = range_shape(arr, range);
                 if loads {
                     // x = 0 → batch 1; else batch ST(x-1) + 1.
-                    let batch = if x == 0 { 1 } else { list[x - 1].0 + 1 };
+                    let batch = if x == 0 { 1 } else { list[x - 1].seg + 1 };
                     let op = mem_op(ai, true, range, x, shape.clone(), platform);
-                    total_bytes += op.shape.bytes();
-                    total_ops += 1;
                     // Swap-call API cost: charged to the segment where the
                     // call is made (two batches earlier; the init segment for
                     // the first two).
@@ -239,12 +187,10 @@ pub fn build_schedule(
                     // Unload when the *next* swap replaces this range, or in
                     // the final batch for the last range.
                     let batch = match list.get(x + 1) {
-                        Some((next_seg, _)) => next_seg + 1,
+                        Some(next) => next.seg + 1,
                         None => nseg + 1,
                     };
                     let op = mem_op(ai, false, range, x, shape, platform);
-                    total_bytes += op.shape.bytes();
-                    total_ops += 1;
                     // A write-only buffer's mid-stream unload is scheduled by
                     // its own swap call (read-write arrays already paid for
                     // the call on the load side; final unloads are covered by
@@ -274,26 +220,20 @@ pub fn build_schedule(
         cores.push(cp);
     }
 
-    // SPM requirement: two partitions, each holding one bounding box per
-    // array.
-    let mut spm_bytes_needed = 0i64;
-    for (arr, bb) in component.arrays.iter().zip(&bounding_boxes) {
-        spm_bytes_needed += 2 * arr.elem_bytes * bb.iter().product::<i64>();
-    }
-    if spm_bytes_needed > platform.spm_bytes {
+    if analysis.spm_bytes_needed > platform.spm_bytes {
         return Err(Infeasible::SpmOverflow {
-            needed: spm_bytes_needed,
+            needed: analysis.spm_bytes_needed,
             capacity: platform.spm_bytes,
         });
     }
 
     Ok(ComponentSchedule {
-        solution: solution.clone(),
+        solution: analysis.solution.clone(),
         cores,
-        bounding_boxes,
-        spm_bytes_needed,
-        total_bytes,
-        total_ops,
+        bounding_boxes: analysis.bounding_boxes.clone(),
+        spm_bytes_needed: analysis.spm_bytes_needed,
+        total_bytes: analysis.total_bytes,
+        total_ops: analysis.total_ops,
     })
 }
 
@@ -336,7 +276,7 @@ fn range_shape(arr: &ArrayUse, range: &[Interval]) -> TransferShape {
     }
 }
 
-fn array_has_rw_deps(component: &Component, array: prem_ir::ArrayId) -> bool {
+pub(crate) fn array_has_rw_deps(component: &Component, array: prem_ir::ArrayId) -> bool {
     component.deps.iter().any(|d| {
         d.array == array
             && matches!(
@@ -351,7 +291,7 @@ fn array_has_rw_deps(component: &Component, array: prem_ir::ArrayId) -> bool {
 /// stay in the SPM buffer until the sink segment runs, which requires that no
 /// level at or inside `ℓ` with more than one iteration range changes the
 /// array's canonical range.
-fn check_persistence(component: &Component, plan: &TilePlan) -> Result<(), Infeasible> {
+pub(crate) fn check_persistence(component: &Component, plan: &TilePlan) -> Result<(), Infeasible> {
     for dep in &component.deps {
         if !matches!(
             dep.kind,

@@ -69,10 +69,28 @@ impl TransferShape {
 
 /// Length in ns of one memory transfer: `T_DMA + T_BUS` (§4.2).
 pub fn transfer_time_ns(shape: &TransferShape, platform: &Platform) -> f64 {
-    let lines = shape.data_line_num() as f64;
-    let line_elems = shape.data_line_size() as f64;
-    let bursts =
-        ((line_elems * shape.elem_bytes as f64) / platform.granularity_bytes as f64).ceil();
+    transfer_time_from_lines(
+        shape.data_line_num(),
+        shape.data_line_size(),
+        shape.elem_bytes,
+        platform,
+    )
+}
+
+/// [`transfer_time_ns`] from precomputed line structure (`DataLineNum`,
+/// `DataLineSize`, element size). The fast makespan tier stores these three
+/// invariants per transfer instead of the full [`TransferShape`]; keeping a
+/// single implementation guarantees both tiers produce bitwise-identical
+/// times.
+pub fn transfer_time_from_lines(
+    lines: i64,
+    line_elems: i64,
+    elem_bytes: i64,
+    platform: &Platform,
+) -> f64 {
+    let lines = lines as f64;
+    let line_elems = line_elems as f64;
+    let bursts = ((line_elems * elem_bytes as f64) / platform.granularity_bytes as f64).ceil();
     let t_dma = platform.dma_line_overhead_ns * lines;
     let t_bus = platform.bus_ns_per_burst() * bursts * lines;
     t_dma + t_bus

@@ -82,6 +82,24 @@ impl PhaseTimings {
         }
         t
     }
+
+    /// Like [`PhaseTimings::to_chrome`], but also names the process and the
+    /// track (thread) so the phases stay identifiable when merged with other
+    /// processes — e.g. a simulated PREM timeline — in one trace document.
+    /// Returns the end timestamp.
+    pub fn to_chrome_track(
+        &self,
+        trace: &mut ChromeTrace,
+        pid: u64,
+        tid: u64,
+        ts_us: f64,
+        process: &str,
+        track: &str,
+    ) -> f64 {
+        trace.process_name(pid, process);
+        trace.thread_name(pid, tid, track);
+        self.to_chrome(trace, pid, tid, ts_us)
+    }
 }
 
 /// A restartable stopwatch for feeding [`PhaseTimings`].

@@ -54,6 +54,18 @@ pub struct SearchTelemetry {
     pub search_s: f64,
     /// Wall-clock seconds spent building/evaluating the final schedule.
     pub schedule_build_s: f64,
+    /// Evaluations answered by the fast (analysis + fold) cost tier without
+    /// materializing a schedule.
+    pub fast_evals: usize,
+    /// Full materializing `build_schedule` constructions (the winner, plus
+    /// any strategy that bypasses the fast tier).
+    pub full_builds: usize,
+    /// Candidates skipped by dominance pruning (provably infeasible, never
+    /// evaluated).
+    pub pruned: usize,
+    /// Structure analyses served by the shared precompute cache instead of
+    /// being rebuilt.
+    pub analysis_reuses: usize,
 }
 
 impl SearchTelemetry {
@@ -72,19 +84,26 @@ impl SearchTelemetry {
             best_makespan_ns,
             search_s: 0.0,
             schedule_build_s: 0.0,
+            fast_evals: 0,
+            full_builds: 0,
+            pruned: 0,
+            analysis_reuses: 0,
         }
     }
 
     /// Telemetry of a search that evaluated exactly one candidate (the
-    /// greedy baseline and other single-shot strategies).
+    /// greedy baseline and other single-shot strategies). The single
+    /// evaluation materializes a full schedule (`full_builds = 1`).
     pub fn single(r: Vec<i64>, makespan_ns: f64) -> Self {
-        SearchTelemetry::from_assignments(vec![AssignmentTelemetry {
+        let mut t = SearchTelemetry::from_assignments(vec![AssignmentTelemetry {
             r,
             evals: 1,
             cache_hits: 0,
             sweep_best_ns: vec![makespan_ns],
             best_makespan_ns: makespan_ns,
-        }])
+        }]);
+        t.full_builds = 1;
+        t
     }
 
     /// Total makespan lookups: uncached evaluations plus cache hits.
@@ -135,6 +154,10 @@ impl SearchTelemetry {
         self.cache_hits += other.cache_hits;
         self.search_s += other.search_s;
         self.schedule_build_s += other.schedule_build_s;
+        self.fast_evals += other.fast_evals;
+        self.full_builds += other.full_builds;
+        self.pruned += other.pruned;
+        self.analysis_reuses += other.analysis_reuses;
         self.best_makespan_ns = self.best_makespan_ns.min(other.best_makespan_ns);
     }
 
@@ -155,6 +178,13 @@ impl SearchTelemetry {
             (
                 "schedule_build_s".to_string(),
                 Json::from(self.schedule_build_s),
+            ),
+            ("fast_evals".to_string(), Json::from(self.fast_evals)),
+            ("full_builds".to_string(), Json::from(self.full_builds)),
+            ("pruned".to_string(), Json::from(self.pruned)),
+            (
+                "analysis_reuses".to_string(),
+                Json::from(self.analysis_reuses),
             ),
             ("convergence_ns".to_string(), Json::from(self.convergence())),
         ];
@@ -220,9 +250,17 @@ mod tests {
     #[test]
     fn absorb_accumulates_counters() {
         let mut t = sample();
+        t.fast_evals = 15;
+        t.pruned = 4;
+        t.analysis_reuses = 2;
         t.absorb(&SearchTelemetry::single(vec![1], 60.0));
         assert_eq!(t.evals, 18);
         assert_eq!(t.best_makespan_ns, 60.0);
+        // single() materializes its one candidate.
+        assert_eq!(t.full_builds, 1);
+        assert_eq!(t.fast_evals, 15);
+        assert_eq!(t.pruned, 4);
+        assert_eq!(t.analysis_reuses, 2);
     }
 
     #[test]
@@ -233,6 +271,10 @@ mod tests {
             "cache_hits",
             "cache_hit_rate",
             "best_makespan_ns",
+            "fast_evals",
+            "full_builds",
+            "pruned",
+            "analysis_reuses",
             "convergence_ns",
             "assignments",
         ] {

@@ -3,7 +3,7 @@
 //! timelines.
 
 use crate::machine::{PhaseKind, TraceEvent};
-use prem_obs::{ChromeTrace, Json, TraceSpan};
+use prem_obs::{ChromeTrace, Json, PhaseTimings, TraceSpan};
 
 /// Renders a simulated timeline as an ASCII Gantt chart with one row per
 /// core plus a DMA row, `width` characters across the makespan.
@@ -89,13 +89,20 @@ pub fn trace_to_csv(trace: &[TraceEvent]) -> String {
 /// Figure 3.4, zoomable.
 pub fn trace_to_chrome(trace: &[TraceEvent]) -> ChromeTrace {
     let mut out = ChromeTrace::new();
+    append_machine(&mut out, trace, 0, 0.0);
+    out
+}
+
+/// Appends a simulated machine timeline to an existing trace document as
+/// process `pid`, offset by `ts0_us` microseconds.
+fn append_machine(out: &mut ChromeTrace, trace: &[TraceEvent], pid: u64, ts0_us: f64) {
     let ncores = trace.iter().map(|e| e.core + 1).max().unwrap_or(0);
-    out.process_name(0, "PREM machine");
+    out.process_name(pid, "PREM machine");
     for core in 0..ncores {
-        out.thread_name(0, core as u64, &format!("core {core}"));
+        out.thread_name(pid, core as u64, &format!("core {core}"));
     }
     let dma_tid = ncores as u64;
-    out.thread_name(0, dma_tid, "DMA");
+    out.thread_name(pid, dma_tid, "DMA");
     for e in trace {
         let (name, cat, tid, args) = match e.kind {
             PhaseKind::Init => (
@@ -126,13 +133,25 @@ pub fn trace_to_chrome(trace: &[TraceEvent]) -> ChromeTrace {
         out.span(TraceSpan {
             name,
             cat: cat.to_string(),
-            pid: 0,
+            pid,
             tid,
-            ts_us: e.start_ns / 1e3,
+            ts_us: ts0_us + e.start_ns / 1e3,
             dur_us: (e.end_ns - e.start_ns) / 1e3,
             args,
         });
     }
+}
+
+/// Merges the compile pipeline's phase timings and a simulated PREM
+/// timeline into **one** Chrome Trace document (the ROADMAP's interleaved
+/// Perfetto view): process 0 carries the compiler's `pipeline` track,
+/// process 1 the machine (per-core tracks plus `DMA`), with the simulation
+/// offset to begin where compilation ends — compile-then-run on a single
+/// zoomable time axis.
+pub fn merged_chrome(phases: &PhaseTimings, trace: &[TraceEvent]) -> ChromeTrace {
+    let mut out = ChromeTrace::new();
+    let compile_end_us = phases.to_chrome_track(&mut out, 0, 0, 0.0, "PREM compiler", "pipeline");
+    append_machine(&mut out, trace, 1, compile_end_us);
     out
 }
 
@@ -245,5 +264,75 @@ mod tests {
         assert_eq!(exec.get("tid").and_then(Json::as_f64), Some(0.0));
         assert_eq!(exec.get("ts").and_then(Json::as_f64), Some(0.03));
         assert_eq!(exec.get("dur").and_then(Json::as_f64), Some(0.07));
+    }
+
+    #[test]
+    fn merged_chrome_interleaves_pipeline_and_machine() {
+        let mut phases = PhaseTimings::new();
+        phases.add("loop_tree", 2e-6);
+        phases.add("tiling_search", 3e-6);
+        let doc = Json::parse(&merged_chrome(&phases, &sample_trace()).render()).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+
+        // Both processes are named, and every expected track shows up.
+        let names: Vec<(String, f64, String)> = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.get("ph").and_then(Json::as_str),
+                    Some("M") // metadata events carry the names
+                )
+            })
+            .map(|e| {
+                (
+                    e.get("name").and_then(Json::as_str).unwrap().to_string(),
+                    e.get("pid").and_then(Json::as_f64).unwrap(),
+                    e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .unwrap()
+                        .to_string(),
+                )
+            })
+            .collect();
+        for expected in [
+            ("process_name", 0.0, "PREM compiler"),
+            ("thread_name", 0.0, "pipeline"),
+            ("process_name", 1.0, "PREM machine"),
+            ("thread_name", 1.0, "core 0"),
+            ("thread_name", 1.0, "core 1"),
+            ("thread_name", 1.0, "DMA"),
+        ] {
+            assert!(
+                names
+                    .iter()
+                    .any(|(n, p, a)| (n.as_str(), *p, a.as_str()) == expected),
+                "missing track metadata {expected:?} in {names:?}"
+            );
+        }
+
+        // The pipeline spans sit on pid 0 starting at 0; the simulated
+        // timeline is offset to start where compilation ends (5 us).
+        let spans: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        let pipeline_end: f64 = spans
+            .iter()
+            .filter(|e| e.get("pid").and_then(Json::as_f64) == Some(0.0))
+            .map(|e| {
+                e.get("ts").and_then(Json::as_f64).unwrap()
+                    + e.get("dur").and_then(Json::as_f64).unwrap()
+            })
+            .fold(0.0, f64::max);
+        assert!((pipeline_end - 5.0).abs() < 1e-9);
+        let machine_start: f64 = spans
+            .iter()
+            .filter(|e| e.get("pid").and_then(Json::as_f64) == Some(1.0))
+            .map(|e| e.get("ts").and_then(Json::as_f64).unwrap())
+            .fold(f64::INFINITY, f64::min);
+        assert!((machine_start - 5.0).abs() < 1e-9);
+        // 2 pipeline spans + 4 machine phases.
+        assert_eq!(spans.len(), 6);
     }
 }

@@ -6,6 +6,9 @@
 # `crates/heavy` package; see its Cargo.toml for the opt-in).
 #
 # Usage: scripts/check.sh
+#        PREM_CHECK_HEAVY=1 scripts/check.sh   # also run the tier-2
+#        proptest/criterion suite in crates/heavy (needs vendored or
+#        network registry deps; see crates/heavy/Cargo.toml).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,5 +24,12 @@ cargo test -q
 
 echo "== workspace tests"
 cargo test --workspace -q
+
+if [[ "${PREM_CHECK_HEAVY:-0}" == "1" ]]; then
+    echo "== tier-2 (heavy): cargo test --manifest-path crates/heavy/Cargo.toml"
+    cargo test --manifest-path crates/heavy/Cargo.toml -q
+else
+    echo "== tier-2 (heavy): skipped (set PREM_CHECK_HEAVY=1 to enable)"
+fi
 
 echo "All checks passed."

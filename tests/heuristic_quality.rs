@@ -3,7 +3,7 @@
 
 use prem::core::{
     optimize_component, optimize_exhaustive, AnalyticCost, Component, CostProvider, LoopTree,
-    OptimizerOptions, Platform,
+    OptimizerOptions, Platform, SearchEngine,
 };
 use prem::ir::Program;
 
@@ -40,7 +40,7 @@ fn compare(program: &Program, platform: &Platform, tolerance: f64) {
     assert!(heuristic.result.makespan_ns >= exhaustive.result.makespan_ns * 0.999);
     // And the heuristic must spend far fewer evaluations on deep components.
     if comp.depth() >= 3 {
-        assert!(heuristic.evals < exhaustive.evals);
+        assert!(heuristic.evals() < exhaustive.evals());
     }
 }
 
@@ -94,6 +94,48 @@ fn heuristic_near_optimal_on_lstm_projection() {
             "bus {bus}: {} vs {}",
             he.result.makespan_ns,
             ex.result.makespan_ns
+        );
+    }
+}
+
+#[test]
+fn parallel_exhaustive_matches_serial() {
+    // The worker-pool exhaustive search must select the exact optimum the
+    // single-threaded sweep finds — same solution, same makespan bits, same
+    // evaluation count — regardless of thread interleaving.
+    let program = prem::kernels::CnnConfig {
+        nn: 1,
+        nk: 8,
+        np: 8,
+        nq: 8,
+        nc: 6,
+        nr: 3,
+        ns: 3,
+    }
+    .build();
+    let tree = LoopTree::build(&program).unwrap();
+    let comp = chain_component(&tree, &program);
+    let cost = AnalyticCost::new(&program);
+    let model = cost.exec_model(&comp);
+    for bus in [16.0, 1.0 / 16.0] {
+        let platform = Platform::default()
+            .with_spm_bytes(8 * 1024)
+            .with_bus_gbytes(bus);
+        let parallel = optimize_exhaustive(&comp, &platform, &model).expect("feasible");
+        let serial = SearchEngine::new(&comp, &platform, &model)
+            .with_threads(1)
+            .exhaustive()
+            .expect("feasible");
+        assert_eq!(parallel.solution, serial.solution, "bus {bus}");
+        assert_eq!(
+            parallel.result.makespan_ns.to_bits(),
+            serial.result.makespan_ns.to_bits(),
+            "bus {bus}"
+        );
+        assert_eq!(parallel.evals(), serial.evals(), "bus {bus}");
+        assert_eq!(
+            parallel.telemetry.pruned, serial.telemetry.pruned,
+            "bus {bus}"
         );
     }
 }

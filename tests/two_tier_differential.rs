@@ -1,0 +1,157 @@
+//! Differential proof that the fast makespan tier is bitwise identical to
+//! the materializing tier.
+//!
+//! For every PolyBench-NN kernel and a grid of solutions — corner and
+//! midpoint tile sizes per level under several thread-group assignments,
+//! plus deliberately infeasible blow-ups — `fast_makespan` must return the
+//! exact bits of `evaluate(build_schedule(..)).makespan_ns`, with
+//! `f64::INFINITY` standing in for every infeasibility class
+//! (SPM overflow, segment-cap, range overlap).
+
+use prem::core::{
+    build_schedule, evaluate, fast_makespan, nondominated_thread_groups, select_tile_sizes,
+    AnalyticCost, Component, CostProvider, LoopTree, Platform, Solution,
+};
+use prem::ir::Program;
+
+fn chain_component(tree: &LoopTree, program: &Program) -> Component {
+    let mut chain = Vec::new();
+    let mut node = &tree.roots[0];
+    loop {
+        chain.push(node);
+        match node.children.first() {
+            Some(c) if node.children.len() == 1 && c.tilable => node = c,
+            _ => break,
+        }
+    }
+    Component::extract(tree, program, &chain)
+}
+
+/// The reference (slow) tier: full schedule materialization + evaluation.
+fn full_makespan(
+    comp: &Component,
+    sol: &Solution,
+    platform: &Platform,
+    model: &prem::core::ExecModel,
+) -> f64 {
+    match build_schedule(comp, sol, platform, model) {
+        Ok(sched) => evaluate(&sched).makespan_ns,
+        Err(_) => f64::INFINITY,
+    }
+}
+
+/// Corner + midpoint picks from one level's candidate list.
+fn level_picks(cands: &[i64]) -> Vec<i64> {
+    let mut picks = vec![cands[0], cands[cands.len() / 2], *cands.last().unwrap()];
+    picks.dedup();
+    picks
+}
+
+/// Cartesian product of per-level picks.
+fn solution_grid(comp: &Component, r: &[i64]) -> Vec<Solution> {
+    let depth = comp.depth();
+    let picks: Vec<Vec<i64>> = (0..depth)
+        .map(|j| level_picks(&select_tile_sizes(comp, j, r[j])))
+        .collect();
+    let mut grid = vec![Vec::new()];
+    for level in &picks {
+        let mut next = Vec::new();
+        for prefix in &grid {
+            for &k in level {
+                let mut v = prefix.clone();
+                v.push(k);
+                next.push(v);
+            }
+        }
+        grid = next;
+    }
+    grid.into_iter()
+        .map(|k| Solution { k, r: r.to_vec() })
+        .collect()
+}
+
+fn check_kernel(name: &str, program: &Program, platform: &Platform) {
+    let tree = LoopTree::build(program).unwrap();
+    let comp = chain_component(&tree, program);
+    let cost = AnalyticCost::new(program);
+    let model = cost.exec_model(&comp);
+
+    let mut assignments = nondominated_thread_groups(&comp, platform.cores);
+    assignments.truncate(4);
+    let mut checked = 0usize;
+    let mut infeasible = 0usize;
+    for r in &assignments {
+        for sol in solution_grid(&comp, r) {
+            let fast = fast_makespan(&comp, &sol, platform, &model);
+            let full = full_makespan(&comp, &sol, platform, &model);
+            assert_eq!(
+                fast.to_bits(),
+                full.to_bits(),
+                "{name}: tiers diverge for K{:?} R{:?}: fast {fast} vs full {full}",
+                sol.k,
+                sol.r
+            );
+            checked += 1;
+            if fast.is_infinite() {
+                infeasible += 1;
+            }
+        }
+    }
+    // Untiled (K = N): on small platforms this typically overflows the SPM,
+    // exercising the infeasible path on both tiers.
+    let untiled = Solution::untiled(&comp);
+    let fast = fast_makespan(&comp, &untiled, platform, &model);
+    let full = full_makespan(&comp, &untiled, platform, &model);
+    assert_eq!(fast.to_bits(), full.to_bits(), "{name}: untiled diverges");
+    assert!(checked > 0, "{name}: empty grid");
+    // The grid must exercise the feasible fold, not only the INF short-cut.
+    assert!(
+        infeasible < checked,
+        "{name}: every grid point infeasible — widen the platform"
+    );
+}
+
+#[test]
+fn fast_tier_matches_full_tier_on_all_kernels() {
+    for (name, program) in prem::kernels::all_small() {
+        // Roomy SPM: mostly-feasible grid.
+        let roomy = Platform::default().with_spm_bytes(128 * 1024);
+        check_kernel(name, &program, &roomy);
+        // Tight SPM + slow bus: mixes feasible and SPM-overflow points.
+        let tight = Platform::default()
+            .with_spm_bytes(4 * 1024)
+            .with_bus_gbytes(1.0 / 16.0);
+        check_kernel(name, &program, &tight);
+    }
+}
+
+#[test]
+fn fast_tier_matches_full_tier_on_few_cores() {
+    for (name, program) in prem::kernels::all_small() {
+        let p4 = Platform::default()
+            .with_spm_bytes(8 * 1024)
+            .with_bus_gbytes(0.25)
+            .with_cores(4);
+        check_kernel(name, &program, &p4);
+    }
+}
+
+#[test]
+fn infeasible_blowup_is_infinite_on_both_tiers() {
+    // K = 1 everywhere maximizes segment count, tripping the segment cap
+    // (or producing a huge but finite schedule); either way the tiers agree.
+    for (name, program) in prem::kernels::all_small() {
+        let tree = LoopTree::build(&program).unwrap();
+        let comp = chain_component(&tree, &program);
+        let cost = AnalyticCost::new(&program);
+        let model = cost.exec_model(&comp);
+        let platform = Platform::default().with_spm_bytes(4 * 1024);
+        let sol = Solution {
+            k: vec![1; comp.depth()],
+            r: vec![1; comp.depth()],
+        };
+        let fast = fast_makespan(&comp, &sol, &platform, &model);
+        let full = full_makespan(&comp, &sol, &platform, &model);
+        assert_eq!(fast.to_bits(), full.to_bits(), "{name}: blow-up diverges");
+    }
+}
