@@ -218,6 +218,8 @@ pub fn run_pairs(run: &TimedRun) -> Vec<(String, Json)> {
         ("full_builds".into(), t.full_builds.into()),
         ("pruned".into(), t.pruned.into()),
         ("analysis_reuses".into(), t.analysis_reuses.into()),
+        ("incremental_rebuilds".into(), t.incremental_rebuilds.into()),
+        ("evictions".into(), t.evictions.into()),
         ("phases".into(), run.phases.to_json()),
     ]
 }

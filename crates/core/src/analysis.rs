@@ -22,14 +22,18 @@
 //!
 //! [`AnalysisCache`] memoizes analyses across optimizer runs so `fig6_1`
 //! style sweeps that vary only platform scalars reuse the expensive tile
-//! enumeration.
+//! enumeration, and [`CoordinateDelta`] rebuilds an analysis incrementally
+//! when only a single tile coordinate `K_j` moves — the common case inside
+//! the optimizer's coordinate-descent inner loop (thesis §5.3.1: canonical
+//! ranges factor per level, so the per-level structure of every frozen
+//! level can be precomputed once per scan).
 
-use crate::component::{BufferAttr, Component};
+use crate::component::{BufferAttr, Component, DimContrib};
 use crate::config::Platform;
 use crate::segments::ComponentSchedule;
-use crate::tiling::{Infeasible, Solution, TilePlan};
+use crate::tiling::{Infeasible, Solution, TilePlan, SEGMENT_CAP};
 use crate::timing::{transfer_time_from_lines, ExecModel, TransferShape};
-use prem_polyhedral::Interval;
+use prem_polyhedral::{div_ceil, Interval};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -205,62 +209,21 @@ impl ComponentAnalysis {
                         }
                         scratch_range.push(hull);
                     }
-                    let r = &scratch_range;
-                    if r.iter().any(Interval::is_empty) {
-                        // Every access is guard-excluded from this tile: the
-                        // segment does not touch the array, so no swap
-                        // happens and the previously bound range persists.
-                        continue;
-                    }
-                    for (bb, iv) in bounding_boxes[ai].iter_mut().zip(r) {
-                        *bb = (*bb).max(iv.len() as i64);
-                    }
-                    let changed = match &last[ai] {
-                        Some(prev) if prev == r => false,
-                        Some(prev) => {
-                            // Range changed: §5.3.1 overlap rule for arrays
-                            // with RAW/WAW dependences.
-                            if rw_deps[ai] && prem_polyhedral::ranges_overlap(prev, r) {
-                                overlap_error = Some(Infeasible::RangeOverlap {
-                                    array: arr.name.clone(),
-                                });
-                                return;
-                            }
-                            true
-                        }
-                        None => true,
-                    };
-                    if changed {
-                        let meta = &arrays[ai];
-                        let shape = TransferShape {
-                            range: r.iter().map(|iv| iv.len() as i64).collect(),
-                            array: arr.dims.clone(),
-                            elem_bytes: arr.elem_bytes,
-                        };
-                        let bytes = shape.bytes();
-                        if meta.loads {
-                            total_bytes += bytes;
-                            total_ops += 1;
-                        }
-                        if meta.unloads {
-                            total_bytes += bytes;
-                            total_ops += 1;
-                        }
-                        ca.swap_lists[ai].push(SwapEntry {
-                            seg: s0 + 1,
-                            lines: shape.data_line_num(),
-                            line_elems: shape.data_line_size(),
-                        });
-                        if let Some(rr) = &mut ca.ranges {
-                            rr[ai].push(r.clone());
-                        }
-                        match &mut last[ai] {
-                            Some(prev) => {
-                                prev.clear();
-                                prev.extend_from_slice(r);
-                            }
-                            None => last[ai] = Some(r.clone()),
-                        }
+                    if let Err(e) = bind_tile_array(
+                        arr,
+                        &arrays[ai],
+                        rw_deps[ai],
+                        &scratch_range,
+                        s0,
+                        &mut ca,
+                        ai,
+                        &mut last[ai],
+                        &mut bounding_boxes[ai],
+                        &mut total_bytes,
+                        &mut total_ops,
+                    ) {
+                        overlap_error = Some(e);
+                        return;
                     }
                 }
                 // Execution time from actual (clipped) extents.
@@ -480,6 +443,626 @@ impl ComponentAnalysis {
             .sum::<usize>()
             .max(1)
     }
+
+    /// Structural equality with *bitwise* `f64` comparison on the execution
+    /// times. `PartialEq` would treat `-0.0 == 0.0` and `NaN != NaN`; the
+    /// differential suites need the stronger claim that the incremental
+    /// rebuild produced the same bits the from-scratch build would.
+    pub fn bitwise_eq(&self, other: &ComponentAnalysis) -> bool {
+        self.solution == other.solution
+            && self.bounding_boxes == other.bounding_boxes
+            && self.spm_bytes_needed == other.spm_bytes_needed
+            && self.total_bytes == other.total_bytes
+            && self.total_ops == other.total_ops
+            && self.arrays == other.arrays
+            && self.cores.len() == other.cores.len()
+            && self.cores.iter().zip(&other.cores).all(|(a, b)| {
+                a.nseg == b.nseg
+                    && a.swap_lists == b.swap_lists
+                    && a.ranges == b.ranges
+                    && a.exec_ns.len() == b.exec_ns.len()
+                    && a.exec_ns
+                        .iter()
+                        .zip(&b.exec_ns)
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
+            })
+    }
+}
+
+/// The per-(tile, array) binding step shared by [`ComponentAnalysis::build`]
+/// and [`CoordinateDelta::rebuild`]: empty-range skip, bounding-box update,
+/// change detection with the §5.3.1 overlap rule, and the swap-entry /
+/// transfer-totals bookkeeping. Keeping both scans on one code path is what
+/// makes the incremental rebuild bitwise-faithful by construction — only the
+/// canonical-range *computation* differs between the two callers.
+#[allow(clippy::too_many_arguments)]
+fn bind_tile_array(
+    arr: &crate::component::ArrayUse,
+    meta: &ArrayMeta,
+    rw_dep: bool,
+    r: &[Interval],
+    s0: usize,
+    ca: &mut CoreAnalysis,
+    ai: usize,
+    last: &mut Option<Vec<Interval>>,
+    bb: &mut [i64],
+    total_bytes: &mut i64,
+    total_ops: &mut usize,
+) -> Result<(), Infeasible> {
+    if r.iter().any(Interval::is_empty) {
+        // Every access is guard-excluded from this tile: the segment does
+        // not touch the array, so no swap happens and the previously bound
+        // range persists.
+        return Ok(());
+    }
+    for (b, iv) in bb.iter_mut().zip(r) {
+        *b = (*b).max(iv.len() as i64);
+    }
+    let changed = match last {
+        Some(prev) if prev.as_slice() == r => false,
+        Some(prev) => {
+            // Range changed: §5.3.1 overlap rule for arrays with RAW/WAW
+            // dependences.
+            if rw_dep && prem_polyhedral::ranges_overlap(prev, r) {
+                return Err(Infeasible::RangeOverlap {
+                    array: arr.name.clone(),
+                });
+            }
+            true
+        }
+        None => true,
+    };
+    if changed {
+        let shape = TransferShape {
+            range: r.iter().map(|iv| iv.len() as i64).collect(),
+            array: arr.dims.clone(),
+            elem_bytes: arr.elem_bytes,
+        };
+        let bytes = shape.bytes();
+        if meta.loads {
+            *total_bytes += bytes;
+            *total_ops += 1;
+        }
+        if meta.unloads {
+            *total_bytes += bytes;
+            *total_ops += 1;
+        }
+        ca.swap_lists[ai].push(SwapEntry {
+            seg: s0 + 1,
+            lines: shape.data_line_num(),
+            line_elems: shape.data_line_size(),
+        });
+        if let Some(rr) = &mut ca.ranges {
+            rr[ai].push(r.to_vec());
+        }
+        match last {
+            Some(prev) => {
+                prev.clear();
+                prev.extend_from_slice(r);
+            }
+            None => *last = Some(r.to_vec()),
+        }
+    }
+    Ok(())
+}
+
+/// Upper bound on the interval cells one [`CoordinateDelta`] may retain
+/// (~16 MB of `Interval`s). Contexts past the cap decline construction and
+/// the caller falls back to full builds.
+const DELTA_CELL_CAP: usize = 1 << 20;
+
+/// Per-array precompute of a [`CoordinateDelta`].
+#[derive(Debug, Clone)]
+struct ArrayPlan {
+    /// True when no contribution depends on level `j` — neither through a
+    /// counter coefficient nor through a guard that can clip at `j` (a guard
+    /// covering the whole `[0, N_j)` counter range never excludes a tile).
+    /// For such arrays the finished per-dimension hulls are stored.
+    j_free: bool,
+    /// Cells stored per reduced tile: `ndims` when `j_free`, else the total
+    /// contribution count across dimensions.
+    stride: usize,
+    /// Per dimension, per contribution: `(coeff_j, guard_j)` — the only
+    /// level-`j` facts needed to finish a partial sum.
+    contrib_j: Vec<Vec<(i64, Interval)>>,
+}
+
+/// Frozen-level enumeration for one core: the reduced tile box over the
+/// levels other than `j`, and per array the flattened per-reduced-tile cells
+/// (finished hulls for `j_free` arrays, per-contribution partial sums
+/// otherwise; `Interval::empty()` marks a partial excluded by a frozen-level
+/// guard — genuine partials are never empty since `base` is nonempty and
+/// every added term is nonempty).
+#[derive(Debug, Clone)]
+struct ReducedCore {
+    box_red: Vec<Interval>,
+    data: Vec<Vec<Interval>>,
+}
+
+/// Partial [`DimContrib::bounds`] sum over every level except `j`:
+/// `base + Σ_{i≠j} clip(range_i, guard_i) · coeff_i`, or empty when a frozen
+/// level's guard excludes the tile. `ranges[j]` is ignored. The `i64`
+/// interval arithmetic is exact (absent saturation), so finishing the sum
+/// with level `j`'s term later is reassociation-free — bitwise identical to
+/// the full left-to-right fold.
+fn partial_bounds(c: &DimContrib, ranges: &[Interval], j: usize) -> Interval {
+    let mut acc = c.base;
+    for (i, ((coef, r), g)) in c
+        .comp_coeffs
+        .iter()
+        .zip(ranges)
+        .zip(&c.level_bounds)
+        .enumerate()
+    {
+        if i == j {
+            continue;
+        }
+        let clipped = r.intersect(g);
+        if clipped.is_empty() {
+            return Interval::empty();
+        }
+        if *coef != 0 {
+            acc = acc + clipped.scale(*coef);
+        }
+    }
+    acc
+}
+
+/// Incremental single-coordinate rebuild context (thesis §5.3.1: canonical
+/// ranges factor per level). Built once per coordinate-descent scan of level
+/// `j`, it freezes everything that does not depend on `K_j`: per-core
+/// reduced tile enumerations over the other levels with per-array partial
+/// canonical-range sums, plus a memo of tile execution times keyed by
+/// extent vector. [`CoordinateDelta::rebuild`] then replays the *exact*
+/// per-core, per-tile traversal of [`ComponentAnalysis::build`] — same
+/// odometer order, same change detection, same first-error — finishing each
+/// partial sum with level `j`'s term only. Results are bitwise equal to a
+/// from-scratch build (enforced by a sampled debug assert in the evaluator
+/// and the `incremental_matches_full` differential suite).
+#[derive(Debug)]
+pub struct CoordinateDelta {
+    j: usize,
+    k: Vec<i64>,
+    r: Vec<i64>,
+    cores: usize,
+    rw_deps: Vec<bool>,
+    metas: Vec<ArrayMeta>,
+    plans: Vec<ArrayPlan>,
+    reduced: Vec<Option<ReducedCore>>,
+    exec_memo: HashMap<Vec<i64>, f64>,
+}
+
+impl CoordinateDelta {
+    /// Precomputes the frozen-level structure for varying coordinate `j` of
+    /// `base` (the value of `base.k[j]` itself is irrelevant). Returns `None`
+    /// when the context is not worth building: the frozen levels alone
+    /// exceed [`SEGMENT_CAP`], the retained cells would exceed
+    /// [`DELTA_CELL_CAP`], or the thread shape is infeasible outright —
+    /// callers fall back to full builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range or `base` does not match the
+    /// component's depth.
+    pub fn new(
+        component: &Component,
+        base: &Solution,
+        j: usize,
+        cores: usize,
+    ) -> Option<CoordinateDelta> {
+        let depth = component.depth();
+        assert!(j < depth, "coordinate out of range");
+        assert_eq!(base.k.len(), depth);
+        assert_eq!(base.r.len(), depth);
+
+        let threads: i64 = base.r.iter().product();
+        if threads > cores as i64 {
+            return None;
+        }
+        let m: Vec<i64> = component
+            .levels
+            .iter()
+            .zip(&base.k)
+            .map(|(lv, &k)| div_ceil(lv.count, k))
+            .collect();
+        let z: Vec<i64> = m
+            .iter()
+            .zip(&base.r)
+            .map(|(&m, &r)| div_ceil(m, r))
+            .collect();
+        let mut red_total = 1u64;
+        for (i, &mi) in m.iter().enumerate() {
+            if i != j {
+                red_total = red_total.saturating_mul(mi as u64);
+            }
+        }
+        if red_total > SEGMENT_CAP {
+            return None;
+        }
+
+        // Counter ranges of the frozen levels (same formula as
+        // `TilePlan::build`; level `j`'s ranges depend on `K_j` and are read
+        // from the fresh plan at rebuild time).
+        let level_ranges: Vec<Vec<Interval>> = component
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(i, lv)| {
+                if i == j {
+                    Vec::new()
+                } else {
+                    let k = base.k[i];
+                    (0..m[i])
+                        .map(|t| Interval::new(t * k, ((t + 1) * k - 1).min(lv.count - 1)))
+                        .collect()
+                }
+            })
+            .collect();
+
+        let rw_deps: Vec<bool> = component
+            .arrays
+            .iter()
+            .map(|a| crate::segments::array_has_rw_deps(component, a.array))
+            .collect();
+        let metas: Vec<ArrayMeta> = component
+            .arrays
+            .iter()
+            .map(|a| ArrayMeta {
+                ndims: a.dims.len(),
+                elem_bytes: a.elem_bytes,
+                loads: matches!(a.attr, BufferAttr::Ro | BufferAttr::Rw),
+                unloads: matches!(a.attr, BufferAttr::Wo | BufferAttr::Rw),
+            })
+            .collect();
+
+        let count_j = component.levels[j].count;
+        let plans: Vec<ArrayPlan> = component
+            .arrays
+            .iter()
+            .map(|arr| {
+                let contrib_j: Vec<Vec<(i64, Interval)>> = arr
+                    .contribs
+                    .iter()
+                    .map(|dim| {
+                        dim.iter()
+                            .map(|c| (c.comp_coeffs[j], c.level_bounds[j]))
+                            .collect()
+                    })
+                    .collect();
+                let j_free = contrib_j
+                    .iter()
+                    .flatten()
+                    .all(|&(coef, g)| coef == 0 && g.lo <= 0 && g.hi >= count_j - 1);
+                let stride = if j_free {
+                    arr.contribs.len()
+                } else {
+                    contrib_j.iter().map(Vec::len).sum()
+                };
+                ArrayPlan {
+                    j_free,
+                    stride,
+                    contrib_j,
+                }
+            })
+            .collect();
+
+        // Radix weights for the thread id, as in `TilePlan::build`.
+        let mut weight = vec![1i64; depth];
+        for i in (0..depth.saturating_sub(1)).rev() {
+            weight[i] = weight[i + 1] * base.r[i + 1];
+        }
+
+        let per_tile_cells: usize = plans.iter().map(|p| p.stride).sum();
+        let mut cells = 0usize;
+        let mut reduced: Vec<Option<ReducedCore>> = Vec::with_capacity(cores);
+        let mut ranges: Vec<Interval> = vec![Interval::empty(); depth];
+        for core in 0..cores {
+            let c = core as i64;
+            if c >= threads {
+                reduced.push(None);
+                continue;
+            }
+            // The core's tile box restricted to the frozen levels. Level
+            // boxes depend only on (m_i, z_i, r_i), so for i ≠ j they match
+            // the boxes of every plan the rebuild will construct.
+            let mut box_red: Vec<Interval> = Vec::with_capacity(depth.saturating_sub(1));
+            let mut empty = false;
+            for i in 0..depth {
+                if i == j {
+                    continue;
+                }
+                let g = (c / weight[i]) % base.r[i];
+                let lo = g * z[i];
+                let hi = ((g + 1) * z[i] - 1).min(m[i] - 1);
+                if lo > hi {
+                    empty = true;
+                    break;
+                }
+                box_red.push(Interval::new(lo, hi));
+            }
+            if empty {
+                reduced.push(None);
+                continue;
+            }
+            let n_red: usize = box_red.iter().map(|iv| iv.len() as usize).product();
+            cells = cells.saturating_add(n_red * per_tile_cells);
+            if cells > DELTA_CELL_CAP {
+                return None;
+            }
+
+            let mut data: Vec<Vec<Interval>> = plans
+                .iter()
+                .map(|p| Vec::with_capacity(n_red * p.stride))
+                .collect();
+            let mut tile_red: Vec<i64> = box_red.iter().map(|iv| iv.lo).collect();
+            'tiles: loop {
+                let mut t = 0usize;
+                for i in 0..depth {
+                    if i == j {
+                        continue;
+                    }
+                    ranges[i] = level_ranges[i][tile_red[t] as usize];
+                    t += 1;
+                }
+                for ((arr, p), cells) in component.arrays.iter().zip(&plans).zip(&mut data) {
+                    if p.j_free {
+                        for dim in &arr.contribs {
+                            let mut hull = Interval::empty();
+                            for cb in dim {
+                                hull = hull.hull(&partial_bounds(cb, &ranges, j));
+                            }
+                            cells.push(hull);
+                        }
+                    } else {
+                        for dim in &arr.contribs {
+                            for cb in dim {
+                                cells.push(partial_bounds(cb, &ranges, j));
+                            }
+                        }
+                    }
+                }
+                let mut t = box_red.len();
+                loop {
+                    if t == 0 {
+                        break 'tiles;
+                    }
+                    t -= 1;
+                    tile_red[t] += 1;
+                    if tile_red[t] <= box_red[t].hi {
+                        break;
+                    }
+                    tile_red[t] = box_red[t].lo;
+                }
+            }
+            reduced.push(Some(ReducedCore { box_red, data }));
+        }
+
+        Some(CoordinateDelta {
+            j,
+            k: base.k.clone(),
+            r: base.r.clone(),
+            cores,
+            rw_deps,
+            metas,
+            plans,
+            reduced,
+            exec_memo: HashMap::new(),
+        })
+    }
+
+    /// The varied coordinate.
+    pub fn coordinate(&self) -> usize {
+        self.j
+    }
+
+    /// True when `solution` differs from the base solution at most in
+    /// coordinate `j` — the precondition for [`CoordinateDelta::rebuild`].
+    pub fn matches(&self, solution: &Solution) -> bool {
+        solution.r == self.r
+            && solution.k.len() == self.k.len()
+            && solution
+                .k
+                .iter()
+                .zip(&self.k)
+                .enumerate()
+                .all(|(i, (a, b))| i == self.j || a == b)
+    }
+
+    /// Rebuilds the analysis for the base solution with coordinate `j` set
+    /// to `k_j`, without retained ranges. Must be called with the same
+    /// component the delta was built from. The result — including which
+    /// [`Infeasible`] is reported first — is bitwise identical to
+    /// `ComponentAnalysis::build(component, &solution, cores, exec_model,
+    /// false)`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`ComponentAnalysis::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the frozen-level boxes disagree with the fresh tile
+    /// plan — i.e. the delta is used with a foreign component.
+    pub fn rebuild(
+        &mut self,
+        component: &Component,
+        k_j: i64,
+        exec_model: &ExecModel,
+    ) -> Result<ComponentAnalysis, Infeasible> {
+        let CoordinateDelta {
+            j,
+            k,
+            r,
+            cores,
+            rw_deps,
+            metas,
+            plans,
+            reduced,
+            exec_memo,
+        } = self;
+        let (j, cores) = (*j, *cores);
+        let mut solution = Solution {
+            k: k.clone(),
+            r: r.clone(),
+        };
+        solution.k[j] = k_j;
+        let plan = TilePlan::build(component, &solution, cores)?;
+        crate::segments::check_persistence(component, &plan)?;
+
+        let narr = component.arrays.len();
+        let depth = component.depth();
+        let mut bounding_boxes: Vec<Vec<i64>> = component
+            .arrays
+            .iter()
+            .map(|a| vec![0; a.dims.len()])
+            .collect();
+        let mut out_cores: Vec<CoreAnalysis> = Vec::with_capacity(cores);
+        let mut total_bytes = 0i64;
+        let mut total_ops = 0usize;
+        let mut scratch_range: Vec<Interval> = Vec::new();
+        let mut extents: Vec<i64> = Vec::new();
+
+        for (core, red) in reduced.iter().enumerate() {
+            let nseg = plan.core_nseg(core);
+            let mut ca = CoreAnalysis {
+                nseg,
+                exec_ns: Vec::with_capacity(nseg),
+                swap_lists: vec![Vec::new(); narr],
+                ranges: None,
+            };
+            if nseg == 0 {
+                out_cores.push(ca);
+                continue;
+            }
+            let bx = plan.core_boxes[core].as_ref().expect("nseg > 0 has a box");
+            let rc = red
+                .as_ref()
+                .expect("core with tiles under new k_j has tiles on frozen levels");
+            // Row-major strides of the reduced enumeration, indexed by level.
+            let mut red_stride = vec![0usize; depth];
+            {
+                let mut acc = 1usize;
+                let mut t = rc.box_red.len();
+                for i in (0..depth).rev() {
+                    if i == j {
+                        continue;
+                    }
+                    t -= 1;
+                    debug_assert_eq!(bx[i], rc.box_red[t], "delta used with foreign component");
+                    red_stride[i] = acc;
+                    acc *= rc.box_red[t].len() as usize;
+                }
+            }
+
+            let mut last: Vec<Option<Vec<Interval>>> = vec![None; narr];
+            let mut s0 = 0usize;
+            let mut tile: Vec<i64> = bx.iter().map(|iv| iv.lo).collect();
+            'tiles: loop {
+                let mut ri = 0usize;
+                for i in 0..depth {
+                    if i != j {
+                        ri += (tile[i] - bx[i].lo) as usize * red_stride[i];
+                    }
+                }
+                let rj = plan.level_ranges[j][tile[j] as usize];
+                for (ai, (arr, p)) in component.arrays.iter().zip(&*plans).enumerate() {
+                    let cells = &rc.data[ai][ri * p.stride..(ri + 1) * p.stride];
+                    scratch_range.clear();
+                    if p.j_free {
+                        scratch_range.extend_from_slice(cells);
+                    } else {
+                        let mut off = 0usize;
+                        for dim in &p.contrib_j {
+                            let mut hull = Interval::empty();
+                            for &(coef, guard) in dim {
+                                let partial = cells[off];
+                                off += 1;
+                                let b = if partial.is_empty() {
+                                    Interval::empty()
+                                } else {
+                                    let clipped = rj.intersect(&guard);
+                                    if clipped.is_empty() {
+                                        Interval::empty()
+                                    } else if coef != 0 {
+                                        partial + clipped.scale(coef)
+                                    } else {
+                                        partial
+                                    }
+                                };
+                                hull = hull.hull(&b);
+                            }
+                            scratch_range.push(hull);
+                        }
+                    }
+                    bind_tile_array(
+                        arr,
+                        &metas[ai],
+                        rw_deps[ai],
+                        &scratch_range,
+                        s0,
+                        &mut ca,
+                        ai,
+                        &mut last[ai],
+                        &mut bounding_boxes[ai],
+                        &mut total_bytes,
+                        &mut total_ops,
+                    )?;
+                }
+                extents.clear();
+                extents.extend(
+                    tile.iter()
+                        .enumerate()
+                        .map(|(i, &t)| plan.level_ranges[i][t as usize].len() as i64),
+                );
+                let exec = match exec_memo.get(extents.as_slice()) {
+                    Some(&v) => v,
+                    None => {
+                        let v = exec_model.tile_time_ns(&extents);
+                        exec_memo.insert(extents.clone(), v);
+                        v
+                    }
+                };
+                ca.exec_ns.push(exec);
+                s0 += 1;
+                let mut t = depth;
+                loop {
+                    if t == 0 {
+                        break 'tiles;
+                    }
+                    t -= 1;
+                    tile[t] += 1;
+                    if tile[t] <= bx[t].hi {
+                        break;
+                    }
+                    tile[t] = bx[t].lo;
+                }
+            }
+            out_cores.push(ca);
+        }
+
+        let mut spm_bytes_needed = 0i64;
+        for (arr, bb) in component.arrays.iter().zip(&bounding_boxes) {
+            spm_bytes_needed += 2 * arr.elem_bytes * bb.iter().product::<i64>();
+        }
+
+        Ok(ComponentAnalysis {
+            solution,
+            cores: out_cores,
+            bounding_boxes,
+            spm_bytes_needed,
+            total_bytes,
+            total_ops,
+            arrays: metas.clone(),
+        })
+    }
+}
+
+/// True when `PREM_CHECK_HEAVY=1`: debug-build differential asserts sample
+/// densely (pre-PR-3 rates) instead of the cheap default.
+#[cfg(debug_assertions)]
+pub(crate) fn heavy_checks() -> bool {
+    static HEAVY: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *HEAVY.get_or_init(|| std::env::var("PREM_CHECK_HEAVY").is_ok_and(|v| v == "1"))
 }
 
 /// One-shot fast-tier makespan of a solution: `+∞` when infeasible, else
@@ -550,16 +1133,118 @@ const CACHE_SHARDS: usize = 16;
 /// not cached — a `K = 1` solution of a large kernel can carry 100k+
 /// segments and would evict everything useful.
 const MAX_ENTRY_WEIGHT: usize = 1 << 16;
-/// Total cache budget in weight units (~a few hundred MB worst case).
+/// Default total cache budget in weight units (~a few hundred MB worst
+/// case), split evenly across shards.
 const MAX_TOTAL_WEIGHT: usize = 1 << 22;
+
+/// One resident cache entry with its clock reference bit.
+struct ShardSlot {
+    key: AnalysisKey,
+    entry: CacheEntry,
+    weight: usize,
+    referenced: bool,
+}
+
+/// One cache shard: a key→slot index, the slot arena the clock hand sweeps,
+/// and the shard's resident weight — all guarded by one mutex, so weight
+/// accounting cannot race with admission.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<AnalysisKey, usize>,
+    slots: Vec<Option<ShardSlot>>,
+    free: Vec<usize>,
+    hand: usize,
+    weight: usize,
+}
+
+impl Shard {
+    fn get(&mut self, key: &AnalysisKey) -> Option<CacheEntry> {
+        let slot = *self.map.get(key)?;
+        let s = self.slots[slot].as_mut().expect("mapped slot is occupied");
+        s.referenced = true;
+        Some(s.entry.clone())
+    }
+
+    /// Admits an entry, evicting via the clock until it fits the budget.
+    /// Returns the number of entries evicted.
+    fn insert(
+        &mut self,
+        key: AnalysisKey,
+        entry: CacheEntry,
+        weight: usize,
+        budget: usize,
+    ) -> usize {
+        let mut evicted = 0;
+        while self.weight + weight > budget {
+            if !self.evict_one() {
+                break;
+            }
+            evicted += 1;
+        }
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.slots.push(None);
+            self.slots.len() - 1
+        });
+        self.slots[slot] = Some(ShardSlot {
+            key: key.clone(),
+            entry,
+            weight,
+            referenced: true,
+        });
+        self.map.insert(key, slot);
+        self.weight += weight;
+        evicted
+    }
+
+    /// Second-chance sweep: clears reference bits until it finds a cold
+    /// entry to drop. Bounded at two revolutions (everything is referenced
+    /// on the first, something is evictable on the second).
+    fn evict_one(&mut self) -> bool {
+        if self.map.is_empty() {
+            return false;
+        }
+        let n = self.slots.len();
+        for _ in 0..2 * n + 1 {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % n;
+            if let Some(s) = self.slots[i].as_mut() {
+                if s.referenced {
+                    s.referenced = false;
+                } else {
+                    let s = self.slots[i].take().expect("checked occupied");
+                    self.map.remove(&s.key);
+                    self.weight -= s.weight;
+                    self.free.push(i);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Outcome of one [`AnalysisCache::get_or_build_with`] lookup.
+pub struct CacheLookup {
+    /// The analysis or infeasibility verdict.
+    pub entry: CacheEntry,
+    /// True when the result came from the cache.
+    pub hit: bool,
+    /// Entries evicted to admit this one — attributed to the caller so
+    /// telemetry aggregation stays race-free.
+    pub evicted: usize,
+}
 
 /// Shared, sharded memo of [`ComponentAnalysis`] results (including
 /// infeasibility verdicts), keyed by structure only. One cache serves every
 /// optimizer run of a sweep: points that differ only in bus speed or API
-/// costs hit for every candidate the previous points explored.
+/// costs hit for every candidate the previous points explored. Admission is
+/// weight-aware with per-shard clock (second-chance) eviction, so a long
+/// multi-kernel sweep keeps its hot keys resident instead of freezing the
+/// cache at first saturation.
 pub struct AnalysisCache {
-    shards: Vec<Mutex<HashMap<AnalysisKey, CacheEntry>>>,
-    weight: AtomicUsize,
+    shards: Vec<Mutex<Shard>>,
+    shard_budget: usize,
+    evictions: AtomicUsize,
 }
 
 impl Default for AnalysisCache {
@@ -572,24 +1257,36 @@ impl std::fmt::Debug for AnalysisCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AnalysisCache")
             .field("entries", &self.len())
+            .field("weight", &self.weight())
+            .field("evictions", &self.evictions())
             .finish()
     }
 }
 
 impl AnalysisCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default weight budget.
     pub fn new() -> Self {
+        Self::with_total_weight(MAX_TOTAL_WEIGHT)
+    }
+
+    /// Creates an empty cache with a custom total weight budget (split
+    /// evenly across shards; mainly for eviction tests).
+    pub fn with_total_weight(total: usize) -> Self {
         AnalysisCache {
             shards: (0..CACHE_SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(Shard::default()))
                 .collect(),
-            weight: AtomicUsize::new(0),
+            shard_budget: (total / CACHE_SHARDS).max(1),
+            evictions: AtomicUsize::new(0),
         }
     }
 
     /// Number of cached analyses across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
     }
 
     /// Whether the cache holds no entries.
@@ -597,10 +1294,65 @@ impl AnalysisCache {
         self.len() == 0
     }
 
-    /// Returns the analysis (or infeasibility verdict) for the key, building
-    /// it on a miss. The second element is `true` when the result came from
-    /// the cache. Builds happen outside the shard lock; a racing duplicate
-    /// build is accepted (last insert wins, both values are identical).
+    /// Total resident weight across all shards.
+    pub fn weight(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().weight).sum()
+    }
+
+    /// Total entries evicted since creation.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Returns the analysis (or infeasibility verdict) for the key, calling
+    /// `build` on a miss. The build runs outside the shard lock; when two
+    /// threads race on the same miss, both build but only the entry that
+    /// lands in the shard is weight-accounted (admission re-checks occupancy
+    /// under the lock). Oversized entries are returned but not admitted.
+    pub fn get_or_build_with<F>(
+        &self,
+        component: &Component,
+        solution: &Solution,
+        cores: usize,
+        exec_model: &ExecModel,
+        build: F,
+    ) -> CacheLookup
+    where
+        F: FnOnce() -> CacheEntry,
+    {
+        let key = analysis_key(component, exec_model, cores, solution);
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        let shard = &self.shards[(hasher.finish() as usize) % CACHE_SHARDS];
+        if let Some(entry) = shard.lock().unwrap().get(&key) {
+            return CacheLookup {
+                entry,
+                hit: true,
+                evicted: 0,
+            };
+        }
+        let entry = build();
+        let weight = entry.as_ref().map(|a| a.weight()).unwrap_or(1);
+        let mut evicted = 0;
+        if weight <= MAX_ENTRY_WEIGHT && weight <= self.shard_budget {
+            let mut guard = shard.lock().unwrap();
+            if !guard.map.contains_key(&key) {
+                evicted = guard.insert(key, entry.clone(), weight, self.shard_budget);
+            }
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        CacheLookup {
+            entry,
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// [`AnalysisCache::get_or_build_with`] with the default from-scratch
+    /// build. The second element is `true` when the result came from the
+    /// cache.
     pub fn get_or_build(
         &self,
         component: &Component,
@@ -608,24 +1360,67 @@ impl AnalysisCache {
         cores: usize,
         exec_model: &ExecModel,
     ) -> (CacheEntry, bool) {
-        let key = analysis_key(component, exec_model, cores, solution);
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        let shard = &self.shards[(hasher.finish() as usize) % CACHE_SHARDS];
-        if let Some(entry) = shard.lock().unwrap().get(&key) {
-            return (entry.clone(), true);
+        let lookup = self.get_or_build_with(component, solution, cores, exec_model, || {
+            ComponentAnalysis::build(component, solution, cores, exec_model, false).map(Arc::new)
+        });
+        (lookup.entry, lookup.hit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key_for(i: i64) -> AnalysisKey {
+        AnalysisKey {
+            levels: vec![(0, 64)],
+            model_bits: vec![0],
+            cores: 1,
+            solution: Solution {
+                k: vec![i],
+                r: vec![1],
+            },
         }
-        let built: CacheEntry =
-            ComponentAnalysis::build(component, solution, cores, exec_model, false).map(Arc::new);
-        let weight = built.as_ref().map(|a| a.weight()).unwrap_or(1);
-        if weight <= MAX_ENTRY_WEIGHT {
-            let total = self.weight.fetch_add(weight, Ordering::Relaxed) + weight;
-            if total <= MAX_TOTAL_WEIGHT {
-                shard.lock().unwrap().insert(key, built.clone());
-            } else {
-                self.weight.fetch_sub(weight, Ordering::Relaxed);
-            }
+    }
+
+    fn feasible_entry() -> CacheEntry {
+        Err(Infeasible::TooManySegments { count: 0 })
+    }
+
+    #[test]
+    fn clock_spares_referenced_entries() {
+        let mut shard = Shard::default();
+        let budget = usize::MAX;
+        shard.insert(key_for(1), feasible_entry(), 1, budget);
+        shard.insert(key_for(2), feasible_entry(), 1, budget);
+        shard.insert(key_for(3), feasible_entry(), 1, budget);
+        // First sweep clears all three fresh reference bits, then evicts
+        // key 1 (clock order), leaving the hand at slot 1.
+        assert!(shard.evict_one());
+        assert!(shard.get(&key_for(1)).is_none());
+        // Touch key 3: its bit protects it from the next sweep, while the
+        // untouched key 2 sits right under the hand.
+        assert!(shard.get(&key_for(3)).is_some());
+        assert!(shard.evict_one());
+        assert!(shard.get(&key_for(2)).is_none(), "cold entry is the victim");
+        assert!(shard.get(&key_for(3)).is_some(), "hot entry survives");
+        assert_eq!(shard.weight, 1);
+    }
+
+    #[test]
+    fn shard_weight_tracks_evictions() {
+        let mut shard = Shard::default();
+        let budget = 10;
+        for i in 0..20 {
+            shard.insert(key_for(i), feasible_entry(), 3, budget);
         }
-        (built, false)
+        assert!(shard.weight <= budget);
+        assert_eq!(
+            shard.weight,
+            shard.map.len() * 3,
+            "weight matches resident entries"
+        );
+        // The freelist recycles slots instead of growing the arena forever.
+        assert!(shard.slots.len() <= 4);
     }
 }

@@ -7,7 +7,7 @@
 //! in each tile size. An exhaustive optimizer is provided for validation on
 //! small components.
 
-use crate::analysis::{AnalysisCache, ComponentAnalysis, MakespanScratch};
+use crate::analysis::{AnalysisCache, ComponentAnalysis, CoordinateDelta, MakespanScratch};
 use crate::component::Component;
 use crate::config::Platform;
 use crate::schedule::{evaluate, ScheduleResult};
@@ -39,6 +39,9 @@ pub struct OptimizerOptions {
     /// platform timing scalars (bus speed, API costs) across optimizer runs
     /// reuse every tile enumeration. `None` disables cross-run reuse.
     pub analysis_cache: Option<Arc<AnalysisCache>>,
+    /// Use [`CoordinateDelta`] incremental rebuilds inside single-coordinate
+    /// scans (bitwise-equivalent to full builds; off mainly for A/B tests).
+    pub incremental: bool,
 }
 
 impl Default for OptimizerOptions {
@@ -49,6 +52,7 @@ impl Default for OptimizerOptions {
             convex_search: true,
             max_phase_ns: None,
             analysis_cache: None,
+            incremental: true,
         }
     }
 }
@@ -59,6 +63,7 @@ impl PartialEq for OptimizerOptions {
             && self.seed == other.seed
             && self.convex_search == other.convex_search
             && self.max_phase_ns == other.max_phase_ns
+            && self.incremental == other.incremental
             && match (&self.analysis_cache, &other.analysis_cache) {
                 (None, None) => true,
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
@@ -173,6 +178,13 @@ pub struct MakespanEvaluator<'a> {
     cache: HashMap<Solution, f64>,
     analysis_cache: Option<Arc<AnalysisCache>>,
     scratch: MakespanScratch,
+    /// Active single-coordinate scan, if any (see
+    /// [`MakespanEvaluator::begin_coordinate`]).
+    coordinate: Option<CoordinateScan>,
+    /// Whether single-coordinate scans may use incremental rebuilds.
+    incremental: bool,
+    #[cfg(debug_assertions)]
+    rebuild_checks: usize,
     /// Optional cap on the longest phase (see [`OptimizerOptions`]).
     pub max_phase_ns: Option<f64>,
     /// Number of (uncached) makespan evaluations.
@@ -185,6 +197,36 @@ pub struct MakespanEvaluator<'a> {
     /// Analyses answered by the shared [`AnalysisCache`] instead of being
     /// rebuilt.
     pub analysis_reuses: usize,
+    /// Analyses produced by [`CoordinateDelta::rebuild`] instead of a full
+    /// [`ComponentAnalysis::build`].
+    pub incremental_rebuilds: usize,
+    /// Shared-cache entries evicted by this evaluator's insertions.
+    pub evictions: usize,
+}
+
+/// One single-coordinate scan: solutions equal to `base` except at
+/// coordinate `j` may be analyzed incrementally. The delta context is built
+/// lazily on the first actual analysis construction — a scan whose every
+/// probe hits the memo or the shared cache never pays for it.
+struct CoordinateScan {
+    base: Solution,
+    j: usize,
+    /// `None` — not yet attempted; `Some(None)` — construction declined
+    /// (context too large), fall back to full builds for this scan.
+    delta: Option<Option<CoordinateDelta>>,
+}
+
+impl CoordinateScan {
+    fn covers(&self, solution: &Solution) -> bool {
+        solution.r == self.base.r
+            && solution.k.len() == self.base.k.len()
+            && solution
+                .k
+                .iter()
+                .zip(&self.base.k)
+                .enumerate()
+                .all(|(i, (a, b))| i == self.j || a == b)
+    }
 }
 
 impl<'a> MakespanEvaluator<'a> {
@@ -201,11 +243,17 @@ impl<'a> MakespanEvaluator<'a> {
             cache: HashMap::new(),
             analysis_cache: None,
             scratch: MakespanScratch::default(),
+            coordinate: None,
+            incremental: true,
+            #[cfg(debug_assertions)]
+            rebuild_checks: 0,
             max_phase_ns: None,
             evals: 0,
             cache_hits: 0,
             fast_evals: 0,
             analysis_reuses: 0,
+            incremental_rebuilds: 0,
+            evictions: 0,
         }
     }
 
@@ -213,6 +261,36 @@ impl<'a> MakespanEvaluator<'a> {
     pub fn with_analysis_cache(mut self, cache: Option<Arc<AnalysisCache>>) -> Self {
         self.analysis_cache = cache;
         self
+    }
+
+    /// Enables or disables incremental rebuilds (on by default; off mainly
+    /// for A/B equivalence tests).
+    pub fn with_incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
+    }
+
+    /// Declares that until [`MakespanEvaluator::end_coordinate`], queried
+    /// solutions differ from `base` only at coordinate `j` — the evaluator
+    /// may then serve analysis builds with [`CoordinateDelta::rebuild`].
+    /// `base.k[j]` itself is irrelevant. Solutions outside the scan shape
+    /// are still handled correctly (full build); a new `begin_coordinate`
+    /// replaces any active scan.
+    pub fn begin_coordinate(&mut self, base: &Solution, j: usize) {
+        self.coordinate = if self.incremental {
+            Some(CoordinateScan {
+                base: base.clone(),
+                j,
+                delta: None,
+            })
+        } else {
+            None
+        };
+    }
+
+    /// Ends the active single-coordinate scan, if any.
+    pub fn end_coordinate(&mut self) {
+        self.coordinate = None;
     }
 
     /// Makespan of a solution in ns (`+∞` when infeasible).
@@ -224,11 +302,74 @@ impl<'a> MakespanEvaluator<'a> {
         self.evals += 1;
         let v = self.fast_makespan(solution);
         #[cfg(debug_assertions)]
-        if self.evals <= 4 || self.evals.is_multiple_of(101) {
+        if self.evals <= 2
+            || self
+                .evals
+                .is_multiple_of(if crate::analysis::heavy_checks() {
+                    101
+                } else {
+                    1021
+                })
+        {
             self.check_differential(solution, v);
         }
         self.cache.insert(solution.clone(), v);
         v
+    }
+
+    /// Builds the structure analysis for one solution (no retained ranges),
+    /// incrementally when an active coordinate scan covers it. A sampled
+    /// debug assert keeps the incremental path honest against the
+    /// from-scratch build (densely under `PREM_CHECK_HEAVY=1`); the
+    /// dedicated `incremental_differential` suite is the exhaustive check.
+    fn build_analysis(
+        &mut self,
+        solution: &Solution,
+    ) -> Result<Arc<ComponentAnalysis>, crate::tiling::Infeasible> {
+        let component = self.component;
+        let cores = self.platform.cores;
+        let exec_model = self.exec_model;
+        if let Some(scan) = &mut self.coordinate {
+            if scan.covers(solution) {
+                if scan.delta.is_none() {
+                    scan.delta = Some(CoordinateDelta::new(component, &scan.base, scan.j, cores));
+                }
+                if let Some(Some(delta)) = &mut scan.delta {
+                    let built =
+                        delta.rebuild(component, solution.k[delta.coordinate()], exec_model);
+                    self.incremental_rebuilds += 1;
+                    #[cfg(debug_assertions)]
+                    {
+                        self.rebuild_checks += 1;
+                        let stride = if crate::analysis::heavy_checks() {
+                            29
+                        } else {
+                            257
+                        };
+                        if self.rebuild_checks == 1 || self.rebuild_checks.is_multiple_of(stride) {
+                            let full = ComponentAnalysis::build(
+                                component, solution, cores, exec_model, false,
+                            );
+                            match (&built, &full) {
+                                (Ok(a), Ok(b)) => debug_assert!(
+                                    a.bitwise_eq(b),
+                                    "incremental rebuild diverges for {solution}"
+                                ),
+                                (Err(a), Err(b)) => debug_assert_eq!(
+                                    a, b,
+                                    "incremental rebuild error diverges for {solution}"
+                                ),
+                                _ => panic!(
+                                    "incremental rebuild feasibility diverges for {solution}"
+                                ),
+                            }
+                        }
+                    }
+                    return built.map(Arc::new);
+                }
+            }
+        }
+        ComponentAnalysis::build(component, solution, cores, exec_model, false).map(Arc::new)
     }
 
     /// The fast tier: analytic SPM pre-gate, (cached) structure analysis,
@@ -238,30 +379,26 @@ impl<'a> MakespanEvaluator<'a> {
         if spm_estimate > self.platform.spm_bytes {
             return f64::INFINITY;
         }
-        let analysis = match &self.analysis_cache {
+        let analysis = match self.analysis_cache.clone() {
             Some(cache) => {
-                let (entry, reused) = cache.get_or_build(
+                let lookup = cache.get_or_build_with(
                     self.component,
                     solution,
                     self.platform.cores,
                     self.exec_model,
+                    || self.build_analysis(solution),
                 );
-                if reused {
+                if lookup.hit {
                     self.analysis_reuses += 1;
                 }
-                match entry {
+                self.evictions += lookup.evicted;
+                match lookup.entry {
                     Ok(a) => a,
                     Err(_) => return f64::INFINITY,
                 }
             }
-            None => match ComponentAnalysis::build(
-                self.component,
-                solution,
-                self.platform.cores,
-                self.exec_model,
-                false,
-            ) {
-                Ok(a) => Arc::new(a),
+            None => match self.build_analysis(solution) {
+                Ok(a) => a,
                 Err(_) => return f64::INFINITY,
             },
         };
@@ -332,6 +469,7 @@ pub struct SearchEngine<'a> {
     max_phase_ns: Option<f64>,
     analysis_cache: Option<Arc<AnalysisCache>>,
     threads: Option<usize>,
+    incremental: bool,
 }
 
 impl<'a> SearchEngine<'a> {
@@ -348,6 +486,7 @@ impl<'a> SearchEngine<'a> {
             max_phase_ns: None,
             analysis_cache: None,
             threads: None,
+            incremental: true,
         }
     }
 
@@ -370,9 +509,18 @@ impl<'a> SearchEngine<'a> {
         self
     }
 
+    /// Enables or disables incremental analysis rebuilds inside
+    /// single-coordinate scans (on by default; the result is bitwise
+    /// identical either way — off exists for A/B equivalence tests).
+    pub fn with_incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
+    }
+
     fn evaluator(&self) -> MakespanEvaluator<'a> {
         let mut ev = MakespanEvaluator::new(self.component, self.platform, self.exec_model)
-            .with_analysis_cache(self.analysis_cache.clone());
+            .with_analysis_cache(self.analysis_cache.clone())
+            .with_incremental(self.incremental);
         ev.max_phase_ns = self.max_phase_ns;
         ev
     }
@@ -405,7 +553,12 @@ impl<'a> SearchEngine<'a> {
             })
             .min(assignments.len().max(1));
         let next = std::sync::atomic::AtomicUsize::new(0);
-        type Slot = Option<(Solution, f64, AssignmentTelemetry, (usize, usize, usize))>;
+        type Slot = Option<(
+            Solution,
+            f64,
+            AssignmentTelemetry,
+            (usize, usize, usize, usize, usize),
+        )>;
         let results: Vec<std::sync::Mutex<Slot>> = assignments
             .iter()
             .map(|_| std::sync::Mutex::new(None))
@@ -426,7 +579,13 @@ impl<'a> SearchEngine<'a> {
                         sweep_best_ns: d.sweep_best_ns,
                         best_makespan_ns: d.makespan_ns,
                     };
-                    let tiers = (ev.fast_evals, ev.analysis_reuses, d.pruned);
+                    let tiers = (
+                        ev.fast_evals,
+                        ev.analysis_reuses,
+                        d.pruned,
+                        ev.incremental_rebuilds,
+                        ev.evictions,
+                    );
                     *results[idx].lock().unwrap() =
                         Some((d.solution, d.makespan_ns, telemetry, tiers));
                 });
@@ -437,12 +596,15 @@ impl<'a> SearchEngine<'a> {
         let mut best: Option<(Solution, f64)> = None;
         let mut per_assignment = Vec::with_capacity(assignments.len());
         let (mut fast_evals, mut analysis_reuses, mut pruned) = (0usize, 0usize, 0usize);
+        let (mut incremental_rebuilds, mut evictions) = (0usize, 0usize);
         for slot in results {
             let (sol, m, t, tiers) = slot.into_inner().unwrap().expect("worker finished");
             per_assignment.push(t);
             fast_evals += tiers.0;
             analysis_reuses += tiers.1;
             pruned += tiers.2;
+            incremental_rebuilds += tiers.3;
+            evictions += tiers.4;
             if best.as_ref().map(|(_, b)| m < *b).unwrap_or(true) {
                 best = Some((sol, m));
             }
@@ -452,6 +614,8 @@ impl<'a> SearchEngine<'a> {
         telemetry.fast_evals = fast_evals;
         telemetry.analysis_reuses = analysis_reuses;
         telemetry.pruned = pruned;
+        telemetry.incremental_rebuilds = incremental_rebuilds;
+        telemetry.evictions = evictions;
 
         let (solution, m) = best?;
         if !m.is_finite() {
@@ -483,6 +647,7 @@ pub fn optimize_component(
     SearchEngine::new(component, platform, exec_model)
         .with_max_phase_ns(opts.max_phase_ns)
         .with_analysis_cache(opts.analysis_cache.clone())
+        .with_incremental(opts.incremental)
         .descend(opts)
 }
 
@@ -516,6 +681,16 @@ fn descend_assignment(
     for mut k in [random_start, max_start] {
         for _ in 0..opts.max_iter {
             for j in 0..depth {
+                // Every probe of this `find_minimum` call varies only
+                // coordinate j — exactly the shape the incremental rebuild
+                // serves.
+                evaluator.begin_coordinate(
+                    &Solution {
+                        k: k.clone(),
+                        r: r.to_vec(),
+                    },
+                    j,
+                );
                 let f = |kj: i64, ev: &mut MakespanEvaluator<'_>| {
                     let mut sol = Solution {
                         k: k.clone(),
@@ -525,6 +700,7 @@ fn descend_assignment(
                     ev.makespan(&sol)
                 };
                 k[j] = find_minimum(&candidates[j], opts.convex_search, |kj| f(kj, evaluator));
+                evaluator.end_coordinate();
             }
             // Convergence curve: best makespan known after this sweep. The
             // current `k` was evaluated while scanning its last coordinate,
@@ -592,6 +768,17 @@ fn enumerate_assignment(
         for (j, &i) in idx.iter().enumerate() {
             k_vec[j] = candidates[j][i];
         }
+        if idx[last] == 0 {
+            // A new innermost row: every solution until the next carry
+            // varies only the last coordinate.
+            evaluator.begin_coordinate(
+                &Solution {
+                    k: k_vec.clone(),
+                    r: r.to_vec(),
+                },
+                last,
+            );
+        }
         if crate::tiling::spm_bytes_for(component, &k_vec) > platform.spm_bytes {
             // This candidate and the rest of the innermost level are all
             // SPM-infeasible (monotonicity) — skip straight to the carry.
@@ -627,6 +814,7 @@ fn enumerate_assignment(
             break;
         }
     }
+    evaluator.end_coordinate();
     let (solution, makespan_ns) = best.unwrap_or_else(|| {
         // Every candidate was SPM-pruned: report the smallest-tiles corner
         // as infeasible, matching what an unpruned enumeration would score.
@@ -906,6 +1094,63 @@ mod tests {
         assert!(curve.windows(2).all(|w| w[1] <= w[0]));
         assert_eq!(*curve.last().unwrap(), t.best_makespan_ns);
         assert_eq!(t.best_makespan_ns, out.result.makespan_ns);
+    }
+
+    /// A/B equivalence: with and without incremental rebuilds the descent
+    /// takes the same path and lands on the same solution with the same
+    /// makespan bits — and the incremental run actually used the delta path.
+    #[test]
+    fn incremental_descent_matches_full_builds() {
+        let comp = mock_component(&[64, 48], &[true, true]);
+        let platform = Platform::default();
+        let model = ExecModel {
+            o: vec![2.0, 2.0],
+            w: 5.0,
+        };
+        let on =
+            optimize_component(&comp, &platform, &model, &OptimizerOptions::default()).unwrap();
+        let off = optimize_component(
+            &comp,
+            &platform,
+            &model,
+            &OptimizerOptions {
+                incremental: false,
+                ..OptimizerOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(on.solution, off.solution);
+        assert_eq!(
+            on.result.makespan_ns.to_bits(),
+            off.result.makespan_ns.to_bits()
+        );
+        assert_eq!(on.evals(), off.evals());
+        assert!(on.telemetry.incremental_rebuilds > 0, "delta path unused");
+        assert_eq!(off.telemetry.incremental_rebuilds, 0);
+    }
+
+    #[test]
+    fn incremental_exhaustive_matches_serial_full() {
+        let comp = mock_component(&[24, 10], &[true, false]);
+        let platform = Platform::default();
+        let model = ExecModel {
+            o: vec![2.0, 2.0],
+            w: 5.0,
+        };
+        let engine = SearchEngine::new(&comp, &platform, &model);
+        let a = engine.exhaustive().unwrap();
+        let b = SearchEngine::new(&comp, &platform, &model)
+            .with_incremental(false)
+            .with_threads(1)
+            .exhaustive()
+            .unwrap();
+        assert_eq!(a.solution, b.solution);
+        assert_eq!(
+            a.result.makespan_ns.to_bits(),
+            b.result.makespan_ns.to_bits()
+        );
+        assert!(a.telemetry.incremental_rebuilds > 0, "delta path unused");
+        assert_eq!(b.telemetry.incremental_rebuilds, 0);
     }
 
     #[test]

@@ -66,6 +66,11 @@ pub struct SearchTelemetry {
     /// Structure analyses served by the shared precompute cache instead of
     /// being rebuilt.
     pub analysis_reuses: usize,
+    /// Structure analyses produced by the single-coordinate incremental
+    /// rebuild instead of a from-scratch build.
+    pub incremental_rebuilds: usize,
+    /// Shared-cache entries evicted to admit this search's insertions.
+    pub evictions: usize,
 }
 
 impl SearchTelemetry {
@@ -88,6 +93,8 @@ impl SearchTelemetry {
             full_builds: 0,
             pruned: 0,
             analysis_reuses: 0,
+            incremental_rebuilds: 0,
+            evictions: 0,
         }
     }
 
@@ -158,6 +165,8 @@ impl SearchTelemetry {
         self.full_builds += other.full_builds;
         self.pruned += other.pruned;
         self.analysis_reuses += other.analysis_reuses;
+        self.incremental_rebuilds += other.incremental_rebuilds;
+        self.evictions += other.evictions;
         self.best_makespan_ns = self.best_makespan_ns.min(other.best_makespan_ns);
     }
 
@@ -186,6 +195,11 @@ impl SearchTelemetry {
                 "analysis_reuses".to_string(),
                 Json::from(self.analysis_reuses),
             ),
+            (
+                "incremental_rebuilds".to_string(),
+                Json::from(self.incremental_rebuilds),
+            ),
+            ("evictions".to_string(), Json::from(self.evictions)),
             ("convergence_ns".to_string(), Json::from(self.convergence())),
         ];
         if detail {
@@ -253,6 +267,8 @@ mod tests {
         t.fast_evals = 15;
         t.pruned = 4;
         t.analysis_reuses = 2;
+        t.incremental_rebuilds = 6;
+        t.evictions = 1;
         t.absorb(&SearchTelemetry::single(vec![1], 60.0));
         assert_eq!(t.evals, 18);
         assert_eq!(t.best_makespan_ns, 60.0);
@@ -261,6 +277,8 @@ mod tests {
         assert_eq!(t.fast_evals, 15);
         assert_eq!(t.pruned, 4);
         assert_eq!(t.analysis_reuses, 2);
+        assert_eq!(t.incremental_rebuilds, 6);
+        assert_eq!(t.evictions, 1);
     }
 
     #[test]
@@ -275,6 +293,8 @@ mod tests {
             "full_builds",
             "pruned",
             "analysis_reuses",
+            "incremental_rebuilds",
+            "evictions",
             "convergence_ns",
             "assignments",
         ] {

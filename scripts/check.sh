@@ -5,29 +5,67 @@
 # dependencies (the proptest/criterion suites live in the excluded
 # `crates/heavy` package; see its Cargo.toml for the opt-in).
 #
+# Each suite's wall time is printed, and the gate FAILS when the tier-1
+# portion (debug build + `cargo test -q`) exceeds its budget — that is
+# how a differential suite quietly ballooning to minutes gets caught in
+# review instead of in everyone's inner loop.
+#
 # Usage: scripts/check.sh
-#        PREM_CHECK_HEAVY=1 scripts/check.sh   # also run the tier-2
-#        proptest/criterion suite in crates/heavy (needs vendored or
-#        network registry deps; see crates/heavy/Cargo.toml).
+#        PREM_TIER1_BUDGET_S=240 scripts/check.sh  # override the budget
+#        PREM_CHECK_HEAVY=1 scripts/check.sh   # heavier differential
+#        sampling, plus the tier-2 proptest/criterion suite in
+#        crates/heavy (needs vendored or network registry deps; see
+#        crates/heavy/Cargo.toml).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check"
-cargo fmt --check
+TIER1_BUDGET_S="${PREM_TIER1_BUDGET_S:-240}"
+tier1_s=0
 
-echo "== cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+# timed <budgeted> <label> <cmd...> — runs a step, prints its wall time,
+# and accumulates it into the tier-1 total when <budgeted> is 1.
+timed() {
+    local budgeted="$1" label="$2"
+    shift 2
+    echo "== $label"
+    local t0 t1 dt
+    t0=$(date +%s)
+    "$@"
+    t1=$(date +%s)
+    dt=$((t1 - t0))
+    echo "   -- $label: ${dt}s"
+    if [[ "$budgeted" == "1" ]]; then
+        tier1_s=$((tier1_s + dt))
+    fi
+}
 
-echo "== tier-1: cargo build --release && cargo test -q"
-cargo build --release
-cargo test -q
+timed 0 "cargo fmt --check" cargo fmt --check
+timed 0 "cargo clippy --workspace -- -D warnings" \
+    cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== workspace tests"
-cargo test --workspace -q
+timed 1 "tier-1: cargo build --release" cargo build --release
+# Compile the debug tests separately so the budget measures test *runtime*,
+# then time each suite on its own: unit/doc tests first, one line per
+# integration suite after.
+timed 0 "tier-1: cargo test (compile)" cargo test -q --no-run
+timed 1 "tier-1: unit tests" cargo test -q --lib --bins
+timed 1 "tier-1: doc tests" cargo test -q --doc
+for t in tests/*.rs; do
+    name="$(basename "$t" .rs)"
+    timed 1 "tier-1: tests/$name" cargo test -q --test "$name"
+done
+
+echo "== tier-1 total: ${tier1_s}s (budget ${TIER1_BUDGET_S}s)"
+if ((tier1_s > TIER1_BUDGET_S)); then
+    echo "FAIL: tier-1 suite exceeded its ${TIER1_BUDGET_S}s budget" >&2
+    exit 1
+fi
+
+timed 0 "workspace tests" cargo test --workspace -q
 
 if [[ "${PREM_CHECK_HEAVY:-0}" == "1" ]]; then
-    echo "== tier-2 (heavy): cargo test --manifest-path crates/heavy/Cargo.toml"
-    cargo test --manifest-path crates/heavy/Cargo.toml -q
+    timed 0 "tier-2 (heavy): crates/heavy" \
+        env PREM_CHECK_HEAVY=1 cargo test --manifest-path crates/heavy/Cargo.toml -q
 else
     echo "== tier-2 (heavy): skipped (set PREM_CHECK_HEAVY=1 to enable)"
 fi

@@ -1,0 +1,159 @@
+//! Regression tests for the [`AnalysisCache`] eviction policy and its
+//! concurrent weight accounting.
+//!
+//! The original cache rejected every insertion once its weight budget was
+//! reached, so a long sweep froze the cache with whatever happened to be
+//! built first — later hot keys could never be admitted and missed forever.
+//! It also charged the weight of *every* racing builder on a shared miss,
+//! inflating the resident weight until admission shut down. Both behaviours
+//! are pinned here through the public API.
+
+use prem::core::{
+    nondominated_thread_groups, select_tile_sizes, AnalysisCache, AnalyticCost, Component,
+    ComponentAnalysis, CostProvider, ExecModel, LoopTree, Solution,
+};
+use prem::ir::Program;
+use std::sync::{Arc, Barrier};
+
+fn chain_component(tree: &LoopTree, program: &Program) -> Component {
+    let mut chain = Vec::new();
+    let mut node = &tree.roots[0];
+    loop {
+        chain.push(node);
+        match node.children.first() {
+            Some(c) if node.children.len() == 1 && c.tilable => node = c,
+            _ => break,
+        }
+    }
+    Component::extract(tree, program, &chain)
+}
+
+/// A small kernel, its component and exec model.
+fn fixture() -> (Program, Component, ExecModel) {
+    let (_, program) = prem::kernels::all_small().remove(0);
+    let tree = LoopTree::build(&program).unwrap();
+    let comp = chain_component(&tree, &program);
+    let cost = AnalyticCost::new(&program);
+    let model = cost.exec_model(&comp);
+    (program, comp, model)
+}
+
+/// Feasible solutions over the tile grid for a handful of thread-group
+/// assignments — each is a distinct cache key.
+fn solutions(comp: &Component, cores: usize) -> Vec<Solution> {
+    let depth = comp.depth();
+    let mut out = Vec::new();
+    let mut assignments = nondominated_thread_groups(comp, cores);
+    assignments.truncate(4);
+    for r in assignments {
+        let picks: Vec<Vec<i64>> = (0..depth)
+            .map(|j| select_tile_sizes(comp, j, r[j]))
+            .collect();
+        let mut grid = vec![Vec::new()];
+        for level in &picks {
+            let mut next = Vec::new();
+            for prefix in &grid {
+                for &k in level {
+                    let mut s = prefix.clone();
+                    s.push(k);
+                    next.push(s);
+                }
+            }
+            grid = next;
+        }
+        out.extend(grid.into_iter().map(|k| Solution { k, r: r.clone() }));
+    }
+    out
+}
+
+/// Resident weight of a single entry, measured through a throwaway cache.
+fn entry_weight(comp: &Component, sol: &Solution, cores: usize, model: &ExecModel) -> usize {
+    let probe = AnalysisCache::with_total_weight(usize::MAX / 2);
+    let lookup = probe.get_or_build_with(comp, sol, cores, model, || {
+        ComponentAnalysis::build(comp, sol, cores, model, false).map(Arc::new)
+    });
+    assert!(!lookup.hit);
+    probe.weight()
+}
+
+/// Reject-on-full froze the cache permanently at saturation. With clock
+/// eviction, a hot key arriving *after* the cache fills must still be
+/// admitted (evicting something cold) and hit on its next lookup.
+#[test]
+fn saturated_cache_admits_later_hot_keys() {
+    let (_program, comp, model) = fixture();
+    let cores = 4usize;
+    let mut sols = solutions(&comp, cores);
+    assert!(sols.len() >= 40, "need enough keys to saturate all shards");
+    let hot = sols.pop().unwrap();
+
+    // Budget: every entry individually fits its shard, but the full key set
+    // does not fit the cache — guaranteeing at least one shard overflows.
+    let w_max = sols
+        .iter()
+        .chain([&hot])
+        .map(|s| entry_weight(&comp, s, cores, &model))
+        .max()
+        .unwrap();
+    let total = 16 * 2 * (w_max + 1);
+    let cache = AnalysisCache::with_total_weight(total);
+
+    for s in &sols {
+        let _ = cache.get_or_build(&comp, s, cores, &model);
+    }
+    assert!(
+        cache.evictions() > 0,
+        "{} keys of weight <= {w_max} under total budget {total} never evicted",
+        sols.len()
+    );
+    assert!(
+        cache.weight() <= total,
+        "resident weight exceeds the budget"
+    );
+
+    // The late arrival must be admitted and resident.
+    let first = cache.get_or_build_with(&comp, &hot, cores, &model, || {
+        ComponentAnalysis::build(&comp, &hot, cores, &model, false).map(Arc::new)
+    });
+    assert!(!first.hit);
+    let second = cache.get_or_build_with(&comp, &hot, cores, &model, || {
+        panic!("hot key was not admitted after saturation")
+    });
+    assert!(second.hit, "hot key must hit once admitted");
+    assert!(cache.weight() <= total);
+}
+
+/// Two threads racing on the same miss both build, but only the entry that
+/// lands in the shard may be weight-accounted. The old code charged both
+/// builds, permanently leaking budget on every race.
+#[test]
+fn racing_same_key_miss_counts_weight_once() {
+    let (_program, comp, model) = fixture();
+    let cores = 2usize;
+    let sol = solutions(&comp, cores).pop().unwrap();
+    let w = entry_weight(&comp, &sol, cores, &model);
+
+    let cache = AnalysisCache::with_total_weight(usize::MAX / 2);
+    // Both threads must miss before either inserts: the barrier sits inside
+    // the build closure, which only runs on a miss, so reaching it twice
+    // proves the race happened.
+    let barrier = Barrier::new(2);
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                let lookup = cache.get_or_build_with(&comp, &sol, cores, &model, || {
+                    barrier.wait();
+                    ComponentAnalysis::build(&comp, &sol, cores, &model, false).map(Arc::new)
+                });
+                assert!(!lookup.hit);
+                assert!(lookup.entry.is_ok());
+            });
+        }
+    });
+    assert_eq!(cache.len(), 1, "same key must occupy one slot");
+    assert_eq!(
+        cache.weight(),
+        w,
+        "racing builders must not double-count the entry weight"
+    );
+}

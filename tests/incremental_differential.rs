@@ -1,0 +1,246 @@
+//! Differential proof that the single-coordinate incremental rebuild
+//! ([`CoordinateDelta`]) is bitwise identical to a from-scratch
+//! [`ComponentAnalysis::build`].
+//!
+//! For every PolyBench-NN kernel, deterministic random walks move one tile
+//! coordinate `K_j` at a time over the `select_tile_sizes` grid — the exact
+//! access pattern of the optimizer's coordinate-descent inner loop. At each
+//! step the incremental rebuild must agree with the full build bit for bit:
+//! same swap lists, same execution-time bits, same bounding boxes, and on
+//! infeasible transitions the same first [`prem::core::Infeasible`] class.
+
+use prem::core::{
+    nondominated_thread_groups, select_tile_sizes, AnalyticCost, Component, ComponentAnalysis,
+    CoordinateDelta, CostProvider, ExecModel, LoopTree, Platform, Solution,
+};
+use prem::ir::Program;
+
+/// Tiny deterministic RNG (SplitMix64) so the walks are reproducible.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn pick(&mut self, s: &[i64]) -> i64 {
+        s[(self.next() as usize) % s.len()]
+    }
+}
+
+fn chain_component(tree: &LoopTree, program: &Program) -> Component {
+    let mut chain = Vec::new();
+    let mut node = &tree.roots[0];
+    loop {
+        chain.push(node);
+        match node.children.first() {
+            Some(c) if node.children.len() == 1 && c.tilable => node = c,
+            _ => break,
+        }
+    }
+    Component::extract(tree, program, &chain)
+}
+
+/// One transition check: rebuild incrementally and from scratch, demand
+/// bitwise-identical analyses or identical infeasibility verdicts. Returns
+/// `true` when the transition was feasible.
+fn check_pair(
+    name: &str,
+    comp: &Component,
+    delta: &mut CoordinateDelta,
+    sol: &Solution,
+    model: &ExecModel,
+    cores: usize,
+) -> bool {
+    let inc = delta.rebuild(comp, sol.k[delta.coordinate()], model);
+    let full = ComponentAnalysis::build(comp, sol, cores, model, false);
+    match (&inc, &full) {
+        (Ok(a), Ok(b)) => {
+            assert!(a.bitwise_eq(b), "{name}: incremental diverges for {sol}");
+            true
+        }
+        (Err(a), Err(b)) => {
+            assert_eq!(a, b, "{name}: infeasibility class diverges for {sol}");
+            false
+        }
+        (Ok(_), Err(e)) => {
+            panic!("{name}: incremental feasible but full build fails ({e}) for {sol}")
+        }
+        (Err(e), Ok(_)) => {
+            panic!("{name}: incremental fails ({e}) but full build succeeds for {sol}")
+        }
+    }
+}
+
+/// Random single-coordinate walk: at each step pick a coordinate `j`, build
+/// one delta for the current base, probe corner/midpoint/random `K_j`
+/// candidates against the full build, then commit a random one and keep
+/// walking. Returns (feasible, infeasible) transition counts.
+fn walk(
+    name: &str,
+    comp: &Component,
+    r: &[i64],
+    model: &ExecModel,
+    cores: usize,
+    rng: &mut SplitMix,
+    steps: usize,
+) -> (usize, usize) {
+    let depth = comp.depth();
+    let candidates: Vec<Vec<i64>> = (0..depth)
+        .map(|j| select_tile_sizes(comp, j, r[j]))
+        .collect();
+    let mut sol = Solution {
+        k: candidates.iter().map(|c| rng.pick(c)).collect(),
+        r: r.to_vec(),
+    };
+    let (mut feasible, mut infeasible) = (0usize, 0usize);
+    for step in 0..steps {
+        let j = if step.is_multiple_of(3) {
+            (rng.next() as usize) % depth
+        } else {
+            step % depth
+        };
+        let Some(mut delta) = CoordinateDelta::new(comp, &sol, j, cores) else {
+            // Context declined (too large): nothing to check, move on.
+            sol.k[j] = rng.pick(&candidates[j]);
+            continue;
+        };
+        assert!(delta.matches(&sol));
+        assert_eq!(delta.coordinate(), j);
+        let cands = &candidates[j];
+        let probes = [
+            cands[0],
+            cands[cands.len() / 2],
+            *cands.last().unwrap(),
+            rng.pick(cands),
+        ];
+        for kj in probes {
+            let mut probe = sol.clone();
+            probe.k[j] = kj;
+            assert!(delta.matches(&probe));
+            if check_pair(name, comp, &mut delta, &probe, model, cores) {
+                feasible += 1;
+            } else {
+                infeasible += 1;
+            }
+        }
+        sol.k[j] = rng.pick(cands);
+    }
+    (feasible, infeasible)
+}
+
+#[test]
+fn incremental_matches_full() {
+    let platform = Platform::default();
+    let mut total_feasible = 0usize;
+    for (name, program) in prem::kernels::all_small() {
+        let tree = LoopTree::build(&program).unwrap();
+        let comp = chain_component(&tree, &program);
+        let cost = AnalyticCost::new(&program);
+        let model = cost.exec_model(&comp);
+        let mut rng = SplitMix(0xd1f5_0000 ^ name.len() as u64);
+        let mut assignments = nondominated_thread_groups(&comp, platform.cores);
+        assignments.truncate(3);
+        for r in &assignments {
+            let (f, _) = walk(name, &comp, r, &model, platform.cores, &mut rng, 5);
+            total_feasible += f;
+        }
+    }
+    assert!(
+        total_feasible > 0,
+        "walks never exercised a feasible rebuild"
+    );
+}
+
+/// An accumulation kernel whose dependence is carried at the *outer* level
+/// (`acc[c] += x[k][c]`): tiling `c` while `k` is tiled evicts the
+/// accumulator between writer and reader, so many transitions are
+/// persistence-infeasible — the walk must reproduce the *same* verdicts
+/// incrementally, including which error class fires first.
+#[test]
+fn incremental_matches_full_on_infeasible_transitions() {
+    use prem::ir::{AssignKind, ElemType, Expr, IdxExpr, ProgramBuilder};
+    let n = 64i64;
+    let mut b = ProgramBuilder::new("persist");
+    let acc = b.array("acc", vec![n], ElemType::F32);
+    let x = b.array("x", vec![n, n], ElemType::F32);
+    let k = b.begin_loop("k", 0, 1, n);
+    let c = b.begin_loop("c", 0, 1, n);
+    b.stmt(
+        acc,
+        vec![IdxExpr::var(c)],
+        AssignKind::AddAssign,
+        Expr::load(x, vec![IdxExpr::var(k), IdxExpr::var(c)]),
+    );
+    b.end_loop();
+    b.end_loop();
+    let program = b.finish();
+    let tree = LoopTree::build(&program).unwrap();
+    let comp = chain_component(&tree, &program);
+    let cost = AnalyticCost::new(&program);
+    let model = cost.exec_model(&comp);
+    let cores = 4usize;
+
+    let mut rng = SplitMix(0x1057);
+    let (mut feasible, mut infeasible) = (0usize, 0usize);
+    for r in [vec![1i64, 1], vec![2, 1], vec![4, 1]] {
+        let (f, i) = walk("persist", &comp, &r, &model, cores, &mut rng, 8);
+        feasible += f;
+        infeasible += i;
+    }
+    assert!(feasible > 0, "no feasible transition exercised");
+    assert!(
+        infeasible > 0,
+        "no overlap/persistence-infeasible transition exercised"
+    );
+}
+
+/// Segment-cap blow-ups must surface identically: the delta context is built
+/// for a modest base, then a transition to `K_j = 1` pushes the total tile
+/// count past `SEGMENT_CAP` and both paths must report `TooManySegments`.
+#[test]
+fn incremental_matches_full_on_segment_cap() {
+    use prem::ir::{AssignKind, ElemType, Expr, IdxExpr, ProgramBuilder};
+    let n = 512i64;
+    let mut b = ProgramBuilder::new("big");
+    let a = b.array("A", vec![n, n], ElemType::F32);
+    let i = b.begin_loop("i", 0, 1, n);
+    let j = b.begin_loop("j", 0, 1, n);
+    b.stmt(
+        a,
+        vec![IdxExpr::var(i), IdxExpr::var(j)],
+        AssignKind::Assign,
+        Expr::Const(1.0),
+    );
+    b.end_loop();
+    b.end_loop();
+    let program = b.finish();
+    let tree = LoopTree::build(&program).unwrap();
+    let comp = chain_component(&tree, &program);
+    let cost = AnalyticCost::new(&program);
+    let model = cost.exec_model(&comp);
+    let cores = 2usize;
+
+    // Base: K = [1, 512] → 512 tiles; frozen-level context is small.
+    let base = Solution {
+        k: vec![1, n],
+        r: vec![1, 1],
+    };
+    let mut delta = CoordinateDelta::new(&comp, &base, 1, cores).expect("context fits");
+    let (mut feasible, mut infeasible) = (0usize, 0usize);
+    for kj in [n, 64, 2, 1] {
+        let mut probe = base.clone();
+        probe.k[1] = kj;
+        if check_pair("big", &comp, &mut delta, &probe, &model, cores) {
+            feasible += 1;
+        } else {
+            infeasible += 1;
+        }
+    }
+    assert!(feasible > 0);
+    assert!(infeasible > 0, "K_j = 1 must trip the segment cap");
+}
