@@ -129,6 +129,17 @@ pub enum Strategy {
     Greedy,
 }
 
+/// Whether the benches run the heuristic with telemetry-driven adaptive
+/// search control (convergence-based early stopping, curvature-sized
+/// candidate windows). On by default; `PREM_ADAPTIVE=0` restores the
+/// fixed-constant PR 3 path, whose selections are bitwise reproducible —
+/// the switch exists for exactly that A/B.
+pub fn adaptive_enabled() -> bool {
+    std::env::var("PREM_ADAPTIVE")
+        .map(|v| v != "0")
+        .unwrap_or(true)
+}
+
 /// Runs one (kernel, platform, strategy) point.
 pub fn run_point(bench: &Bench, platform: &Platform, strategy: Strategy) -> TimedRun {
     let t0 = Instant::now();
@@ -138,6 +149,7 @@ pub fn run_point(bench: &Bench, platform: &Platform, strategy: Strategy) -> Time
         Strategy::Heuristic => {
             let opts = OptimizerOptions {
                 analysis_cache: Some(bench.cache.clone()),
+                adaptive: adaptive_enabled(),
                 ..OptimizerOptions::default()
             };
             let (outcome, solve) =
@@ -220,6 +232,12 @@ pub fn run_pairs(run: &TimedRun) -> Vec<(String, Json)> {
         ("analysis_reuses".into(), t.analysis_reuses.into()),
         ("incremental_rebuilds".into(), t.incremental_rebuilds.into()),
         ("evictions".into(), t.evictions.into()),
+        ("sweeps_run".into(), t.sweeps_run.into()),
+        (
+            "candidates_pruned_adaptive".into(),
+            t.candidates_pruned_adaptive.into(),
+        ),
+        ("admission_rejects".into(), t.admission_rejects.into()),
         ("phases".into(), run.phases.to_json()),
     ]
 }
@@ -229,6 +247,7 @@ pub fn run_pairs(run: &TimedRun) -> Vec<(String, Json)> {
 pub fn new_report(bin: &str, mode: RunMode) -> RunReport {
     let mut r = RunReport::new(bin);
     r.set("mode", mode.as_str());
+    r.set("adaptive", if adaptive_enabled() { "1" } else { "0" });
     r
 }
 

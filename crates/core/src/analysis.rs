@@ -692,8 +692,20 @@ impl CoordinateDelta {
                     Vec::new()
                 } else {
                     let k = base.k[i];
+                    // `t * k < count` always fits, but `(t + 1) * k` can
+                    // exceed `i64::MAX` on the last tile of a huge-extent
+                    // level; the saturated product still clamps to
+                    // `count - 1`, which is the exact value. Mirrors
+                    // `TilePlan::build` so rebuilds stay bitwise-equal.
                     (0..m[i])
-                        .map(|t| Interval::new(t * k, ((t + 1) * k - 1).min(lv.count - 1)))
+                        .map(|t| {
+                            let hi = t
+                                .saturating_add(1)
+                                .saturating_mul(k)
+                                .saturating_sub(1)
+                                .min(lv.count - 1);
+                            Interval::new(t * k, hi)
+                        })
                         .collect()
                 }
             })
@@ -784,8 +796,15 @@ impl CoordinateDelta {
                 reduced.push(None);
                 continue;
             }
-            let n_red: usize = box_red.iter().map(|iv| iv.len() as usize).product();
-            cells = cells.saturating_add(n_red * per_tile_cells);
+            // Checked cell accounting: a synthetic huge-extent level can
+            // push `n_red * per_tile_cells` past `usize` — a wrap here would
+            // sneak an oversized frozen context past `DELTA_CELL_CAP`
+            // (panicking in debug). Decline the delta instead; callers fall
+            // back to full builds.
+            let n_red = box_red.iter().try_fold(1usize, |acc, iv| {
+                acc.checked_mul(usize::try_from(iv.len()).ok()?)
+            })?;
+            cells = cells.checked_add(n_red.checked_mul(per_tile_cells)?)?;
             if cells > DELTA_CELL_CAP {
                 return None;
             }
@@ -1137,17 +1156,79 @@ const MAX_ENTRY_WEIGHT: usize = 1 << 16;
 /// case), split evenly across shards.
 const MAX_TOTAL_WEIGHT: usize = 1 << 22;
 
+/// Counters per shard frequency sketch (power of two).
+const SKETCH_WIDTH: usize = 1024;
+/// Touches between counter halvings — the TinyLFU aging window, sized so a
+/// sweep-long scan cannot freeze the sketch at saturation.
+const SKETCH_SAMPLE: usize = 8 * SKETCH_WIDTH;
+/// 4-bit counter ceiling.
+const SKETCH_CAP: u8 = 15;
+
+/// A tiny count-min-style frequency sketch (TinyLFU): every lookup bumps 4
+/// double-hashed 4-bit counters; the estimated frequency of a key is the
+/// minimum over its counters. All counters halve every [`SKETCH_SAMPLE`]
+/// touches, so the estimate tracks *recent* popularity — one-shot scan keys
+/// stay near 0 while the resident working set climbs.
+struct FreqSketch {
+    counters: Vec<u8>,
+    touches: usize,
+}
+
+impl Default for FreqSketch {
+    fn default() -> Self {
+        FreqSketch {
+            counters: vec![0; SKETCH_WIDTH],
+            touches: 0,
+        }
+    }
+}
+
+impl FreqSketch {
+    /// Kirsch–Mitzenmacher double hashing: probe `i` lives at `h1 + i·h2`.
+    fn slot(h: u64, i: u64) -> usize {
+        let h2 = (h >> 32) | 1;
+        (h.wrapping_add(i.wrapping_mul(h2)) as usize) & (SKETCH_WIDTH - 1)
+    }
+
+    /// Records one lookup of the key hashing to `h`.
+    fn touch(&mut self, h: u64) {
+        self.touches += 1;
+        if self.touches >= SKETCH_SAMPLE {
+            self.touches = 0;
+            for c in &mut self.counters {
+                *c >>= 1;
+            }
+        }
+        for i in 0..4u64 {
+            let s = Self::slot(h, i);
+            if self.counters[s] < SKETCH_CAP {
+                self.counters[s] += 1;
+            }
+        }
+    }
+
+    /// Estimated recent lookup frequency of the key hashing to `h`.
+    fn estimate(&self, h: u64) -> u8 {
+        (0..4u64)
+            .map(|i| self.counters[Self::slot(h, i)])
+            .min()
+            .unwrap_or(0)
+    }
+}
+
 /// One resident cache entry with its clock reference bit.
 struct ShardSlot {
     key: AnalysisKey,
+    /// The key's 64-bit hash, kept for frequency comparisons at admission.
+    hash: u64,
     entry: CacheEntry,
     weight: usize,
     referenced: bool,
 }
 
 /// One cache shard: a key→slot index, the slot arena the clock hand sweeps,
-/// and the shard's resident weight — all guarded by one mutex, so weight
-/// accounting cannot race with admission.
+/// the admission frequency sketch and the shard's resident weight — all
+/// guarded by one mutex, so weight accounting cannot race with admission.
 #[derive(Default)]
 struct Shard {
     map: HashMap<AnalysisKey, usize>,
@@ -1155,30 +1236,48 @@ struct Shard {
     free: Vec<usize>,
     hand: usize,
     weight: usize,
+    sketch: FreqSketch,
 }
 
 impl Shard {
-    fn get(&mut self, key: &AnalysisKey) -> Option<CacheEntry> {
+    /// Looks up a key, recording the lookup in the frequency sketch (hit or
+    /// miss — a miss that comes back as an insertion is judged on it).
+    fn get(&mut self, key: &AnalysisKey, hash: u64) -> Option<CacheEntry> {
+        self.sketch.touch(hash);
         let slot = *self.map.get(key)?;
         let s = self.slots[slot].as_mut().expect("mapped slot is occupied");
         s.referenced = true;
         Some(s.entry.clone())
     }
 
-    /// Admits an entry, evicting via the clock until it fits the budget.
-    /// Returns the number of entries evicted.
+    /// Admits an entry, evicting via the clock until it fits the budget —
+    /// unless the frequency filter finds the clock's victim hotter than the
+    /// candidate, in which case admission is declined (scan resistance: a
+    /// one-shot sweep point must not churn the resident working set).
+    /// Frequency ties admit, keeping recency as the tie-breaker.
+    /// Returns `(evicted, admitted)`.
     fn insert(
         &mut self,
         key: AnalysisKey,
+        hash: u64,
         entry: CacheEntry,
         weight: usize,
         budget: usize,
-    ) -> usize {
+    ) -> (usize, bool) {
+        let cand_freq = self.sketch.estimate(hash);
         let mut evicted = 0;
         while self.weight + weight > budget {
-            if !self.evict_one() {
+            let Some(victim) = self.find_victim() else {
                 break;
+            };
+            let victim_hash = self.slots[victim]
+                .as_ref()
+                .expect("victim slot is occupied")
+                .hash;
+            if cand_freq < self.sketch.estimate(victim_hash) {
+                return (evicted, false);
             }
+            self.evict_at(victim);
             evicted += 1;
         }
         let slot = self.free.pop().unwrap_or_else(|| {
@@ -1187,21 +1286,37 @@ impl Shard {
         });
         self.slots[slot] = Some(ShardSlot {
             key: key.clone(),
+            hash,
             entry,
             weight,
             referenced: true,
         });
         self.map.insert(key, slot);
         self.weight += weight;
-        evicted
+        (evicted, true)
+    }
+
+    /// Evicts the clock's next victim unconditionally. Returns `false` when
+    /// the shard is empty. Production inserts go through [`Shard::insert`]'s
+    /// admission loop; this bypass exercises bare clock rotation in tests.
+    #[cfg(test)]
+    fn evict_one(&mut self) -> bool {
+        match self.find_victim() {
+            Some(i) => {
+                self.evict_at(i);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Second-chance sweep: clears reference bits until it finds a cold
-    /// entry to drop. Bounded at two revolutions (everything is referenced
-    /// on the first, something is evictable on the second).
-    fn evict_one(&mut self) -> bool {
+    /// entry, and returns its slot without removing it. Bounded at two
+    /// revolutions (everything is referenced on the first, something is
+    /// evictable on the second).
+    fn find_victim(&mut self) -> Option<usize> {
         if self.map.is_empty() {
-            return false;
+            return None;
         }
         let n = self.slots.len();
         for _ in 0..2 * n + 1 {
@@ -1211,15 +1326,19 @@ impl Shard {
                 if s.referenced {
                     s.referenced = false;
                 } else {
-                    let s = self.slots[i].take().expect("checked occupied");
-                    self.map.remove(&s.key);
-                    self.weight -= s.weight;
-                    self.free.push(i);
-                    return true;
+                    return Some(i);
                 }
             }
         }
-        false
+        None
+    }
+
+    /// Removes the entry in slot `i`.
+    fn evict_at(&mut self, i: usize) {
+        let s = self.slots[i].take().expect("evicted slot is occupied");
+        self.map.remove(&s.key);
+        self.weight -= s.weight;
+        self.free.push(i);
     }
 }
 
@@ -1232,6 +1351,10 @@ pub struct CacheLookup {
     /// Entries evicted to admit this one — attributed to the caller so
     /// telemetry aggregation stays race-free.
     pub evicted: usize,
+    /// True when the entry was built but the frequency-based admission
+    /// filter declined to cache it (the candidate was colder than the
+    /// clock's eviction victim).
+    pub rejected: bool,
 }
 
 /// Shared, sharded memo of [`ComponentAnalysis`] results (including
@@ -1245,6 +1368,7 @@ pub struct AnalysisCache {
     shards: Vec<Mutex<Shard>>,
     shard_budget: usize,
     evictions: AtomicUsize,
+    admission_rejects: AtomicUsize,
 }
 
 impl Default for AnalysisCache {
@@ -1259,6 +1383,7 @@ impl std::fmt::Debug for AnalysisCache {
             .field("entries", &self.len())
             .field("weight", &self.weight())
             .field("evictions", &self.evictions())
+            .field("admission_rejects", &self.admission_rejects())
             .finish()
     }
 }
@@ -1278,6 +1403,7 @@ impl AnalysisCache {
                 .collect(),
             shard_budget: (total / CACHE_SHARDS).max(1),
             evictions: AtomicUsize::new(0),
+            admission_rejects: AtomicUsize::new(0),
         }
     }
 
@@ -1304,6 +1430,12 @@ impl AnalysisCache {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Total insertions declined by the frequency-based admission filter
+    /// since creation.
+    pub fn admission_rejects(&self) -> usize {
+        self.admission_rejects.load(Ordering::Relaxed)
+    }
+
     /// Returns the analysis (or infeasibility verdict) for the key, calling
     /// `build` on a miss. The build runs outside the shard lock; when two
     /// threads race on the same miss, both build but only the entry that
@@ -1323,30 +1455,40 @@ impl AnalysisCache {
         let key = analysis_key(component, exec_model, cores, solution);
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
-        let shard = &self.shards[(hasher.finish() as usize) % CACHE_SHARDS];
-        if let Some(entry) = shard.lock().unwrap().get(&key) {
+        let hash = hasher.finish();
+        let shard = &self.shards[(hash as usize) % CACHE_SHARDS];
+        if let Some(entry) = shard.lock().unwrap().get(&key, hash) {
             return CacheLookup {
                 entry,
                 hit: true,
                 evicted: 0,
+                rejected: false,
             };
         }
         let entry = build();
         let weight = entry.as_ref().map(|a| a.weight()).unwrap_or(1);
         let mut evicted = 0;
+        let mut rejected = false;
         if weight <= MAX_ENTRY_WEIGHT && weight <= self.shard_budget {
             let mut guard = shard.lock().unwrap();
             if !guard.map.contains_key(&key) {
-                evicted = guard.insert(key, entry.clone(), weight, self.shard_budget);
+                let (e, admitted) =
+                    guard.insert(key, hash, entry.clone(), weight, self.shard_budget);
+                evicted = e;
+                rejected = !admitted;
             }
         }
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
+        if rejected {
+            self.admission_rejects.fetch_add(1, Ordering::Relaxed);
+        }
         CacheLookup {
             entry,
             hit: false,
             evicted,
+            rejected,
         }
     }
 
@@ -1387,23 +1529,37 @@ mod tests {
         Err(Infeasible::TooManySegments { count: 0 })
     }
 
+    fn hash_of(key: &AnalysisKey) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        hasher.finish()
+    }
+
     #[test]
     fn clock_spares_referenced_entries() {
         let mut shard = Shard::default();
         let budget = usize::MAX;
-        shard.insert(key_for(1), feasible_entry(), 1, budget);
-        shard.insert(key_for(2), feasible_entry(), 1, budget);
-        shard.insert(key_for(3), feasible_entry(), 1, budget);
+        for i in 1..=3 {
+            let key = key_for(i);
+            let h = hash_of(&key);
+            shard.insert(key, h, feasible_entry(), 1, budget);
+        }
         // First sweep clears all three fresh reference bits, then evicts
         // key 1 (clock order), leaving the hand at slot 1.
         assert!(shard.evict_one());
-        assert!(shard.get(&key_for(1)).is_none());
+        let h1 = hash_of(&key_for(1));
+        assert!(shard.get(&key_for(1), h1).is_none());
         // Touch key 3: its bit protects it from the next sweep, while the
         // untouched key 2 sits right under the hand.
-        assert!(shard.get(&key_for(3)).is_some());
+        let h3 = hash_of(&key_for(3));
+        assert!(shard.get(&key_for(3), h3).is_some());
         assert!(shard.evict_one());
-        assert!(shard.get(&key_for(2)).is_none(), "cold entry is the victim");
-        assert!(shard.get(&key_for(3)).is_some(), "hot entry survives");
+        let h2 = hash_of(&key_for(2));
+        assert!(
+            shard.get(&key_for(2), h2).is_none(),
+            "cold entry is the victim"
+        );
+        assert!(shard.get(&key_for(3), h3).is_some(), "hot entry survives");
         assert_eq!(shard.weight, 1);
     }
 
@@ -1412,7 +1568,11 @@ mod tests {
         let mut shard = Shard::default();
         let budget = 10;
         for i in 0..20 {
-            shard.insert(key_for(i), feasible_entry(), 3, budget);
+            let key = key_for(i);
+            let h = hash_of(&key);
+            // Equal (zero) sketch frequencies tie, so admission proceeds.
+            let (_, admitted) = shard.insert(key, h, feasible_entry(), 3, budget);
+            assert!(admitted, "frequency ties must admit");
         }
         assert!(shard.weight <= budget);
         assert_eq!(
@@ -1422,5 +1582,47 @@ mod tests {
         );
         // The freelist recycles slots instead of growing the arena forever.
         assert!(shard.slots.len() <= 4);
+    }
+
+    #[test]
+    fn sketch_estimates_and_ages() {
+        let mut sketch = FreqSketch::default();
+        let (hot, cold) = (0xdead_beef_1234_5678u64, 0x0bad_cafe_8765_4321u64);
+        for _ in 0..10 {
+            sketch.touch(hot);
+        }
+        sketch.touch(cold);
+        assert!(sketch.estimate(hot) >= sketch.estimate(cold));
+        assert!(sketch.estimate(hot) >= 10u8.min(SKETCH_CAP));
+        // Counters saturate at the 4-bit cap…
+        for _ in 0..100 {
+            sketch.touch(hot);
+        }
+        assert_eq!(sketch.estimate(hot), SKETCH_CAP);
+        // …and the periodic halving ages old popularity away.
+        for i in 0..(2 * SKETCH_SAMPLE as u64) {
+            sketch.touch(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
+        assert!(sketch.estimate(hot) < SKETCH_CAP);
+    }
+
+    #[test]
+    fn cold_candidate_does_not_evict_hot_incumbent() {
+        let mut shard = Shard::default();
+        let budget = 3;
+        let hot = key_for(1);
+        let hot_hash = hash_of(&hot);
+        shard.insert(hot.clone(), hot_hash, feasible_entry(), 3, budget);
+        for _ in 0..5 {
+            assert!(shard.get(&hot, hot_hash).is_some());
+        }
+        // A once-seen scan key must be declined, leaving the incumbent.
+        let scan = key_for(2);
+        let scan_hash = hash_of(&scan);
+        shard.sketch.touch(scan_hash);
+        let (evicted, admitted) = shard.insert(scan, scan_hash, feasible_entry(), 3, budget);
+        assert_eq!(evicted, 0);
+        assert!(!admitted, "cold candidate must be rejected");
+        assert!(shard.get(&hot, hot_hash).is_some(), "incumbent survives");
     }
 }

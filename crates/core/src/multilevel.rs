@@ -61,6 +61,12 @@ pub struct TwoLevelResult {
 /// The same schedule (tiling, swaps, batch structure) is reused; only the
 /// timing of memory phases changes. Returns `None` when a single segment's
 /// working set exceeds an L2 partition (the hierarchy cannot stage it).
+///
+/// Degenerate schedules evaluate instead of panicking: an empty schedule
+/// (no cores, or cores without segments and without batches) has nothing to
+/// stage or execute and reports makespan `0.0`; a hand-built core whose
+/// batch list is missing still gets its execution chain timed through a
+/// synthesized zero-byte block rather than being silently dropped.
 pub fn evaluate_two_level(
     schedule: &ComponentSchedule,
     platform: &Platform,
@@ -100,6 +106,13 @@ pub fn evaluate_two_level(
         if start < nbatches {
             core_blocks.push((start, nbatches - 1, acc));
         }
+        if core_blocks.is_empty() && core.nseg() > 0 {
+            // A core with segments but no (or only an initial) batch — e.g.
+            // a hand-built schedule — produced no block, which used to drop
+            // its whole execution chain from the recurrence. Synthesize one
+            // zero-byte block covering every segment so execution is timed.
+            core_blocks.push((1, core.nseg() + 1, 0));
+        }
         staged_bytes += core_blocks.iter().map(|b| b.2).sum::<i64>();
         blocks.push(core_blocks);
     }
@@ -127,8 +140,11 @@ pub fn evaluate_two_level(
     // approximated as bytes/bandwidth + a single line overhead per batch in
     // the block.
     let dram_time = |core: usize, blk: &(usize, usize, i64)| -> f64 {
+        // `get` tolerates synthesized blocks that cover more segments than
+        // the (possibly truncated) batch list describes.
         let nlines: f64 = (blk.0..=blk.1)
-            .map(|j| cores[core].batches[j].ops.len() as f64)
+            .filter_map(|j| cores[core].batches.get(j))
+            .map(|b| b.ops.len() as f64)
             .sum();
         blk.2 as f64 / platform.bus_bytes_per_sec * 1.0e9 + nlines * platform.dma_line_overhead_ns
     };
@@ -187,7 +203,7 @@ pub fn evaluate_two_level(
                 if j > nseg + 1 {
                     break;
                 }
-                if !cores[i].batches[j].is_empty() {
+                if cores[i].batches.get(j).is_some_and(|b| !b.is_empty()) {
                     let gate = if j == nseg + 1 {
                         exec_fin[i][nseg]
                     } else {
@@ -297,6 +313,81 @@ mod tests {
         let single = crate::schedule::evaluate(&sched).makespan_ns;
         assert!(two.makespan_ns >= single * 0.5);
         assert!(two.staged_bytes > 0);
+    }
+
+    #[test]
+    fn empty_schedule_evaluates_to_zero() {
+        // No cores at all: nothing to stage, nothing to execute.
+        let sched = crate::segments::ComponentSchedule {
+            solution: Solution {
+                k: vec![],
+                r: vec![],
+            },
+            cores: vec![],
+            bounding_boxes: vec![],
+            spm_bytes_needed: 0,
+            total_bytes: 0,
+            total_ops: 0,
+        };
+        let out = evaluate_two_level(&sched, &Platform::default(), &TwoLevelConfig::default())
+            .expect("empty schedule is trivially feasible");
+        assert_eq!(out.makespan_ns, 0.0);
+        assert_eq!(out.staged_bytes, 0);
+        assert!(out.blocks_per_core.is_empty());
+    }
+
+    #[test]
+    fn segmentless_cores_evaluate_to_zero() {
+        // Cores exist but own no segments and no batches: makespan 0.0, not
+        // a panic or a bogus block.
+        let sched = crate::segments::ComponentSchedule {
+            solution: Solution {
+                k: vec![1],
+                r: vec![2],
+            },
+            cores: vec![crate::segments::CorePlan::default(); 2],
+            bounding_boxes: vec![],
+            spm_bytes_needed: 0,
+            total_bytes: 0,
+            total_ops: 0,
+        };
+        let out = evaluate_two_level(&sched, &Platform::default(), &TwoLevelConfig::default())
+            .expect("segmentless schedule is trivially feasible");
+        assert_eq!(out.makespan_ns, 0.0);
+        assert_eq!(out.blocks_per_core, vec![0, 0]);
+    }
+
+    #[test]
+    fn blockless_core_still_times_execution() {
+        // A hand-built core with segments but an empty batch list used to
+        // fall out of the block loop entirely — its execution chain was
+        // silently dropped from the makespan (and indexing the missing
+        // batches could panic). It must now be timed via a synthesized
+        // zero-byte block.
+        let core = crate::segments::CorePlan {
+            nseg: 2,
+            exec_ns: vec![10.0, 10.0],
+            api_ns: vec![1.0, 1.0],
+            init_api_ns: 5.0,
+            batches: vec![],
+        };
+        let sched = crate::segments::ComponentSchedule {
+            solution: Solution {
+                k: vec![1],
+                r: vec![1],
+            },
+            cores: vec![core],
+            bounding_boxes: vec![],
+            spm_bytes_needed: 0,
+            total_bytes: 0,
+            total_ops: 0,
+        };
+        let out = evaluate_two_level(&sched, &Platform::default(), &TwoLevelConfig::default())
+            .expect("no segment exceeds the partition");
+        // init (5) → seg 1 (10 + 1) → seg 2 (10 + 1) = 27 ns, serial chain.
+        assert_eq!(out.makespan_ns, 27.0);
+        assert_eq!(out.blocks_per_core, vec![1]);
+        assert_eq!(out.staged_bytes, 0);
     }
 
     #[test]

@@ -42,6 +42,17 @@ pub struct OptimizerOptions {
     /// Use [`CoordinateDelta`] incremental rebuilds inside single-coordinate
     /// scans (bitwise-equivalent to full builds; off mainly for A/B tests).
     pub incremental: bool,
+    /// Telemetry-driven adaptive search control: convergence-based early
+    /// stopping of the sweep loop (the `max_iter` ceiling is kept as a
+    /// safety bound) and curvature-sized candidate windows after the first
+    /// sweep. Off by default — the fixed-constant path stays the reference
+    /// for `optimize_exhaustive` validation and its selections are bitwise
+    /// reproducible across versions.
+    pub adaptive: bool,
+    /// Relative sweep-over-sweep makespan improvement below which the
+    /// descent is considered converged (adaptive mode only). Also the bound
+    /// the adaptive A/B tests hold selections to.
+    pub convergence_eps: f64,
 }
 
 impl Default for OptimizerOptions {
@@ -53,6 +64,8 @@ impl Default for OptimizerOptions {
             max_phase_ns: None,
             analysis_cache: None,
             incremental: true,
+            adaptive: false,
+            convergence_eps: 1e-6,
         }
     }
 }
@@ -64,6 +77,8 @@ impl PartialEq for OptimizerOptions {
             && self.convex_search == other.convex_search
             && self.max_phase_ns == other.max_phase_ns
             && self.incremental == other.incremental
+            && self.adaptive == other.adaptive
+            && self.convergence_eps.to_bits() == other.convergence_eps.to_bits()
             && match (&self.analysis_cache, &other.analysis_cache) {
                 (None, None) => true,
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
@@ -202,6 +217,9 @@ pub struct MakespanEvaluator<'a> {
     pub incremental_rebuilds: usize,
     /// Shared-cache entries evicted by this evaluator's insertions.
     pub evictions: usize,
+    /// Shared-cache insertions declined by the frequency-based admission
+    /// filter (the candidate was colder than the eviction victim).
+    pub admission_rejects: usize,
 }
 
 /// One single-coordinate scan: solutions equal to `base` except at
@@ -254,6 +272,7 @@ impl<'a> MakespanEvaluator<'a> {
             analysis_reuses: 0,
             incremental_rebuilds: 0,
             evictions: 0,
+            admission_rejects: 0,
         }
     }
 
@@ -392,6 +411,7 @@ impl<'a> MakespanEvaluator<'a> {
                     self.analysis_reuses += 1;
                 }
                 self.evictions += lookup.evicted;
+                self.admission_rejects += usize::from(lookup.rejected);
                 match lookup.entry {
                     Ok(a) => a,
                     Err(_) => return f64::INFINITY,
@@ -450,6 +470,23 @@ struct DriveOutcome {
     makespan_ns: f64,
     sweep_best_ns: Vec<f64>,
     pruned: usize,
+    sweeps_run: usize,
+    sweep_rel_delta: Vec<f64>,
+    pruned_adaptive: usize,
+}
+
+/// Deterministic winner predicate: a strictly smaller makespan wins; an
+/// *exact* tie prefers the lexicographically smallest `(R, K)` tuple. Ties
+/// are common on quantized makespans (and universal among infeasible
+/// candidates, all `+∞`), so without this rule the winner would depend on
+/// visit order alone — fine within one deterministic scan, but fragile
+/// across the serial/parallel and descent/exhaustive pairings the tests
+/// hold equal.
+fn improves(m: f64, sol: &Solution, best: Option<&(Solution, f64)>) -> bool {
+    match best {
+        None => true,
+        Some((bs, bm)) => m < *bm || (m == *bm && (&sol.r, &sol.k) < (&bs.r, &bs.k)),
+    }
 }
 
 /// The unified parallel search core: a worker pool over non-dominated
@@ -460,8 +497,9 @@ struct DriveOutcome {
 ///
 /// Determinism: workers pull assignment indices from an atomic counter, but
 /// each assignment's search depends only on its own index-derived seed, and
-/// the final winner is picked by a strict `<` scan in assignment order — the
-/// result is independent of thread count and scheduling.
+/// the final winner is picked by an [`improves`] scan in assignment order
+/// (strictly smaller makespan, ties to the lexicographically smallest
+/// `(R, K)`) — the result is independent of thread count and scheduling.
 pub struct SearchEngine<'a> {
     component: &'a Component,
     platform: &'a Platform,
@@ -557,7 +595,7 @@ impl<'a> SearchEngine<'a> {
             Solution,
             f64,
             AssignmentTelemetry,
-            (usize, usize, usize, usize, usize),
+            (usize, usize, usize, usize, usize, usize, usize),
         )>;
         let results: Vec<std::sync::Mutex<Slot>> = assignments
             .iter()
@@ -578,6 +616,8 @@ impl<'a> SearchEngine<'a> {
                         cache_hits: ev.cache_hits,
                         sweep_best_ns: d.sweep_best_ns,
                         best_makespan_ns: d.makespan_ns,
+                        sweeps_run: d.sweeps_run,
+                        sweep_rel_delta: d.sweep_rel_delta,
                     };
                     let tiers = (
                         ev.fast_evals,
@@ -585,6 +625,8 @@ impl<'a> SearchEngine<'a> {
                         d.pruned,
                         ev.incremental_rebuilds,
                         ev.evictions,
+                        ev.admission_rejects,
+                        d.pruned_adaptive,
                     );
                     *results[idx].lock().unwrap() =
                         Some((d.solution, d.makespan_ns, telemetry, tiers));
@@ -597,6 +639,7 @@ impl<'a> SearchEngine<'a> {
         let mut per_assignment = Vec::with_capacity(assignments.len());
         let (mut fast_evals, mut analysis_reuses, mut pruned) = (0usize, 0usize, 0usize);
         let (mut incremental_rebuilds, mut evictions) = (0usize, 0usize);
+        let (mut admission_rejects, mut candidates_pruned_adaptive) = (0usize, 0usize);
         for slot in results {
             let (sol, m, t, tiers) = slot.into_inner().unwrap().expect("worker finished");
             per_assignment.push(t);
@@ -605,7 +648,9 @@ impl<'a> SearchEngine<'a> {
             pruned += tiers.2;
             incremental_rebuilds += tiers.3;
             evictions += tiers.4;
-            if best.as_ref().map(|(_, b)| m < *b).unwrap_or(true) {
+            admission_rejects += tiers.5;
+            candidates_pruned_adaptive += tiers.6;
+            if improves(m, &sol, best.as_ref()) {
                 best = Some((sol, m));
             }
         }
@@ -616,6 +661,8 @@ impl<'a> SearchEngine<'a> {
         telemetry.pruned = pruned;
         telemetry.incremental_rebuilds = incremental_rebuilds;
         telemetry.evictions = evictions;
+        telemetry.admission_rejects = admission_rejects;
+        telemetry.candidates_pruned_adaptive = candidates_pruned_adaptive;
 
         let (solution, m) = best?;
         if !m.is_finite() {
@@ -651,9 +698,43 @@ pub fn optimize_component(
         .descend(opts)
 }
 
+/// Relative sweep-over-sweep improvement for the convergence test. An
+/// infeasible-to-feasible transition counts as unbounded improvement; a
+/// descent stuck at `+∞` (or exactly repeating its makespan) reports zero.
+fn relative_improvement(prev: f64, cur: f64) -> f64 {
+    if prev.is_finite() && cur.is_finite() && prev > 0.0 {
+        ((prev - cur) / prev).max(0.0)
+    } else if prev.to_bits() == cur.to_bits() {
+        0.0
+    } else {
+        f64::INFINITY
+    }
+}
+
 /// Coordinate descent for one thread-group assignment: the paper's random
 /// start plus the largest-tiles corner (often near-optimal when
 /// compute-bound); evaluations are memoized, so the overlap is cheap.
+///
+/// With [`OptimizerOptions::adaptive`] set, two telemetry-driven policies
+/// replace the fixed constants (the `max_iter` ceiling stays as a safety
+/// bound):
+///
+/// * **convergence-based early stopping** — the sweep loop terminates once a
+///   full sweep improves the makespan by less than `convergence_eps`
+///   (relative) or moves no coordinate at all, instead of always running
+///   `max_iter` sweeps. A no-move sweep is a fixpoint of the full-list
+///   scans, so stopping there is exactly what the remaining fixed sweeps
+///   would have produced;
+/// * **curvature-sized candidate windows** — each level scans only a window
+///   around its incumbent whose radius is derived from the observed local
+///   curvature of the makespan (sharp valley → narrow window). A window
+///   engages only when no coordinate has moved since that level's previous
+///   scan: the single-coordinate landscape is then unchanged, so the full
+///   list would provably re-elect the incumbent and the window cannot alter
+///   the trajectory — it only skips the re-scan of candidates the previous
+///   sweep already rejected. Whenever the window's best still lands on an
+///   *interior* edge the full list is rescanned, so the optimum is never
+///   silently excluded.
 fn descend_assignment(
     component: &Component,
     opts: &OptimizerOptions,
@@ -678,9 +759,25 @@ fn descend_assignment(
 
     let mut best: Option<(Solution, f64)> = None;
     let mut sweep_best_ns = Vec::with_capacity(2 * opts.max_iter);
+    let mut sweeps_run = 0usize;
+    let mut sweep_rel_delta = Vec::new();
+    let mut pruned_adaptive = 0usize;
     for mut k in [random_start, max_start] {
-        for _ in 0..opts.max_iter {
+        // Scan bookkeeping for the adaptive window-engagement rule: the
+        // global scan counter, the scan at which `k` last changed, and each
+        // level's most recent scan. A level's single-coordinate landscape is
+        // unchanged exactly when nothing moved since its previous scan.
+        let mut scan_idx = 0usize;
+        let mut last_move = 0usize;
+        let mut prev_scan = vec![0usize; depth];
+        // Previous sweep's makespan; NaN before the first sweep, so the
+        // first relative delta reports unbounded improvement.
+        let mut prev = f64::NAN;
+        for sweep in 0..opts.max_iter {
+            let mut moved = false;
             for j in 0..depth {
+                scan_idx += 1;
+                let stable = opts.adaptive && prev_scan[j] != 0 && last_move <= prev_scan[j];
                 // Every probe of this `find_minimum` call varies only
                 // coordinate j — exactly the shape the incremental rebuild
                 // serves.
@@ -699,9 +796,42 @@ fn descend_assignment(
                     sol.k[j] = kj;
                     ev.makespan(&sol)
                 };
-                k[j] = find_minimum(&candidates[j], opts.convex_search, |kj| f(kj, evaluator));
+                let full = &candidates[j][..];
+                let old = k[j];
+                let windowed = if stable {
+                    curvature_radius(full, j, &k, r, opts, evaluator)
+                } else {
+                    None
+                };
+                k[j] = match windowed {
+                    Some(rad) if rad < full.len() => {
+                        let pos = full.iter().position(|&c| c == k[j]).unwrap_or(0);
+                        let lo = pos.saturating_sub(rad);
+                        let hi = (pos + rad).min(full.len() - 1);
+                        let win = &full[lo..=hi];
+                        let kj = find_minimum(win, opts.convex_search, |kj| f(kj, evaluator));
+                        // A winner on an interior window edge may be a
+                        // cut-off optimum — fall back to the full list.
+                        let cut_lo = kj == win[0] && lo > 0;
+                        let cut_hi =
+                            kj == *win.last().expect("non-empty window") && hi + 1 < full.len();
+                        if cut_lo || cut_hi {
+                            find_minimum(full, opts.convex_search, |kj| f(kj, evaluator))
+                        } else {
+                            pruned_adaptive += full.len() - win.len();
+                            kj
+                        }
+                    }
+                    _ => find_minimum(full, opts.convex_search, |kj| f(kj, evaluator)),
+                };
                 evaluator.end_coordinate();
+                prev_scan[j] = scan_idx;
+                if k[j] != old {
+                    moved = true;
+                    last_move = scan_idx;
+                }
             }
+            sweeps_run += 1;
             // Convergence curve: best makespan known after this sweep. The
             // current `k` was evaluated while scanning its last coordinate,
             // so this lookup is a cache hit — pure observation, no extra
@@ -712,10 +842,18 @@ fn descend_assignment(
             });
             let so_far = sweep_best_ns.last().copied().unwrap_or(f64::INFINITY);
             sweep_best_ns.push(cur.min(so_far));
+            if opts.adaptive {
+                let rel = relative_improvement(prev, cur);
+                sweep_rel_delta.push(rel);
+                prev = cur;
+                if sweep + 1 < opts.max_iter && (!moved || rel < opts.convergence_eps) {
+                    break;
+                }
+            }
         }
         let sol = Solution { k, r: r.to_vec() };
         let m = evaluator.makespan(&sol);
-        if best.as_ref().map(|(_, b)| m < *b).unwrap_or(true) {
+        if improves(m, &sol, best.as_ref()) {
             best = Some((sol, m));
         }
     }
@@ -725,7 +863,66 @@ fn descend_assignment(
         makespan_ns,
         sweep_best_ns,
         pruned: 0,
+        sweeps_run,
+        sweep_rel_delta,
+        pruned_adaptive,
     }
+}
+
+/// Window radius for level `j` from the observed local curvature around the
+/// incumbent `k[j]`, or `None` to keep the full list. Must be called inside
+/// the caller's `begin_coordinate` bracket for level `j` (the probes vary
+/// only that coordinate).
+///
+/// A discrete quadratic model around the incumbent estimates the relative
+/// makespan increase `Δm/m ≈ q·d²/2` of stepping `d` candidates away, where
+/// `q` is the second difference of the two neighbors (relative, per index²).
+/// The window keeps every candidate whose modeled increase stays within a
+/// small multiple of `convergence_eps` — a sharp valley (large `q`) prunes
+/// aggressively, a shallow one keeps a wide margin. Flat or concave
+/// neighborhoods (`q ≤ 0`), boundary incumbents, infeasible neighbors and
+/// short lists all decline to prune. The extra neighbor probes are memoized
+/// single-coordinate evaluations.
+fn curvature_radius(
+    candidates: &[i64],
+    j: usize,
+    k: &[i64],
+    r: &[i64],
+    opts: &OptimizerOptions,
+    evaluator: &mut MakespanEvaluator<'_>,
+) -> Option<usize> {
+    if candidates.len() <= 8 {
+        return None; // short lists scan fully anyway
+    }
+    let pos = candidates.iter().position(|&c| c == k[j])?;
+    if pos == 0 || pos + 1 == candidates.len() {
+        return None; // boundary incumbent: one-sided curvature is unreliable
+    }
+    let base = Solution {
+        k: k.to_vec(),
+        r: r.to_vec(),
+    };
+    let mut probe = |kj: i64| {
+        let mut sol = base.clone();
+        sol.k[j] = kj;
+        evaluator.makespan(&sol)
+    };
+    let f0 = probe(candidates[pos]);
+    let fl = probe(candidates[pos - 1]);
+    let fr = probe(candidates[pos + 1]);
+    if !(f0.is_finite() && fl.is_finite() && fr.is_finite()) || f0 <= 0.0 {
+        return None;
+    }
+    let q = (fl + fr - 2.0 * f0) / f0;
+    if q <= 0.0 {
+        return None;
+    }
+    // Tolerated relative increase: comfortably above the convergence
+    // threshold so the window never prunes distinctions the stopping rule
+    // still cares about.
+    let slack = 64.0 * opts.convergence_eps.max(1e-9);
+    let d = (2.0 * slack / q).sqrt();
+    Some((d.ceil() as usize).clamp(2, candidates.len()))
 }
 
 /// Exhaustive optimization over the full `select_tile_sizes` ×
@@ -791,7 +988,7 @@ fn enumerate_assignment(
             };
             let m = evaluator.makespan(&sol);
             assignment_best = assignment_best.min(m);
-            if best.as_ref().map(|(_, b)| m < *b).unwrap_or(true) {
+            if improves(m, &sol, best.as_ref()) {
                 best = Some((sol, m));
             }
         }
@@ -831,6 +1028,9 @@ fn enumerate_assignment(
         makespan_ns,
         sweep_best_ns: vec![assignment_best],
         pruned,
+        sweeps_run: 0,
+        sweep_rel_delta: Vec::new(),
+        pruned_adaptive: 0,
     }
 }
 
@@ -874,6 +1074,10 @@ pub fn find_minimum<F: FnMut(i64) -> f64>(candidates: &[i64], convex: bool, mut 
     scan_min(&candidates[lo..=hi], &mut f)
 }
 
+/// Exhaustive scan keeping the *first* best value. Candidate lists are
+/// sorted ascending, so exact ties deterministically resolve to the
+/// smallest `K` — the single-coordinate face of the lexicographic
+/// tie-breaking [`improves`] applies across whole solutions.
 fn scan_min<F: FnMut(i64) -> f64>(candidates: &[i64], f: &mut F) -> i64 {
     let mut best = candidates[0];
     let mut best_v = f64::INFINITY;

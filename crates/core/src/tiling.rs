@@ -203,8 +203,19 @@ impl TilePlan {
             .zip(&solution.k)
             .zip(&m)
             .map(|((lv, &k), &mj)| {
+                // `t * k < count` always fits in i64, but `(t + 1) * k` can
+                // overflow on the last tile of a huge-extent level; the
+                // saturated product still clamps to `count - 1`, the exact
+                // boundary value.
                 (0..mj)
-                    .map(|t| Interval::new(t * k, ((t + 1) * k - 1).min(lv.count - 1)))
+                    .map(|t| {
+                        let hi = t
+                            .saturating_add(1)
+                            .saturating_mul(k)
+                            .saturating_sub(1)
+                            .min(lv.count - 1);
+                        Interval::new(t * k, hi)
+                    })
                     .collect()
             })
             .collect();

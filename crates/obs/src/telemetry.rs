@@ -24,6 +24,13 @@ pub struct AssignmentTelemetry {
     pub sweep_best_ns: Vec<f64>,
     /// Final best makespan of this assignment in ns (`+∞` if infeasible).
     pub best_makespan_ns: f64,
+    /// Coordinate sweeps actually executed (across the descent's starts) —
+    /// fewer than the `max_iter` ceiling when convergence-based early
+    /// stopping fired.
+    pub sweeps_run: usize,
+    /// Relative makespan improvement of each executed sweep (adaptive runs
+    /// only; empty in fixed-constant mode).
+    pub sweep_rel_delta: Vec<f64>,
 }
 
 impl AssignmentTelemetry {
@@ -35,6 +42,8 @@ impl AssignmentTelemetry {
             ("cache_hits", Json::from(self.cache_hits)),
             ("sweep_best_ns", Json::from(self.sweep_best_ns.clone())),
             ("best_makespan_ns", Json::from(self.best_makespan_ns)),
+            ("sweeps_run", Json::from(self.sweeps_run)),
+            ("sweep_rel_delta", Json::from(self.sweep_rel_delta.clone())),
         ])
     }
 }
@@ -71,6 +80,15 @@ pub struct SearchTelemetry {
     pub incremental_rebuilds: usize,
     /// Shared-cache entries evicted to admit this search's insertions.
     pub evictions: usize,
+    /// Coordinate sweeps executed across all assignments (each bounded by
+    /// the `max_iter` ceiling; smaller when early stopping converged).
+    pub sweeps_run: usize,
+    /// Candidates skipped by the adaptive curvature-sized windows (never
+    /// evaluated; 0 in fixed-constant mode).
+    pub candidates_pruned_adaptive: usize,
+    /// Shared-cache insertions declined by the frequency-based admission
+    /// filter (the candidate was colder than the clock victim).
+    pub admission_rejects: usize,
 }
 
 impl SearchTelemetry {
@@ -78,6 +96,7 @@ impl SearchTelemetry {
     pub fn from_assignments(assignments: Vec<AssignmentTelemetry>) -> Self {
         let evals = assignments.iter().map(|a| a.evals).sum();
         let cache_hits = assignments.iter().map(|a| a.cache_hits).sum();
+        let sweeps_run = assignments.iter().map(|a| a.sweeps_run).sum();
         let best_makespan_ns = assignments
             .iter()
             .map(|a| a.best_makespan_ns)
@@ -95,6 +114,9 @@ impl SearchTelemetry {
             analysis_reuses: 0,
             incremental_rebuilds: 0,
             evictions: 0,
+            sweeps_run,
+            candidates_pruned_adaptive: 0,
+            admission_rejects: 0,
         }
     }
 
@@ -108,6 +130,8 @@ impl SearchTelemetry {
             cache_hits: 0,
             sweep_best_ns: vec![makespan_ns],
             best_makespan_ns: makespan_ns,
+            sweeps_run: 0,
+            sweep_rel_delta: Vec::new(),
         }]);
         t.full_builds = 1;
         t
@@ -167,6 +191,9 @@ impl SearchTelemetry {
         self.analysis_reuses += other.analysis_reuses;
         self.incremental_rebuilds += other.incremental_rebuilds;
         self.evictions += other.evictions;
+        self.sweeps_run += other.sweeps_run;
+        self.candidates_pruned_adaptive += other.candidates_pruned_adaptive;
+        self.admission_rejects += other.admission_rejects;
         self.best_makespan_ns = self.best_makespan_ns.min(other.best_makespan_ns);
     }
 
@@ -200,6 +227,15 @@ impl SearchTelemetry {
                 Json::from(self.incremental_rebuilds),
             ),
             ("evictions".to_string(), Json::from(self.evictions)),
+            ("sweeps_run".to_string(), Json::from(self.sweeps_run)),
+            (
+                "candidates_pruned_adaptive".to_string(),
+                Json::from(self.candidates_pruned_adaptive),
+            ),
+            (
+                "admission_rejects".to_string(),
+                Json::from(self.admission_rejects),
+            ),
             ("convergence_ns".to_string(), Json::from(self.convergence())),
         ];
         if detail {
@@ -224,6 +260,8 @@ mod tests {
                 cache_hits: 5,
                 sweep_best_ns: vec![100.0, 80.0, 80.0],
                 best_makespan_ns: 80.0,
+                sweeps_run: 3,
+                sweep_rel_delta: vec![0.2, 0.0, 0.0],
             },
             AssignmentTelemetry {
                 r: vec![4, 2],
@@ -231,6 +269,8 @@ mod tests {
                 cache_hits: 3,
                 sweep_best_ns: vec![90.0, 70.0],
                 best_makespan_ns: 70.0,
+                sweeps_run: 2,
+                sweep_rel_delta: vec![0.25, 0.0],
             },
         ])
     }
@@ -243,6 +283,7 @@ mod tests {
         assert_eq!(t.lookups(), 25);
         assert!((t.cache_hit_rate() - 8.0 / 25.0).abs() < 1e-12);
         assert_eq!(t.best_makespan_ns, 70.0);
+        assert_eq!(t.sweeps_run, 5);
     }
 
     #[test]
@@ -269,6 +310,8 @@ mod tests {
         t.analysis_reuses = 2;
         t.incremental_rebuilds = 6;
         t.evictions = 1;
+        t.candidates_pruned_adaptive = 9;
+        t.admission_rejects = 3;
         t.absorb(&SearchTelemetry::single(vec![1], 60.0));
         assert_eq!(t.evals, 18);
         assert_eq!(t.best_makespan_ns, 60.0);
@@ -279,6 +322,10 @@ mod tests {
         assert_eq!(t.analysis_reuses, 2);
         assert_eq!(t.incremental_rebuilds, 6);
         assert_eq!(t.evictions, 1);
+        // single() runs no sweeps and never prunes or rejects.
+        assert_eq!(t.sweeps_run, 5);
+        assert_eq!(t.candidates_pruned_adaptive, 9);
+        assert_eq!(t.admission_rejects, 3);
     }
 
     #[test]
@@ -295,6 +342,9 @@ mod tests {
             "analysis_reuses",
             "incremental_rebuilds",
             "evictions",
+            "sweeps_run",
+            "candidates_pruned_adaptive",
+            "admission_rejects",
             "convergence_ns",
             "assignments",
         ] {

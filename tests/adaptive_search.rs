@@ -1,0 +1,246 @@
+//! A/B validation of the adaptive search controller (telemetry-driven
+//! early stopping + curvature-sized candidate windows) against the fixed
+//! `max_iter`/full-candidate path, and of the deterministic lexicographic
+//! tie-breaking rule shared by the descent and exhaustive searches.
+//!
+//! The adaptive controller is allowed to *search less*, never to change
+//! what a search means: on every kernel its final makespan must stay
+//! within [`OptimizerOptions::convergence_eps`] (relative) of the fixed
+//! path, and with `adaptive: false` (the default) the options must not
+//! perturb the search at all.
+
+use prem::core::{
+    nondominated_thread_groups, optimize_component, AnalyticCost, ApiCosts, CompLevel, Component,
+    CostProvider, ExecModel, LoopTree, OptimizerOptions, Platform, SearchEngine,
+};
+use prem::ir::Program;
+
+fn chain_component(tree: &LoopTree, program: &Program) -> Component {
+    let mut chain = Vec::new();
+    let mut node = &tree.roots[0];
+    loop {
+        chain.push(node);
+        match node.children.first() {
+            Some(c) if node.children.len() == 1 && c.tilable => node = c,
+            _ => break,
+        }
+    }
+    Component::extract(tree, program, &chain)
+}
+
+#[test]
+fn adaptive_stays_off_by_default() {
+    let opts = OptimizerOptions::default();
+    assert!(!opts.adaptive, "adaptation must be opt-in");
+    assert_eq!(opts.convergence_eps, 1e-6);
+}
+
+/// On every PolyBench-NN kernel (small sizes) and a spread of bus speeds,
+/// the adaptive controller must land within `convergence_eps` of the fixed
+/// path's makespan while never sweeping more — and must actually engage
+/// (stop early or prune candidates) somewhere in the suite.
+#[test]
+fn adaptive_matches_fixed_within_eps_on_every_kernel() {
+    let mut engaged = false;
+    for (name, program) in prem::kernels::all_small() {
+        let tree = LoopTree::build(&program).unwrap();
+        let comp = chain_component(&tree, &program);
+        let cost = AnalyticCost::new(&program);
+        let model = cost.exec_model(&comp);
+        for bus in [16.0, 1.0, 1.0 / 16.0] {
+            let platform = Platform::default()
+                .with_spm_bytes(32 * 1024)
+                .with_bus_gbytes(bus);
+            let fixed = optimize_component(&comp, &platform, &model, &OptimizerOptions::default())
+                .expect("feasible");
+            let opts = OptimizerOptions {
+                adaptive: true,
+                ..OptimizerOptions::default()
+            };
+            let adaptive = optimize_component(&comp, &platform, &model, &opts).expect("feasible");
+            let (a, f) = (adaptive.result.makespan_ns, fixed.result.makespan_ns);
+            let rel = (a - f).abs() / f.max(1e-12);
+            assert!(
+                rel <= opts.convergence_eps,
+                "{name} @ bus {bus}: adaptive {a} vs fixed {f} (rel {rel:e})"
+            );
+            assert!(
+                adaptive.telemetry.sweeps_run <= fixed.telemetry.sweeps_run,
+                "{name} @ bus {bus}: adaptive swept more than the fixed path"
+            );
+            engaged |= adaptive.telemetry.sweeps_run < fixed.telemetry.sweeps_run
+                || adaptive.telemetry.candidates_pruned_adaptive > 0;
+        }
+    }
+    assert!(
+        engaged,
+        "adaptation never stopped early nor pruned a candidate anywhere in the suite"
+    );
+}
+
+/// The adaptive path keeps the engine's thread-count invariance: a serial
+/// search and a parallel one must agree bitwise.
+#[test]
+fn adaptive_search_is_thread_count_invariant() {
+    let (name, program) = prem::kernels::all_small().remove(0);
+    let tree = LoopTree::build(&program).unwrap();
+    let comp = chain_component(&tree, &program);
+    let cost = AnalyticCost::new(&program);
+    let model = cost.exec_model(&comp);
+    let platform = Platform::default().with_spm_bytes(32 * 1024);
+    let opts = OptimizerOptions {
+        adaptive: true,
+        ..OptimizerOptions::default()
+    };
+    let serial = SearchEngine::new(&comp, &platform, &model)
+        .with_threads(1)
+        .descend(&opts)
+        .expect("feasible");
+    let parallel = SearchEngine::new(&comp, &platform, &model)
+        .with_threads(4)
+        .descend(&opts)
+        .expect("feasible");
+    assert_eq!(
+        serial.solution, parallel.solution,
+        "{name}: selections diverge"
+    );
+    assert_eq!(
+        serial.result.makespan_ns.to_bits(),
+        parallel.result.makespan_ns.to_bits(),
+        "{name}: makespans diverge"
+    );
+    assert_eq!(serial.telemetry.sweeps_run, parallel.telemetry.sweeps_run);
+}
+
+/// With adaptation off (the default), `convergence_eps` must be inert: a
+/// wildly different epsilon may not change the solution, the makespan bits
+/// or even the evaluation count.
+#[test]
+fn eps_is_inert_while_adaptation_is_off() {
+    let (name, program) = prem::kernels::all_small().remove(0);
+    let tree = LoopTree::build(&program).unwrap();
+    let comp = chain_component(&tree, &program);
+    let cost = AnalyticCost::new(&program);
+    let model = cost.exec_model(&comp);
+    let platform = Platform::default().with_spm_bytes(32 * 1024);
+    let base = optimize_component(&comp, &platform, &model, &OptimizerOptions::default())
+        .expect("feasible");
+    let skewed = OptimizerOptions {
+        convergence_eps: 0.5,
+        ..OptimizerOptions::default()
+    };
+    let other = optimize_component(&comp, &platform, &model, &skewed).expect("feasible");
+    assert_eq!(
+        base.solution, other.solution,
+        "{name}: eps changed the winner"
+    );
+    assert_eq!(
+        base.result.makespan_ns.to_bits(),
+        other.result.makespan_ns.to_bits()
+    );
+    assert_eq!(
+        base.evals(),
+        other.evals(),
+        "{name}: eps changed the search"
+    );
+    assert_eq!(base.telemetry.sweeps_run, other.telemetry.sweeps_run);
+}
+
+/// A component with no arrays under a zero-cost model and zero-cost API:
+/// every feasible `(R, K)` ties at makespan 0, so the winner is decided
+/// purely by the tie rule.
+fn tie_component() -> Component {
+    let level = |loop_id: usize, name: &str| CompLevel {
+        loop_id,
+        name: name.into(),
+        count: 12,
+        begin: 0,
+        stride: 1,
+        parallel: true,
+        tilable: true,
+    };
+    Component {
+        kernel: "ties".into(),
+        levels: vec![level(0, "i"), level(1, "j")],
+        stmts: vec![0],
+        exec_count: 1,
+        arrays: Vec::new(),
+        deps: Vec::new(),
+        work: Vec::new(),
+        folded_iters_per_iter: 1,
+    }
+}
+
+fn zero_cost_platform() -> Platform {
+    Platform {
+        cores: 4,
+        freq_hz: 1.0e9,
+        spm_bytes: 128 * 1024,
+        granularity_bytes: 64,
+        dma_line_overhead_ns: 0.0,
+        bus_bytes_per_sec: 1.0e9,
+        api: ApiCosts {
+            allocate_buffer: 0.0,
+            dispatch: 0.0,
+            dma_int_handler: 0.0,
+            allocate: 0.0,
+            end_segment: 0.0,
+            deallocate: 0.0,
+            allocate2d: 0.0,
+            deallocate_buffer: 0.0,
+            swap_buffer: 0.0,
+            swap2d_buffer: 0.0,
+        },
+    }
+}
+
+/// On an all-ties fixture the winner must be the lexicographically smallest
+/// `(R, K)` — in the descent (convex and scan search, serial and parallel
+/// alike) and in the exhaustive enumeration.
+#[test]
+fn exact_ties_resolve_to_lexicographically_smallest_solution() {
+    let comp = tie_component();
+    let platform = zero_cost_platform();
+    let model = ExecModel {
+        o: vec![0.0, 0.0],
+        w: 0.0,
+    };
+    let assignments = nondominated_thread_groups(&comp, platform.cores);
+    let min_r = assignments.iter().min().expect("assignments").clone();
+
+    for convex in [false, true] {
+        let opts = OptimizerOptions {
+            convex_search: convex,
+            ..OptimizerOptions::default()
+        };
+        for threads in [1usize, 4] {
+            let out = SearchEngine::new(&comp, &platform, &model)
+                .with_threads(threads)
+                .descend(&opts)
+                .expect("feasible");
+            assert_eq!(
+                out.solution.r, min_r,
+                "convex={convex} threads={threads}: descent tie broke to a larger R"
+            );
+            assert_eq!(
+                out.solution.k,
+                vec![1, 1],
+                "convex={convex} threads={threads}: descent tie broke to a larger K"
+            );
+            assert_eq!(out.result.makespan_ns.to_bits(), 0f64.to_bits());
+        }
+    }
+    for threads in [1usize, 4] {
+        let out = SearchEngine::new(&comp, &platform, &model)
+            .with_threads(threads)
+            .exhaustive()
+            .expect("feasible");
+        assert_eq!(out.solution.r, min_r, "threads={threads}: exhaustive tie");
+        assert_eq!(
+            out.solution.k,
+            vec![1, 1],
+            "threads={threads}: exhaustive tie"
+        );
+        assert_eq!(out.result.makespan_ns.to_bits(), 0f64.to_bits());
+    }
+}

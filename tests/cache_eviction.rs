@@ -41,10 +41,16 @@ fn fixture() -> (Program, Component, ExecModel) {
 /// Feasible solutions over the tile grid for a handful of thread-group
 /// assignments — each is a distinct cache key.
 fn solutions(comp: &Component, cores: usize) -> Vec<Solution> {
+    solution_pool(comp, cores, 4)
+}
+
+/// Like [`solutions`] but over up to `max_assignments` thread-group
+/// assignments, for tests that need a large pool of distinct keys.
+fn solution_pool(comp: &Component, cores: usize, max_assignments: usize) -> Vec<Solution> {
     let depth = comp.depth();
     let mut out = Vec::new();
     let mut assignments = nondominated_thread_groups(comp, cores);
-    assignments.truncate(4);
+    assignments.truncate(max_assignments);
     for r in assignments {
         let picks: Vec<Vec<i64>> = (0..depth)
             .map(|j| select_tile_sizes(comp, j, r[j]))
@@ -121,6 +127,65 @@ fn saturated_cache_admits_later_hot_keys() {
     });
     assert!(second.hit, "hot key must hit once admitted");
     assert!(cache.weight() <= total);
+}
+
+/// Scan resistance of the admission policy: a long one-shot scan through a
+/// saturated cache must not flush the hot working set. Pure clock eviction
+/// eventually clears every reference bit and recycles hot slots into scan
+/// entries that are never touched again; the frequency-sketch admission
+/// gate keeps cold candidates from displacing demonstrably hotter victims.
+#[test]
+fn scan_workload_keeps_hot_working_set_resident() {
+    let (_program, comp, model) = fixture();
+    let cores = 4usize;
+    let pool = solution_pool(&comp, cores, 8);
+    assert!(pool.len() >= 200, "need a large key pool for the scan");
+    let hot: Vec<Solution> = pool[..10].to_vec();
+    let scan: Vec<Solution> = pool[10..].to_vec();
+
+    let w_max = hot
+        .iter()
+        .map(|s| entry_weight(&comp, s, cores, &model))
+        .max()
+        .unwrap();
+    // Tight budget (~2 worst-case entries per shard): the scan overruns
+    // every shard many times over, so the clock keeps proposing resident
+    // entries — including warm ones — as victims.
+    let total = 16 * 2 * (w_max + 1);
+    let cache = AnalysisCache::with_total_weight(total);
+
+    // Warm the hot set: one miss plus several hits each, so the frequency
+    // sketch sees them as clearly hotter than any one-shot scan key.
+    for _ in 0..5 {
+        for s in &hot {
+            let _ = cache.get_or_build(&comp, s, cores, &model);
+        }
+    }
+
+    for s in &scan {
+        let _ = cache.get_or_build(&comp, s, cores, &model);
+    }
+    assert!(
+        cache.admission_rejects() > 0,
+        "a {}-key one-shot scan over budget {total} never hit the admission gate",
+        scan.len()
+    );
+
+    let resident = hot
+        .iter()
+        .filter(|s| {
+            cache
+                .get_or_build_with(&comp, s, cores, &model, || {
+                    ComponentAnalysis::build(&comp, s, cores, &model, false).map(Arc::new)
+                })
+                .hit
+        })
+        .count();
+    assert!(
+        resident * 10 >= hot.len() * 9,
+        "only {resident}/{} hot keys survived the scan (need >= 90%)",
+        hot.len()
+    );
 }
 
 /// Two threads racing on the same miss both build, but only the entry that

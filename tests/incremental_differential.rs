@@ -244,3 +244,55 @@ fn incremental_matches_full_on_segment_cap() {
     assert!(feasible > 0);
     assert!(infeasible > 0, "K_j = 1 must trip the segment cap");
 }
+
+/// Huge-extent levels must not overflow the last-tile bound: with
+/// `count = i64::MAX` and `K = 2^62` the final tile's upper index
+/// `(t + 1)·K − 1` exceeds `i64::MAX` before the `min(count − 1)` clamp.
+/// The old arithmetic panicked in debug builds (and silently wrapped in
+/// release); the saturating form clamps to exactly `count − 1`, and the
+/// incremental rebuild must still agree with the full build bit for bit.
+#[test]
+fn huge_extent_level_does_not_overflow_tile_bounds() {
+    use prem::core::{CompLevel, Component, TilePlan};
+    let level = |loop_id: usize, name: &str, count: i64| CompLevel {
+        loop_id,
+        name: name.into(),
+        count,
+        begin: 0,
+        stride: 1,
+        parallel: true,
+        tilable: true,
+    };
+    let comp = Component {
+        kernel: "huge".into(),
+        levels: vec![level(0, "i", i64::MAX), level(1, "j", 64)],
+        stmts: vec![0],
+        exec_count: 1,
+        arrays: Vec::new(),
+        deps: Vec::new(),
+        work: Vec::new(),
+        folded_iters_per_iter: 1,
+    };
+    let cores = 2usize;
+    let base = Solution {
+        k: vec![1i64 << 62, 8],
+        r: vec![1, 1],
+    };
+    let model = ExecModel {
+        o: vec![0.0, 0.0],
+        w: 1.0,
+    };
+
+    // Full plan: 2 × 8 = 16 tiles, under the segment cap, so the build
+    // reaches the overflowing bound of the last huge-extent tile.
+    let plan = TilePlan::build(&comp, &base, cores).expect("16 tiles fit");
+    assert!(plan.core_nseg(0) > 0);
+
+    // Frozen-level context of the delta hits the same bound.
+    let mut delta = CoordinateDelta::new(&comp, &base, 1, cores).expect("context fits");
+    for kj in [8i64, 64] {
+        let mut probe = base.clone();
+        probe.k[1] = kj;
+        check_pair("huge", &comp, &mut delta, &probe, &model, cores);
+    }
+}
