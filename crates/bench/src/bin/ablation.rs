@@ -9,7 +9,7 @@
 
 use prem_bench::{new_report, write_report, RunMode};
 use prem_core::{
-    build_schedule, evaluate_two_level, nondominated_thread_groups, optimize_component,
+    build_schedule, evaluate_two_level_scan, nondominated_thread_groups, optimize_component,
     AnalysisCache, Component, CostProvider, LoopTree, OptimizerOptions, Platform, TwoLevelConfig,
 };
 use prem_obs::Json;
@@ -144,13 +144,19 @@ fn main() {
     let sched = build_schedule(&comp, &best.solution, &platform, &model).expect("feasible");
     let single = prem_core::evaluate(&sched).makespan_ns;
     let l2_sizes: &[i64] = if mode.reduced() { &[1] } else { &[1, 2, 8] };
-    let mut two_level_points = Vec::new();
-    for &l2_mb in l2_sizes {
-        let cfg2 = TwoLevelConfig {
+    let cfgs: Vec<TwoLevelConfig> = l2_sizes
+        .iter()
+        .map(|&l2_mb| TwoLevelConfig {
             l2_bytes: l2_mb << 20,
             ..TwoLevelConfig::default()
-        };
-        let makespan = match evaluate_two_level(&sched, &platform, &cfg2) {
+        })
+        .collect();
+    // One batched sweep: the L1 re-timing is capacity-invariant, so the
+    // scan hoists it across the whole size range.
+    let swept = evaluate_two_level_scan(&sched, &platform, &cfgs);
+    let mut two_level_points = Vec::new();
+    for (&l2_mb, result) in l2_sizes.iter().zip(swept) {
+        let makespan = match result {
             Some(two) => {
                 println!(
                     "   L2 = {l2_mb} MiB: {:.5e} ns ({:.2}x vs single-level {:.5e})",

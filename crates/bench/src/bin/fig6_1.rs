@@ -76,6 +76,7 @@ fn main() {
                 ("kernel".to_string(), Json::from(bench.name)),
                 ("bus_gbytes".to_string(), Json::from(gb)),
                 ("norm_ours1".to_string(), Json::from(n1)),
+                ("norm_ours8".to_string(), Json::from(n8)),
                 ("norm_greedy8".to_string(), Json::from(ng)),
                 ("api_share".to_string(), Json::from(api_share)),
             ];

@@ -140,6 +140,17 @@ pub fn adaptive_enabled() -> bool {
         .unwrap_or(true)
 }
 
+/// Whether the benches serve each single-coordinate scan from one batched
+/// landscape rebuild (`CoordinateDelta::rebuild_scan`) instead of
+/// per-candidate rebuilds. On by default; `PREM_BATCHED=0` restores the
+/// per-candidate path, whose selections and makespans are bitwise identical
+/// — the switch exists for exactly that A/B.
+pub fn batched_enabled() -> bool {
+    std::env::var("PREM_BATCHED")
+        .map(|v| v != "0")
+        .unwrap_or(true)
+}
+
 /// Runs one (kernel, platform, strategy) point.
 pub fn run_point(bench: &Bench, platform: &Platform, strategy: Strategy) -> TimedRun {
     let t0 = Instant::now();
@@ -150,6 +161,7 @@ pub fn run_point(bench: &Bench, platform: &Platform, strategy: Strategy) -> Time
             let opts = OptimizerOptions {
                 analysis_cache: Some(bench.cache.clone()),
                 adaptive: adaptive_enabled(),
+                batched: batched_enabled(),
                 ..OptimizerOptions::default()
             };
             let (outcome, solve) =
@@ -238,6 +250,9 @@ pub fn run_pairs(run: &TimedRun) -> Vec<(String, Json)> {
             t.candidates_pruned_adaptive.into(),
         ),
         ("admission_rejects".into(), t.admission_rejects.into()),
+        ("delta_declines".into(), t.delta_declines.into()),
+        ("batched_scans".into(), t.batched_scans.into()),
+        ("scan_truncations".into(), t.scan_truncations.into()),
         ("phases".into(), run.phases.to_json()),
     ]
 }
@@ -248,6 +263,7 @@ pub fn new_report(bin: &str, mode: RunMode) -> RunReport {
     let mut r = RunReport::new(bin);
     r.set("mode", mode.as_str());
     r.set("adaptive", if adaptive_enabled() { "1" } else { "0" });
+    r.set("batched", if batched_enabled() { "1" } else { "0" });
     r
 }
 

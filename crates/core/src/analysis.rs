@@ -168,10 +168,11 @@ impl ComponentAnalysis {
         let mut total_bytes = 0i64;
         let mut total_ops = 0usize;
 
-        // Scratch buffers reused across segments.
+        // Scratch buffers reused across segments (and cores, for `last`).
         let mut ranges: Vec<Interval> = Vec::new();
         let mut scratch_range: Vec<Interval> = Vec::new();
         let mut extents: Vec<i64> = Vec::new();
+        let mut last: Vec<LastRange> = vec![LastRange::default(); narr];
 
         for core in 0..cores {
             let nseg = plan.core_nseg(core);
@@ -192,7 +193,9 @@ impl ComponentAnalysis {
 
             // Last bound range per array — change detection without
             // retaining the full range history.
-            let mut last: Vec<Option<Vec<Interval>>> = vec![None; narr];
+            for l in &mut last {
+                l.bound = false;
+            }
             let mut overlap_error: Option<Infeasible> = None;
             let mut s0 = 0usize;
             plan.for_each_core_tile(core, |tile| {
@@ -469,12 +472,23 @@ impl ComponentAnalysis {
     }
 }
 
+/// Change-detection state for one (core, array): the most recently bound
+/// canonical range. The buffer is reusable across cores and candidates —
+/// `bound` distinguishes "nothing bound yet on this core" from whatever
+/// stale contents the buffer holds.
+#[derive(Debug, Clone, Default)]
+struct LastRange {
+    bound: bool,
+    range: Vec<Interval>,
+}
+
 /// The per-(tile, array) binding step shared by [`ComponentAnalysis::build`]
-/// and [`CoordinateDelta::rebuild`]: empty-range skip, bounding-box update,
-/// change detection with the §5.3.1 overlap rule, and the swap-entry /
-/// transfer-totals bookkeeping. Keeping both scans on one code path is what
-/// makes the incremental rebuild bitwise-faithful by construction — only the
-/// canonical-range *computation* differs between the two callers.
+/// and [`CoordinateDelta::rebuild`]/[`CoordinateDelta::rebuild_scan`]:
+/// empty-range skip, bounding-box update, change detection with the §5.3.1
+/// overlap rule, and the swap-entry / transfer-totals bookkeeping. Keeping
+/// every scan on one code path is what makes the incremental rebuilds
+/// bitwise-faithful by construction — only the canonical-range *computation*
+/// differs between the callers.
 #[allow(clippy::too_many_arguments)]
 fn bind_tile_array(
     arr: &crate::component::ArrayUse,
@@ -484,7 +498,7 @@ fn bind_tile_array(
     s0: usize,
     ca: &mut CoreAnalysis,
     ai: usize,
-    last: &mut Option<Vec<Interval>>,
+    last: &mut LastRange,
     bb: &mut [i64],
     total_bytes: &mut i64,
     total_ops: &mut usize,
@@ -498,19 +512,21 @@ fn bind_tile_array(
     for (b, iv) in bb.iter_mut().zip(r) {
         *b = (*b).max(iv.len() as i64);
     }
-    let changed = match last {
-        Some(prev) if prev.as_slice() == r => false,
-        Some(prev) => {
+    let changed = if last.bound {
+        if last.range.as_slice() == r {
+            false
+        } else {
             // Range changed: §5.3.1 overlap rule for arrays with RAW/WAW
             // dependences.
-            if rw_dep && prem_polyhedral::ranges_overlap(prev, r) {
+            if rw_dep && prem_polyhedral::ranges_overlap(&last.range, r) {
                 return Err(Infeasible::RangeOverlap {
                     array: arr.name.clone(),
                 });
             }
             true
         }
-        None => true,
+    } else {
+        true
     };
     if changed {
         let shape = TransferShape {
@@ -535,21 +551,26 @@ fn bind_tile_array(
         if let Some(rr) = &mut ca.ranges {
             rr[ai].push(r.to_vec());
         }
-        match last {
-            Some(prev) => {
-                prev.clear();
-                prev.extend_from_slice(r);
-            }
-            None => *last = Some(r.to_vec()),
-        }
+        last.range.clear();
+        last.range.extend_from_slice(r);
+        last.bound = true;
     }
     Ok(())
 }
 
-/// Upper bound on the interval cells one [`CoordinateDelta`] may retain
-/// (~16 MB of `Interval`s). Contexts past the cap decline construction and
-/// the caller falls back to full builds.
+/// Crossover between a [`CoordinateDelta`]'s two frozen representations:
+/// contexts whose dense (product-space) storage stays within this many
+/// interval cells (~16 MB of `Interval`s) keep the flat per-core arena;
+/// larger contexts switch to the rank-reduced per-level factorization
+/// instead of declining construction.
 const DELTA_CELL_CAP: usize = 1 << 20;
+
+/// Upper bound on the rank-reduced representation's cells
+/// (`Σ_{i≠j} M_i × contributions`). `Σ M_i` is bounded by
+/// `depth × SEGMENT_CAP`, so only an absurd contribution count can reach
+/// this; hitting it declines construction and the caller falls back to full
+/// builds.
+const RANK_CELL_CAP: usize = 1 << 24;
 
 /// Per-array precompute of a [`CoordinateDelta`].
 #[derive(Debug, Clone)]
@@ -567,16 +588,64 @@ struct ArrayPlan {
     contrib_j: Vec<Vec<(i64, Interval)>>,
 }
 
-/// Frozen-level enumeration for one core: the reduced tile box over the
-/// levels other than `j`, and per array the flattened per-reduced-tile cells
-/// (finished hulls for `j_free` arrays, per-contribution partial sums
-/// otherwise; `Interval::empty()` marks a partial excluded by a frozen-level
-/// guard — genuine partials are never empty since `base` is nonempty and
-/// every added term is nonempty).
+/// Frozen-level state for one core: the reduced tile box over the levels
+/// other than `j`, plus — in the dense representation — one flat interval
+/// arena of per-reduced-tile cells. The arena is tile-major: reduced tile
+/// `ri`'s block starts at `ri * per_tile_cells`, and array `ai`'s slice sits
+/// at offset `cell_off[ai]` within the block (finished hulls for `j_free`
+/// arrays, per-contribution partial sums otherwise; `Interval::empty()`
+/// marks a partial excluded by a frozen-level guard — genuine partials are
+/// never empty since `base` is nonempty and every added term is nonempty).
+/// In the rank-reduced representation the arena stays empty; `box_red` is
+/// kept either way for the foreign-component debug check.
 #[derive(Debug, Clone)]
-struct ReducedCore {
+struct FrozenCore {
     box_red: Vec<Interval>,
-    data: Vec<Vec<Interval>>,
+    arena: Vec<Interval>,
+}
+
+/// Rank-reduced frozen storage: the partial canonical-range sum
+/// `base + Σ_{i≠j} clip(range_i, guard_i) · coeff_i` is separable per level,
+/// so instead of materializing the product space over reduced tiles we keep,
+/// per frozen level `i`, one global table of per-contribution terms indexed
+/// by the tile index `t ∈ [0, M_i)`: `Interval::empty()` when the guard
+/// clips the tile's range away (the whole partial is empty), the exact
+/// additive identity `[0, 0]` when the contribution ignores the level
+/// (`coeff = 0` — adding it is a no-op even under saturating arithmetic),
+/// else `clip(range, guard) · coeff`. Reassembling a tile's partial replays
+/// [`partial_bounds`]' ascending-level fold over these terms — bitwise
+/// identical — at `O(depth)` per contribution, with `Σ M_i` instead of
+/// `Π M_i` storage (the outer-product structure is never materialized).
+#[derive(Debug, Clone)]
+struct RankTables {
+    /// `terms[i][t * n_slots + s]` for frozen level `i`; `terms[j]` is empty.
+    terms: Vec<Vec<Interval>>,
+    /// `DimContrib::base` per slot, in traversal order (arrays → dims →
+    /// contributions).
+    bases: Vec<Interval>,
+    /// Total contribution count across arrays and dimensions.
+    n_slots: usize,
+}
+
+/// Which frozen-level representation a [`CoordinateDelta`] carries.
+#[derive(Debug, Clone)]
+enum FrozenRepr {
+    /// Per-core flat arenas over the reduced product space (small contexts).
+    Dense,
+    /// Per-level factorized tables (contexts past [`DELTA_CELL_CAP`]).
+    Rank(RankTables),
+}
+
+/// Reusable scratch for the per-candidate tile walk shared by
+/// [`CoordinateDelta::rebuild`] and [`CoordinateDelta::rebuild_scan`] — one
+/// set of buffers per delta, reused across every candidate of a scan.
+#[derive(Debug, Default)]
+struct WalkScratch {
+    scratch_range: Vec<Interval>,
+    extents: Vec<i64>,
+    last: Vec<LastRange>,
+    red_stride: Vec<usize>,
+    tile: Vec<i64>,
 }
 
 /// Partial [`DimContrib::bounds`] sum over every level except `j`:
@@ -628,17 +697,27 @@ pub struct CoordinateDelta {
     rw_deps: Vec<bool>,
     metas: Vec<ArrayMeta>,
     plans: Vec<ArrayPlan>,
-    reduced: Vec<Option<ReducedCore>>,
+    reduced: Vec<Option<FrozenCore>>,
+    repr: FrozenRepr,
+    /// Cells per reduced tile in the dense arenas (`Σ` array strides).
+    per_tile_cells: usize,
+    /// Arena offset of each array's cell slice within a reduced tile block.
+    cell_off: Vec<usize>,
     exec_memo: HashMap<Vec<i64>, f64>,
+    walk: WalkScratch,
 }
 
 impl CoordinateDelta {
     /// Precomputes the frozen-level structure for varying coordinate `j` of
-    /// `base` (the value of `base.k[j]` itself is irrelevant). Returns `None`
-    /// when the context is not worth building: the frozen levels alone
-    /// exceed [`SEGMENT_CAP`], the retained cells would exceed
-    /// [`DELTA_CELL_CAP`], or the thread shape is infeasible outright —
-    /// callers fall back to full builds.
+    /// `base` (the value of `base.k[j]` itself is irrelevant). Contexts whose
+    /// dense product-space storage fits [`DELTA_CELL_CAP`] get per-core flat
+    /// arenas; larger ones get the rank-reduced per-level tables, so even
+    /// the largest kernels stay incremental. Contexts that are infeasible
+    /// independently of `K_j` — the thread shape, or the frozen levels'
+    /// segment product alone past [`SEGMENT_CAP`] — get a storage-free
+    /// context whose rebuilds replay the exact per-candidate error in
+    /// O(depth). Returns `None` only when even the factorized tables would
+    /// exceed [`RANK_CELL_CAP`] — callers fall back to full builds.
     ///
     /// # Panics
     ///
@@ -657,7 +736,12 @@ impl CoordinateDelta {
 
         let threads: i64 = base.r.iter().product();
         if threads > cores as i64 {
-            return None;
+            // K-invariant infeasibility: the thread shape rejects every
+            // candidate before any tile geometry is consulted. A storage-free
+            // context serves the whole scan — `rebuild`'s `TilePlan::build`
+            // replays the exact first error per candidate in O(depth), and
+            // the tile walk is unreachable.
+            return Some(CoordinateDelta::barren(base, j, cores));
         }
         let m: Vec<i64> = component
             .levels
@@ -677,7 +761,13 @@ impl CoordinateDelta {
             }
         }
         if red_total > SEGMENT_CAP {
-            return None;
+            // Also K-invariant: the frozen levels' segment product alone
+            // exceeds [`SEGMENT_CAP`], so `M_j ≥ 1` makes every candidate a
+            // `TooManySegments` rejection. Same storage-free context — and
+            // crucially, skipping the frozen enumeration here avoids
+            // materializing level ranges for contexts whose tile counts are
+            // themselves past the cap.
+            return Some(CoordinateDelta::barren(base, j, cores));
         }
 
         // Counter ranges of the frozen levels (same formula as
@@ -765,18 +855,30 @@ impl CoordinateDelta {
         }
 
         let per_tile_cells: usize = plans.iter().map(|p| p.stride).sum();
-        let mut cells = 0usize;
-        let mut reduced: Vec<Option<ReducedCore>> = Vec::with_capacity(cores);
-        let mut ranges: Vec<Interval> = vec![Interval::empty(); depth];
+        let cell_off: Vec<usize> = plans
+            .iter()
+            .scan(0usize, |acc, p| {
+                let off = *acc;
+                *acc += p.stride;
+                Some(off)
+            })
+            .collect();
+
+        // First pass: per-core reduced boxes and the dense cell total. The
+        // core boxes depend only on (m_i, z_i, r_i), so for i ≠ j they match
+        // the boxes of every plan the rebuild will construct. The cell
+        // accounting is checked: a synthetic huge-extent level can push
+        // `n_red * per_tile_cells` past `usize`, and a wrap would sneak an
+        // oversized context into the dense arena — overflow simply means the
+        // dense representation is out of reach, like exceeding the cap.
+        let mut dense_cells: Option<usize> = Some(0);
+        let mut boxes: Vec<Option<Vec<Interval>>> = Vec::with_capacity(cores);
         for core in 0..cores {
             let c = core as i64;
             if c >= threads {
-                reduced.push(None);
+                boxes.push(None);
                 continue;
             }
-            // The core's tile box restricted to the frozen levels. Level
-            // boxes depend only on (m_i, z_i, r_i), so for i ≠ j they match
-            // the boxes of every plan the rebuild will construct.
             let mut box_red: Vec<Interval> = Vec::with_capacity(depth.saturating_sub(1));
             let mut empty = false;
             for i in 0..depth {
@@ -793,68 +895,139 @@ impl CoordinateDelta {
                 box_red.push(Interval::new(lo, hi));
             }
             if empty {
-                reduced.push(None);
+                boxes.push(None);
                 continue;
             }
-            // Checked cell accounting: a synthetic huge-extent level can
-            // push `n_red * per_tile_cells` past `usize` — a wrap here would
-            // sneak an oversized frozen context past `DELTA_CELL_CAP`
-            // (panicking in debug). Decline the delta instead; callers fall
-            // back to full builds.
-            let n_red = box_red.iter().try_fold(1usize, |acc, iv| {
-                acc.checked_mul(usize::try_from(iv.len()).ok()?)
-            })?;
-            cells = cells.checked_add(n_red.checked_mul(per_tile_cells)?)?;
-            if cells > DELTA_CELL_CAP {
+            let tile_cells = box_red
+                .iter()
+                .try_fold(1usize, |acc, iv| {
+                    acc.checked_mul(usize::try_from(iv.len()).ok()?)
+                })
+                .and_then(|n| n.checked_mul(per_tile_cells));
+            dense_cells = match (dense_cells, tile_cells) {
+                (Some(total), Some(n)) => total.checked_add(n),
+                _ => None,
+            };
+            boxes.push(Some(box_red));
+        }
+
+        let mut reduced: Vec<Option<FrozenCore>> = Vec::with_capacity(cores);
+        let repr = if dense_cells.is_some_and(|c| c <= DELTA_CELL_CAP) {
+            // Dense: materialize the reduced product space per core.
+            let mut ranges: Vec<Interval> = vec![Interval::empty(); depth];
+            for bx in boxes {
+                let Some(box_red) = bx else {
+                    reduced.push(None);
+                    continue;
+                };
+                let n_red: usize = box_red.iter().map(|iv| iv.len() as usize).product();
+                let mut arena: Vec<Interval> = Vec::with_capacity(n_red * per_tile_cells);
+                let mut tile_red: Vec<i64> = box_red.iter().map(|iv| iv.lo).collect();
+                'tiles: loop {
+                    let mut t = 0usize;
+                    for i in 0..depth {
+                        if i == j {
+                            continue;
+                        }
+                        ranges[i] = level_ranges[i][tile_red[t] as usize];
+                        t += 1;
+                    }
+                    for (arr, p) in component.arrays.iter().zip(&plans) {
+                        if p.j_free {
+                            for dim in &arr.contribs {
+                                let mut hull = Interval::empty();
+                                for cb in dim {
+                                    hull = hull.hull(&partial_bounds(cb, &ranges, j));
+                                }
+                                arena.push(hull);
+                            }
+                        } else {
+                            for dim in &arr.contribs {
+                                for cb in dim {
+                                    arena.push(partial_bounds(cb, &ranges, j));
+                                }
+                            }
+                        }
+                    }
+                    let mut t = box_red.len();
+                    loop {
+                        if t == 0 {
+                            break 'tiles;
+                        }
+                        t -= 1;
+                        tile_red[t] += 1;
+                        if tile_red[t] <= box_red[t].hi {
+                            break;
+                        }
+                        tile_red[t] = box_red[t].lo;
+                    }
+                }
+                reduced.push(Some(FrozenCore { box_red, arena }));
+            }
+            FrozenRepr::Dense
+        } else {
+            // Rank-reduced: one factorized table per frozen level, shared by
+            // every core — `Σ M_i × slots` cells instead of `Π` box lengths.
+            let n_slots: usize = component
+                .arrays
+                .iter()
+                .map(|a| a.contribs.iter().map(Vec::len).sum::<usize>())
+                .sum();
+            let mut rank_cells = 0usize;
+            for (i, lr) in level_ranges.iter().enumerate() {
+                if i != j {
+                    rank_cells = rank_cells.checked_add(lr.len().checked_mul(n_slots)?)?;
+                }
+            }
+            if rank_cells > RANK_CELL_CAP {
                 return None;
             }
-
-            let mut data: Vec<Vec<Interval>> = plans
-                .iter()
-                .map(|p| Vec::with_capacity(n_red * p.stride))
-                .collect();
-            let mut tile_red: Vec<i64> = box_red.iter().map(|iv| iv.lo).collect();
-            'tiles: loop {
-                let mut t = 0usize;
-                for i in 0..depth {
-                    if i == j {
-                        continue;
-                    }
-                    ranges[i] = level_ranges[i][tile_red[t] as usize];
-                    t += 1;
+            let mut terms: Vec<Vec<Interval>> = vec![Vec::new(); depth];
+            for (i, lr) in level_ranges.iter().enumerate() {
+                if i == j {
+                    continue;
                 }
-                for ((arr, p), cells) in component.arrays.iter().zip(&plans).zip(&mut data) {
-                    if p.j_free {
-                        for dim in &arr.contribs {
-                            let mut hull = Interval::empty();
-                            for cb in dim {
-                                hull = hull.hull(&partial_bounds(cb, &ranges, j));
-                            }
-                            cells.push(hull);
-                        }
-                    } else {
+                let table = &mut terms[i];
+                table.reserve_exact(lr.len() * n_slots);
+                for rng in lr {
+                    for arr in &component.arrays {
                         for dim in &arr.contribs {
                             for cb in dim {
-                                cells.push(partial_bounds(cb, &ranges, j));
+                                let clipped = rng.intersect(&cb.level_bounds[i]);
+                                table.push(if clipped.is_empty() {
+                                    Interval::empty()
+                                } else if cb.comp_coeffs[i] != 0 {
+                                    clipped.scale(cb.comp_coeffs[i])
+                                } else {
+                                    // Exact additive identity: adding [0, 0]
+                                    // is a no-op even under saturation, so
+                                    // the reassembled fold stays bitwise
+                                    // equal to `partial_bounds`' coeff ≠ 0
+                                    // shortcut.
+                                    Interval::new(0, 0)
+                                });
                             }
                         }
                     }
-                }
-                let mut t = box_red.len();
-                loop {
-                    if t == 0 {
-                        break 'tiles;
-                    }
-                    t -= 1;
-                    tile_red[t] += 1;
-                    if tile_red[t] <= box_red[t].hi {
-                        break;
-                    }
-                    tile_red[t] = box_red[t].lo;
                 }
             }
-            reduced.push(Some(ReducedCore { box_red, data }));
-        }
+            let bases: Vec<Interval> = component
+                .arrays
+                .iter()
+                .flat_map(|a| a.contribs.iter().flatten().map(|c| c.base))
+                .collect();
+            for bx in boxes {
+                reduced.push(bx.map(|box_red| FrozenCore {
+                    box_red,
+                    arena: Vec::new(),
+                }));
+            }
+            FrozenRepr::Rank(RankTables {
+                terms,
+                bases,
+                n_slots,
+            })
+        };
 
         Some(CoordinateDelta {
             j,
@@ -865,8 +1038,35 @@ impl CoordinateDelta {
             metas,
             plans,
             reduced,
+            repr,
+            per_tile_cells,
+            cell_off,
             exec_memo: HashMap::new(),
+            walk: WalkScratch::default(),
         })
+    }
+
+    /// A storage-free context for scans every candidate of which is
+    /// infeasible for `K_j`-invariant reasons. `rebuild` and `rebuild_scan`
+    /// reach `TilePlan::build`, whose thread/segment gates reproduce the
+    /// exact first error per candidate; the tile walk is unreachable, so no
+    /// frozen representation is materialized.
+    fn barren(base: &Solution, j: usize, cores: usize) -> CoordinateDelta {
+        CoordinateDelta {
+            j,
+            k: base.k.clone(),
+            r: base.r.clone(),
+            cores,
+            rw_deps: Vec::new(),
+            metas: Vec::new(),
+            plans: Vec::new(),
+            reduced: Vec::new(),
+            repr: FrozenRepr::Dense,
+            per_tile_cells: 0,
+            cell_off: Vec::new(),
+            exec_memo: HashMap::new(),
+            walk: WalkScratch::default(),
+        }
     }
 
     /// The varied coordinate.
@@ -908,25 +1108,101 @@ impl CoordinateDelta {
         k_j: i64,
         exec_model: &ExecModel,
     ) -> Result<ComponentAnalysis, Infeasible> {
+        let mut solution = Solution {
+            k: self.k.clone(),
+            r: self.r.clone(),
+        };
+        solution.k[self.j] = k_j;
+        let plan = TilePlan::build(component, &solution, self.cores)?;
+        crate::segments::check_persistence(component, &plan)?;
+        self.rebuild_with(component, &plan, solution, exec_model)
+    }
+
+    /// Batched scan: rebuilds the analysis for every `k_j` in `candidates`
+    /// in one pass. The `K_j`-invariant parts of the tile plan are hoisted
+    /// out of the loop (the first feasible candidate's plan is re-targeted
+    /// with [`TilePlan::set_coordinate`] instead of rebuilt), and one set of
+    /// scratch buffers serves every candidate — no per-candidate
+    /// `Vec<Vec<Interval>>` churn. Each element of the result, including
+    /// which [`Infeasible`] is reported first, is bitwise identical to the
+    /// corresponding [`CoordinateDelta::rebuild`] / from-scratch
+    /// [`ComponentAnalysis::build`].
+    ///
+    /// With candidates sorted ascending, `M_j` — and so the total segment
+    /// count — is non-increasing, which makes [`SEGMENT_CAP`] violations a
+    /// prefix of the scan: those candidates are answered by the replayed
+    /// `O(depth)` feasibility checks without walking a single tile. The
+    /// second return value counts them.
+    pub fn rebuild_scan(
+        &mut self,
+        component: &Component,
+        candidates: &[i64],
+        exec_model: &ExecModel,
+    ) -> (Vec<Result<ComponentAnalysis, Infeasible>>, usize) {
+        let mut out = Vec::with_capacity(candidates.len());
+        let mut truncations = 0usize;
+        let mut plan: Option<TilePlan> = None;
+        for &kj in candidates {
+            let mut solution = Solution {
+                k: self.k.clone(),
+                r: self.r.clone(),
+            };
+            solution.k[self.j] = kj;
+            let prepared = match &mut plan {
+                Some(p) => p.set_coordinate(component, &solution, self.j),
+                None => match TilePlan::build(component, &solution, self.cores) {
+                    Ok(p) => {
+                        plan = Some(p);
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                },
+            };
+            if let Err(e) = prepared {
+                if matches!(e, Infeasible::TooManySegments { .. }) {
+                    truncations += 1;
+                }
+                out.push(Err(e));
+                continue;
+            }
+            let p = plan.as_ref().expect("plan prepared for feasible candidate");
+            if let Err(e) = crate::segments::check_persistence(component, p) {
+                out.push(Err(e));
+                continue;
+            }
+            out.push(self.rebuild_with(component, p, solution, exec_model));
+        }
+        (out, truncations)
+    }
+
+    /// The per-candidate tile walk shared by [`CoordinateDelta::rebuild`]
+    /// and [`CoordinateDelta::rebuild_scan`]: replays the exact per-core,
+    /// per-tile traversal of [`ComponentAnalysis::build`] — same odometer
+    /// order, same change detection, same first-error — finishing each
+    /// frozen partial sum with level `j`'s term only. `plan` must already
+    /// have passed persistence.
+    fn rebuild_with(
+        &mut self,
+        component: &Component,
+        plan: &TilePlan,
+        solution: Solution,
+        exec_model: &ExecModel,
+    ) -> Result<ComponentAnalysis, Infeasible> {
         let CoordinateDelta {
             j,
-            k,
-            r,
             cores,
             rw_deps,
             metas,
             plans,
             reduced,
+            repr,
+            per_tile_cells,
+            cell_off,
             exec_memo,
+            walk,
+            ..
         } = self;
-        let (j, cores) = (*j, *cores);
-        let mut solution = Solution {
-            k: k.clone(),
-            r: r.clone(),
-        };
-        solution.k[j] = k_j;
-        let plan = TilePlan::build(component, &solution, cores)?;
-        crate::segments::check_persistence(component, &plan)?;
+        let (j, cores, per_tile_cells) = (*j, *cores, *per_tile_cells);
 
         let narr = component.arrays.len();
         let depth = component.depth();
@@ -938,8 +1214,7 @@ impl CoordinateDelta {
         let mut out_cores: Vec<CoreAnalysis> = Vec::with_capacity(cores);
         let mut total_bytes = 0i64;
         let mut total_ops = 0usize;
-        let mut scratch_range: Vec<Interval> = Vec::new();
-        let mut extents: Vec<i64> = Vec::new();
+        walk.last.resize_with(narr, LastRange::default);
 
         for (core, red) in reduced.iter().enumerate() {
             let nseg = plan.core_nseg(core);
@@ -957,8 +1232,11 @@ impl CoordinateDelta {
             let rc = red
                 .as_ref()
                 .expect("core with tiles under new k_j has tiles on frozen levels");
-            // Row-major strides of the reduced enumeration, indexed by level.
-            let mut red_stride = vec![0usize; depth];
+            // Row-major strides of the reduced enumeration, indexed by level
+            // (used by the dense arena only; the loop doubles as the
+            // foreign-component sanity check in both representations).
+            walk.red_stride.clear();
+            walk.red_stride.resize(depth, 0);
             {
                 let mut acc = 1usize;
                 let mut t = rc.box_red.len();
@@ -968,76 +1246,145 @@ impl CoordinateDelta {
                     }
                     t -= 1;
                     debug_assert_eq!(bx[i], rc.box_red[t], "delta used with foreign component");
-                    red_stride[i] = acc;
+                    walk.red_stride[i] = acc;
                     acc *= rc.box_red[t].len() as usize;
                 }
             }
 
-            let mut last: Vec<Option<Vec<Interval>>> = vec![None; narr];
+            for l in &mut walk.last {
+                l.bound = false;
+            }
             let mut s0 = 0usize;
-            let mut tile: Vec<i64> = bx.iter().map(|iv| iv.lo).collect();
+            walk.tile.clear();
+            walk.tile.extend(bx.iter().map(|iv| iv.lo));
             'tiles: loop {
-                let mut ri = 0usize;
-                for i in 0..depth {
-                    if i != j {
-                        ri += (tile[i] - bx[i].lo) as usize * red_stride[i];
-                    }
-                }
-                let rj = plan.level_ranges[j][tile[j] as usize];
-                for (ai, (arr, p)) in component.arrays.iter().zip(&*plans).enumerate() {
-                    let cells = &rc.data[ai][ri * p.stride..(ri + 1) * p.stride];
-                    scratch_range.clear();
-                    if p.j_free {
-                        scratch_range.extend_from_slice(cells);
-                    } else {
-                        let mut off = 0usize;
-                        for dim in &p.contrib_j {
-                            let mut hull = Interval::empty();
-                            for &(coef, guard) in dim {
-                                let partial = cells[off];
-                                off += 1;
-                                let b = if partial.is_empty() {
-                                    Interval::empty()
-                                } else {
-                                    let clipped = rj.intersect(&guard);
-                                    if clipped.is_empty() {
-                                        Interval::empty()
-                                    } else if coef != 0 {
-                                        partial + clipped.scale(coef)
-                                    } else {
-                                        partial
-                                    }
-                                };
-                                hull = hull.hull(&b);
+                let rj = plan.level_ranges[j][walk.tile[j] as usize];
+                match repr {
+                    FrozenRepr::Dense => {
+                        let mut ri = 0usize;
+                        for (i, (&t, iv)) in walk.tile.iter().zip(bx).enumerate() {
+                            if i != j {
+                                ri += (t - iv.lo) as usize * walk.red_stride[i];
                             }
-                            scratch_range.push(hull);
+                        }
+                        let block = &rc.arena[ri * per_tile_cells..(ri + 1) * per_tile_cells];
+                        for (ai, (arr, p)) in component.arrays.iter().zip(&*plans).enumerate() {
+                            let cells = &block[cell_off[ai]..cell_off[ai] + p.stride];
+                            walk.scratch_range.clear();
+                            if p.j_free {
+                                walk.scratch_range.extend_from_slice(cells);
+                            } else {
+                                let mut off = 0usize;
+                                for dim in &p.contrib_j {
+                                    let mut hull = Interval::empty();
+                                    for &(coef, guard) in dim {
+                                        let partial = cells[off];
+                                        off += 1;
+                                        let b = if partial.is_empty() {
+                                            Interval::empty()
+                                        } else {
+                                            let clipped = rj.intersect(&guard);
+                                            if clipped.is_empty() {
+                                                Interval::empty()
+                                            } else if coef != 0 {
+                                                partial + clipped.scale(coef)
+                                            } else {
+                                                partial
+                                            }
+                                        };
+                                        hull = hull.hull(&b);
+                                    }
+                                    walk.scratch_range.push(hull);
+                                }
+                            }
+                            bind_tile_array(
+                                arr,
+                                &metas[ai],
+                                rw_deps[ai],
+                                &walk.scratch_range,
+                                s0,
+                                &mut ca,
+                                ai,
+                                &mut walk.last[ai],
+                                &mut bounding_boxes[ai],
+                                &mut total_bytes,
+                                &mut total_ops,
+                            )?;
                         }
                     }
-                    bind_tile_array(
-                        arr,
-                        &metas[ai],
-                        rw_deps[ai],
-                        &scratch_range,
-                        s0,
-                        &mut ca,
-                        ai,
-                        &mut last[ai],
-                        &mut bounding_boxes[ai],
-                        &mut total_bytes,
-                        &mut total_ops,
-                    )?;
+                    FrozenRepr::Rank(rt) => {
+                        // Reassemble each frozen partial from the per-level
+                        // tables (ascending levels, like `partial_bounds`),
+                        // then finish with level `j`'s term. `j_free` arrays
+                        // take the same path: their `coeff_j` is 0 and their
+                        // guard covers the whole counter range, so the
+                        // finishing step is the identity and the hull equals
+                        // the dense representation's precomputed one.
+                        let mut slot = 0usize;
+                        for (ai, (arr, p)) in component.arrays.iter().zip(&*plans).enumerate() {
+                            walk.scratch_range.clear();
+                            for dim in &p.contrib_j {
+                                let mut hull = Interval::empty();
+                                for &(coef, guard) in dim {
+                                    let mut partial = rt.bases[slot];
+                                    let mut excluded = false;
+                                    for i in 0..depth {
+                                        if i == j {
+                                            continue;
+                                        }
+                                        let term =
+                                            rt.terms[i][walk.tile[i] as usize * rt.n_slots + slot];
+                                        if term.is_empty() {
+                                            excluded = true;
+                                            break;
+                                        }
+                                        partial = partial + term;
+                                    }
+                                    slot += 1;
+                                    let b = if excluded {
+                                        Interval::empty()
+                                    } else {
+                                        let clipped = rj.intersect(&guard);
+                                        if clipped.is_empty() {
+                                            Interval::empty()
+                                        } else if coef != 0 {
+                                            partial + clipped.scale(coef)
+                                        } else {
+                                            partial
+                                        }
+                                    };
+                                    hull = hull.hull(&b);
+                                }
+                                walk.scratch_range.push(hull);
+                            }
+                            bind_tile_array(
+                                arr,
+                                &metas[ai],
+                                rw_deps[ai],
+                                &walk.scratch_range,
+                                s0,
+                                &mut ca,
+                                ai,
+                                &mut walk.last[ai],
+                                &mut bounding_boxes[ai],
+                                &mut total_bytes,
+                                &mut total_ops,
+                            )?;
+                        }
+                    }
                 }
-                extents.clear();
-                extents.extend(
-                    tile.iter()
+                walk.extents.clear();
+                walk.extents.extend(
+                    walk.tile
+                        .iter()
                         .enumerate()
                         .map(|(i, &t)| plan.level_ranges[i][t as usize].len() as i64),
                 );
-                let exec = match exec_memo.get(extents.as_slice()) {
+                let exec = match exec_memo.get(walk.extents.as_slice()) {
                     Some(&v) => v,
                     None => {
-                        let v = exec_model.tile_time_ns(&extents);
-                        exec_memo.insert(extents.clone(), v);
+                        let v = exec_model.tile_time_ns(&walk.extents);
+                        exec_memo.insert(walk.extents.clone(), v);
                         v
                     }
                 };
@@ -1049,11 +1396,11 @@ impl CoordinateDelta {
                         break 'tiles;
                     }
                     t -= 1;
-                    tile[t] += 1;
-                    if tile[t] <= bx[t].hi {
+                    walk.tile[t] += 1;
+                    if walk.tile[t] <= bx[t].hi {
                         break;
                     }
-                    tile[t] = bx[t].lo;
+                    walk.tile[t] = bx[t].lo;
                 }
             }
             out_cores.push(ca);
@@ -1490,6 +1837,69 @@ impl AnalysisCache {
             evicted,
             rejected,
         }
+    }
+
+    /// Cache-only lookup: returns the entry when resident, `None` on a miss
+    /// — no build, no insertion. The lookup is recorded in the shard's
+    /// frequency sketch and reference bit exactly like the hit path of
+    /// [`AnalysisCache::get_or_build_with`], so the batched scan path (probe
+    /// everything first, bulk-build the misses, then insert) sees the same
+    /// admission dynamics as per-candidate lookups.
+    pub fn probe(
+        &self,
+        component: &Component,
+        solution: &Solution,
+        cores: usize,
+        exec_model: &ExecModel,
+    ) -> Option<CacheEntry> {
+        let key = analysis_key(component, exec_model, cores, solution);
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        let hash = hasher.finish();
+        self.shards[(hash as usize) % CACHE_SHARDS]
+            .lock()
+            .unwrap()
+            .get(&key, hash)
+    }
+
+    /// Inserts a prebuilt entry for the key (unless already resident),
+    /// applying the same weight gates and frequency-based admission as
+    /// [`AnalysisCache::get_or_build_with`]'s miss path. Returns
+    /// `(evicted, rejected)` for the caller's telemetry. Unlike a
+    /// `get_or_build_with` round-trip, this does not touch the frequency
+    /// sketch again — the preceding [`AnalysisCache::probe`] already
+    /// recorded the lookup.
+    pub fn admit(
+        &self,
+        component: &Component,
+        solution: &Solution,
+        cores: usize,
+        exec_model: &ExecModel,
+        entry: CacheEntry,
+    ) -> (usize, bool) {
+        let key = analysis_key(component, exec_model, cores, solution);
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        let hash = hasher.finish();
+        let shard = &self.shards[(hash as usize) % CACHE_SHARDS];
+        let weight = entry.as_ref().map(|a| a.weight()).unwrap_or(1);
+        let mut evicted = 0;
+        let mut rejected = false;
+        if weight <= MAX_ENTRY_WEIGHT && weight <= self.shard_budget {
+            let mut guard = shard.lock().unwrap();
+            if !guard.map.contains_key(&key) {
+                let (e, admitted) = guard.insert(key, hash, entry, weight, self.shard_budget);
+                evicted = e;
+                rejected = !admitted;
+            }
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        if rejected {
+            self.admission_rejects.fetch_add(1, Ordering::Relaxed);
+        }
+        (evicted, rejected)
     }
 
     /// [`AnalysisCache::get_or_build_with`] with the default from-scratch

@@ -77,7 +77,7 @@ pub use component::{
 pub use config::{ApiCosts, Platform};
 pub use cost::{AnalyticCost, CostProvider, FittedCost};
 pub use looptree::{LoopTree, LoopTreeNode};
-pub use multilevel::{evaluate_two_level, TwoLevelConfig, TwoLevelResult};
+pub use multilevel::{evaluate_two_level, evaluate_two_level_scan, TwoLevelConfig, TwoLevelResult};
 pub use multitask::{analyze, PremTask, Schedulability, TaskResponse};
 pub use optimizer::{
     find_minimum, nondominated_thread_groups, optimize_component, optimize_exhaustive,

@@ -72,12 +72,76 @@ pub fn evaluate_two_level(
     platform: &Platform,
     cfg: &TwoLevelConfig,
 ) -> Option<TwoLevelResult> {
+    evaluate_two_level_scan(schedule, platform, std::slice::from_ref(cfg))
+        .pop()
+        .expect("one config, one result")
+}
+
+/// Batched sweep evaluation: re-times one schedule under every config of a
+/// capacity sweep in a single pass, hoisting the config-invariant L1
+/// re-timing — it depends only on the L2 *bus* parameters, not `l2_bytes` —
+/// out of the per-config loop (recomputed only when consecutive configs
+/// change the bus). Each element is exactly what [`evaluate_two_level`]
+/// returns for that config.
+pub fn evaluate_two_level_scan(
+    schedule: &ComponentSchedule,
+    platform: &Platform,
+    cfgs: &[TwoLevelConfig],
+) -> Vec<Option<TwoLevelResult>> {
+    /// Cached L1 re-timing, keyed by the L2 bus parameters (as bits).
+    type CachedL1 = ((u64, u64), Vec<Vec<f64>>);
+    let mut out = Vec::with_capacity(cfgs.len());
+    let mut l1: Option<CachedL1> = None;
+    for cfg in cfgs {
+        let key = (
+            cfg.l2_bus_bytes_per_sec.to_bits(),
+            cfg.l2_line_overhead_ns.to_bits(),
+        );
+        if l1.as_ref().is_none_or(|(k, _)| *k != key) {
+            let l2_platform = Platform {
+                bus_bytes_per_sec: cfg.l2_bus_bytes_per_sec,
+                dma_line_overhead_ns: cfg.l2_line_overhead_ns,
+                ..platform.clone()
+            };
+            l1 = Some((key, l1_batch_times(schedule, &l2_platform)));
+        }
+        let (_, l1_time) = l1.as_ref().expect("computed above");
+        out.push(evaluate_one(schedule, platform, cfg, l1_time));
+    }
+    out
+}
+
+/// Per-(core, batch) L1 transfer times against the L2-side bus.
+fn l1_batch_times(schedule: &ComponentSchedule, l2_platform: &Platform) -> Vec<Vec<f64>> {
+    schedule
+        .cores
+        .iter()
+        .map(|core| {
+            core.batches
+                .iter()
+                .map(|b| {
+                    b.ops
+                        .iter()
+                        .map(|op| {
+                            transfer_time_ns(&op.shape, l2_platform)
+                                + l2_platform.api.dma_int_handler
+                        })
+                        .sum()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One config's evaluation over precomputed L1 batch times (see
+/// [`evaluate_two_level_scan`]).
+fn evaluate_one(
+    schedule: &ComponentSchedule,
+    platform: &Platform,
+    cfg: &TwoLevelConfig,
+    l1_time: &[Vec<f64>],
+) -> Option<TwoLevelResult> {
     let l2_partition = cfg.l2_bytes / 2;
-    let l2_platform = Platform {
-        bus_bytes_per_sec: cfg.l2_bus_bytes_per_sec,
-        dma_line_overhead_ns: cfg.l2_line_overhead_ns,
-        ..platform.clone()
-    };
 
     let cores = &schedule.cores;
     let ncores = cores.len();
@@ -116,25 +180,6 @@ pub fn evaluate_two_level(
         staged_bytes += core_blocks.iter().map(|b| b.2).sum::<i64>();
         blocks.push(core_blocks);
     }
-
-    // Re-time L1 batches against the L2 bus.
-    let l1_time: Vec<Vec<f64>> = cores
-        .iter()
-        .map(|core| {
-            core.batches
-                .iter()
-                .map(|b| {
-                    b.ops
-                        .iter()
-                        .map(|op| {
-                            transfer_time_ns(&op.shape, &l2_platform)
-                                + l2_platform.api.dma_int_handler
-                        })
-                        .sum()
-                })
-                .collect()
-        })
-        .collect();
 
     // DRAM block-transfer times: bulk, one line per contiguous array slice
     // approximated as bytes/bandwidth + a single line overhead per batch in
@@ -388,6 +433,58 @@ mod tests {
         assert_eq!(out.makespan_ns, 27.0);
         assert_eq!(out.blocks_per_core, vec![1]);
         assert_eq!(out.staged_bytes, 0);
+    }
+
+    #[test]
+    fn sweep_scan_matches_per_config_evaluation() {
+        // The batched sweep (hoisted L1 re-timing) must be bitwise identical
+        // to calling evaluate_two_level per config — across capacity-only
+        // changes (L1 reused), bus changes (L1 recomputed) and an infeasible
+        // capacity (None propagated in place).
+        let (program, comp) = streaming_kernel(128, 128);
+        let cost = AnalyticCost::new(&program);
+        let model = cost.exec_model(&comp);
+        let platform = Platform::default().with_bus_gbytes(1.0);
+        let sol = Solution {
+            k: vec![16, 128],
+            r: vec![4, 1],
+        };
+        let sched = build_schedule(&comp, &sol, &platform, &model).unwrap();
+        let cfgs: Vec<TwoLevelConfig> = vec![
+            TwoLevelConfig {
+                l2_bytes: 1 << 20,
+                ..TwoLevelConfig::default()
+            },
+            TwoLevelConfig {
+                l2_bytes: 2 << 20,
+                ..TwoLevelConfig::default()
+            },
+            TwoLevelConfig {
+                l2_bytes: 1024, // infeasible: one segment exceeds a partition
+                ..TwoLevelConfig::default()
+            },
+            TwoLevelConfig {
+                l2_bytes: 8 << 20,
+                l2_bus_bytes_per_sec: platform.bus_bytes_per_sec,
+                l2_line_overhead_ns: platform.dma_line_overhead_ns,
+            },
+        ];
+        let batched = evaluate_two_level_scan(&sched, &platform, &cfgs);
+        assert_eq!(batched.len(), cfgs.len());
+        for (cfg, got) in cfgs.iter().zip(&batched) {
+            let want = evaluate_two_level(&sched, &platform, cfg);
+            match (&want, got) {
+                (None, None) => {}
+                (Some(w), Some(g)) => {
+                    assert_eq!(w.makespan_ns.to_bits(), g.makespan_ns.to_bits());
+                    assert_eq!(w.blocks_per_core, g.blocks_per_core);
+                    assert_eq!(w.staged_bytes, g.staged_bytes);
+                }
+                _ => panic!("feasibility mismatch for {cfg:?}"),
+            }
+        }
+        assert!(batched[2].is_none());
+        assert!(batched[0].is_some());
     }
 
     #[test]

@@ -42,6 +42,16 @@ pub struct OptimizerOptions {
     /// Use [`CoordinateDelta`] incremental rebuilds inside single-coordinate
     /// scans (bitwise-equivalent to full builds; off mainly for A/B tests).
     pub incremental: bool,
+    /// Serve each single-coordinate scan from one batched landscape rebuild
+    /// ([`CoordinateDelta::rebuild_scan`]): the whole sorted candidate list
+    /// is analyzed in a single pass and `find_minimum` replays its
+    /// bracketing over the precomputed points, so the adaptive curvature
+    /// windows consume landscape values instead of re-probing. Selections
+    /// and makespans are bitwise identical to the per-candidate path.
+    /// Requires `incremental`; falls back silently without it. Off by
+    /// default like `adaptive` — the benches enable it (`PREM_BATCHED=0`
+    /// restores the per-candidate path).
+    pub batched: bool,
     /// Telemetry-driven adaptive search control: convergence-based early
     /// stopping of the sweep loop (the `max_iter` ceiling is kept as a
     /// safety bound) and curvature-sized candidate windows after the first
@@ -64,6 +74,7 @@ impl Default for OptimizerOptions {
             max_phase_ns: None,
             analysis_cache: None,
             incremental: true,
+            batched: false,
             adaptive: false,
             convergence_eps: 1e-6,
         }
@@ -77,6 +88,7 @@ impl PartialEq for OptimizerOptions {
             && self.convex_search == other.convex_search
             && self.max_phase_ns == other.max_phase_ns
             && self.incremental == other.incremental
+            && self.batched == other.batched
             && self.adaptive == other.adaptive
             && self.convergence_eps.to_bits() == other.convergence_eps.to_bits()
             && match (&self.analysis_cache, &other.analysis_cache) {
@@ -220,6 +232,16 @@ pub struct MakespanEvaluator<'a> {
     /// Shared-cache insertions declined by the frequency-based admission
     /// filter (the candidate was colder than the eviction victim).
     pub admission_rejects: usize,
+    /// Coordinate scans where [`CoordinateDelta::new`] declined construction
+    /// (context unrepresentable even rank-reduced) and the scan fell back to
+    /// full builds. Should be 0 on the real kernel suite.
+    pub delta_declines: usize,
+    /// Single-coordinate scans served by a batched
+    /// [`CoordinateDelta::rebuild_scan`] landscape.
+    pub batched_scans: usize,
+    /// Batched-scan candidates answered by the monotone segment-cap
+    /// shortcut without walking any tiles.
+    pub scan_truncations: usize,
 }
 
 /// One single-coordinate scan: solutions equal to `base` except at
@@ -273,6 +295,9 @@ impl<'a> MakespanEvaluator<'a> {
             incremental_rebuilds: 0,
             evictions: 0,
             admission_rejects: 0,
+            delta_declines: 0,
+            batched_scans: 0,
+            scan_truncations: 0,
         }
     }
 
@@ -352,6 +377,9 @@ impl<'a> MakespanEvaluator<'a> {
             if scan.covers(solution) {
                 if scan.delta.is_none() {
                     scan.delta = Some(CoordinateDelta::new(component, &scan.base, scan.j, cores));
+                    if matches!(scan.delta, Some(None)) {
+                        self.delta_declines += 1;
+                    }
                 }
                 if let Some(Some(delta)) = &mut scan.delta {
                     let built =
@@ -391,6 +419,124 @@ impl<'a> MakespanEvaluator<'a> {
         ComponentAnalysis::build(component, solution, cores, exec_model, false).map(Arc::new)
     }
 
+    /// Serves one contiguous stretch of a single-coordinate scan from a
+    /// batched landscape: every candidate is answered from the memo, the
+    /// shared cache, or one [`CoordinateDelta::rebuild_scan`] pass over the
+    /// misses. The values
+    /// are exactly what [`MakespanEvaluator::makespan`] would return — the
+    /// same fast-tier fold over bitwise-identical analyses — and every
+    /// candidate lands in the memo, so later probes of the scan are free.
+    /// Returns `None` when no incremental scan is active or the delta
+    /// context declined construction; the caller then falls back to
+    /// per-candidate probing.
+    pub fn scan_landscape(&mut self, candidates: &[i64]) -> Option<Vec<f64>> {
+        let mut scan = self.coordinate.take()?;
+        let values = self.scan_landscape_with(&mut scan, candidates);
+        self.coordinate = Some(scan);
+        values
+    }
+
+    fn scan_landscape_with(
+        &mut self,
+        scan: &mut CoordinateScan,
+        candidates: &[i64],
+    ) -> Option<Vec<f64>> {
+        let component = self.component;
+        let cores = self.platform.cores;
+        let exec_model = self.exec_model;
+        let j = scan.j;
+        let mut values = vec![f64::INFINITY; candidates.len()];
+        // Candidates the batched rebuild must actually analyze: neither the
+        // memo, the SPM pre-gate nor the shared cache answered them.
+        let mut need: Vec<(usize, i64)> = Vec::new();
+        let mut sol = scan.base.clone();
+        for (i, &kj) in candidates.iter().enumerate() {
+            sol.k[j] = kj;
+            if let Some(&v) = self.cache.get(&sol) {
+                self.cache_hits += 1;
+                values[i] = v;
+                continue;
+            }
+            // Mirrors `fast_makespan`'s analytic SPM pre-gate.
+            if crate::tiling::spm_bytes_for(component, &sol.k) > self.platform.spm_bytes {
+                self.record_scan_value(&sol, f64::INFINITY, i, &mut values);
+                continue;
+            }
+            if let Some(entry) = self
+                .analysis_cache
+                .as_ref()
+                .and_then(|c| c.probe(component, &sol, cores, exec_model))
+            {
+                self.analysis_reuses += 1;
+                let v = match &entry {
+                    Ok(a) => self.fold_analysis(a),
+                    Err(_) => f64::INFINITY,
+                };
+                self.record_scan_value(&sol, v, i, &mut values);
+                continue;
+            }
+            need.push((i, kj));
+        }
+
+        if !need.is_empty() {
+            // Only a miss pays for the delta context: stable scans — every
+            // candidate memoized or cached — never build the frozen arena,
+            // mirroring the per-candidate path's lazy construction.
+            if scan.delta.is_none() {
+                scan.delta = Some(CoordinateDelta::new(component, &scan.base, scan.j, cores));
+                if matches!(scan.delta, Some(None)) {
+                    self.delta_declines += 1;
+                }
+            }
+            let Some(Some(delta)) = &mut scan.delta else {
+                return None;
+            };
+            let kjs: Vec<i64> = need.iter().map(|&(_, kj)| kj).collect();
+            let (built, truncated) = delta.rebuild_scan(component, &kjs, exec_model);
+            self.scan_truncations += truncated;
+            debug_assert_eq!(built.len(), need.len());
+            for (&(i, kj), b) in need.iter().zip(built) {
+                self.incremental_rebuilds += 1;
+                sol.k[j] = kj;
+                let entry = b.map(Arc::new);
+                if let Some(cache) = self.analysis_cache.clone() {
+                    let (evicted, rejected) =
+                        cache.admit(component, &sol, cores, exec_model, entry.clone());
+                    self.evictions += evicted;
+                    self.admission_rejects += usize::from(rejected);
+                }
+                let v = match &entry {
+                    Ok(a) => self.fold_analysis(a),
+                    Err(_) => f64::INFINITY,
+                };
+                self.record_scan_value(&sol, v, i, &mut values);
+            }
+        }
+        self.batched_scans += 1;
+        Some(values)
+    }
+
+    /// The memo/differential bookkeeping of [`MakespanEvaluator::makespan`]
+    /// for one batched-scan point: counts the evaluation, runs the sampled
+    /// debug differential, memoizes, and stores the landscape value.
+    fn record_scan_value(&mut self, solution: &Solution, v: f64, i: usize, values: &mut [f64]) {
+        self.evals += 1;
+        #[cfg(debug_assertions)]
+        if self.evals <= 2
+            || self
+                .evals
+                .is_multiple_of(if crate::analysis::heavy_checks() {
+                    101
+                } else {
+                    1021
+                })
+        {
+            self.check_differential(solution, v);
+        }
+        self.cache.insert(solution.clone(), v);
+        values[i] = v;
+    }
+
     /// The fast tier: analytic SPM pre-gate, (cached) structure analysis,
     /// then the allocation-free recurrence fold.
     fn fast_makespan(&mut self, solution: &Solution) -> f64 {
@@ -422,6 +568,13 @@ impl<'a> MakespanEvaluator<'a> {
                 Err(_) => return f64::INFINITY,
             },
         };
+        self.fold_analysis(&analysis)
+    }
+
+    /// The fold tail shared by the per-candidate and batched paths: the
+    /// allocation-free recurrence plus the optional phase cap, counted as a
+    /// fast-tier evaluation.
+    fn fold_analysis(&mut self, analysis: &ComponentAnalysis) -> f64 {
         self.fast_evals += 1;
         match analysis.makespan_only(self.platform, &mut self.scratch) {
             Ok(fast) => match self.max_phase_ns {
@@ -473,6 +626,38 @@ struct DriveOutcome {
     sweeps_run: usize,
     sweep_rel_delta: Vec<f64>,
     pruned_adaptive: usize,
+}
+
+/// Per-worker cost-tier counters folded into [`SearchTelemetry`] after the
+/// pool drains (per-assignment telemetry carries the search-shape metrics;
+/// these are evaluator internals only meaningful as totals).
+#[derive(Debug, Default)]
+struct TierCounters {
+    fast_evals: usize,
+    analysis_reuses: usize,
+    pruned: usize,
+    incremental_rebuilds: usize,
+    evictions: usize,
+    admission_rejects: usize,
+    pruned_adaptive: usize,
+    delta_declines: usize,
+    batched_scans: usize,
+    scan_truncations: usize,
+}
+
+impl TierCounters {
+    fn add(&mut self, other: &TierCounters) {
+        self.fast_evals += other.fast_evals;
+        self.analysis_reuses += other.analysis_reuses;
+        self.pruned += other.pruned;
+        self.incremental_rebuilds += other.incremental_rebuilds;
+        self.evictions += other.evictions;
+        self.admission_rejects += other.admission_rejects;
+        self.pruned_adaptive += other.pruned_adaptive;
+        self.delta_declines += other.delta_declines;
+        self.batched_scans += other.batched_scans;
+        self.scan_truncations += other.scan_truncations;
+    }
 }
 
 /// Deterministic winner predicate: a strictly smaller makespan wins; an
@@ -591,12 +776,7 @@ impl<'a> SearchEngine<'a> {
             })
             .min(assignments.len().max(1));
         let next = std::sync::atomic::AtomicUsize::new(0);
-        type Slot = Option<(
-            Solution,
-            f64,
-            AssignmentTelemetry,
-            (usize, usize, usize, usize, usize, usize, usize),
-        )>;
+        type Slot = Option<(Solution, f64, AssignmentTelemetry, TierCounters)>;
         let results: Vec<std::sync::Mutex<Slot>> = assignments
             .iter()
             .map(|_| std::sync::Mutex::new(None))
@@ -619,15 +799,18 @@ impl<'a> SearchEngine<'a> {
                         sweeps_run: d.sweeps_run,
                         sweep_rel_delta: d.sweep_rel_delta,
                     };
-                    let tiers = (
-                        ev.fast_evals,
-                        ev.analysis_reuses,
-                        d.pruned,
-                        ev.incremental_rebuilds,
-                        ev.evictions,
-                        ev.admission_rejects,
-                        d.pruned_adaptive,
-                    );
+                    let tiers = TierCounters {
+                        fast_evals: ev.fast_evals,
+                        analysis_reuses: ev.analysis_reuses,
+                        pruned: d.pruned,
+                        incremental_rebuilds: ev.incremental_rebuilds,
+                        evictions: ev.evictions,
+                        admission_rejects: ev.admission_rejects,
+                        pruned_adaptive: d.pruned_adaptive,
+                        delta_declines: ev.delta_declines,
+                        batched_scans: ev.batched_scans,
+                        scan_truncations: ev.scan_truncations,
+                    };
                     *results[idx].lock().unwrap() =
                         Some((d.solution, d.makespan_ns, telemetry, tiers));
                 });
@@ -637,32 +820,27 @@ impl<'a> SearchEngine<'a> {
 
         let mut best: Option<(Solution, f64)> = None;
         let mut per_assignment = Vec::with_capacity(assignments.len());
-        let (mut fast_evals, mut analysis_reuses, mut pruned) = (0usize, 0usize, 0usize);
-        let (mut incremental_rebuilds, mut evictions) = (0usize, 0usize);
-        let (mut admission_rejects, mut candidates_pruned_adaptive) = (0usize, 0usize);
+        let mut totals = TierCounters::default();
         for slot in results {
             let (sol, m, t, tiers) = slot.into_inner().unwrap().expect("worker finished");
             per_assignment.push(t);
-            fast_evals += tiers.0;
-            analysis_reuses += tiers.1;
-            pruned += tiers.2;
-            incremental_rebuilds += tiers.3;
-            evictions += tiers.4;
-            admission_rejects += tiers.5;
-            candidates_pruned_adaptive += tiers.6;
+            totals.add(&tiers);
             if improves(m, &sol, best.as_ref()) {
                 best = Some((sol, m));
             }
         }
         let mut telemetry = SearchTelemetry::from_assignments(per_assignment);
         telemetry.search_s = search_s;
-        telemetry.fast_evals = fast_evals;
-        telemetry.analysis_reuses = analysis_reuses;
-        telemetry.pruned = pruned;
-        telemetry.incremental_rebuilds = incremental_rebuilds;
-        telemetry.evictions = evictions;
-        telemetry.admission_rejects = admission_rejects;
-        telemetry.candidates_pruned_adaptive = candidates_pruned_adaptive;
+        telemetry.fast_evals = totals.fast_evals;
+        telemetry.analysis_reuses = totals.analysis_reuses;
+        telemetry.pruned = totals.pruned;
+        telemetry.incremental_rebuilds = totals.incremental_rebuilds;
+        telemetry.evictions = totals.evictions;
+        telemetry.admission_rejects = totals.admission_rejects;
+        telemetry.candidates_pruned_adaptive = totals.pruned_adaptive;
+        telemetry.delta_declines = totals.delta_declines;
+        telemetry.batched_scans = totals.batched_scans;
+        telemetry.scan_truncations = totals.scan_truncations;
 
         let (solution, m) = best?;
         if !m.is_finite() {
@@ -788,6 +966,7 @@ fn descend_assignment(
                     },
                     j,
                 );
+                let full = &candidates[j][..];
                 let f = |kj: i64, ev: &mut MakespanEvaluator<'_>| {
                     let mut sol = Solution {
                         k: k.clone(),
@@ -796,10 +975,22 @@ fn descend_assignment(
                     sol.k[j] = kj;
                     ev.makespan(&sol)
                 };
-                let full = &candidates[j][..];
+                // Batched mode keeps the bracketing probes on the
+                // per-candidate incremental path and serves every
+                // exhaustive-scan stretch — exactly the ranges the probing
+                // form would walk linearly — from one `rebuild_scan` batch.
+                let minimum = |range: std::ops::RangeInclusive<usize>,
+                               ev: &mut MakespanEvaluator<'_>| {
+                    let win = &full[range];
+                    if opts.batched {
+                        find_minimum_batched(win, opts.convex_search, ev, f)
+                    } else {
+                        find_minimum(win, opts.convex_search, |kj| f(kj, ev))
+                    }
+                };
                 let old = k[j];
                 let windowed = if stable {
-                    curvature_radius(full, j, &k, r, opts, evaluator)
+                    curvature_radius(full, k[j], opts, |kj| f(kj, evaluator))
                 } else {
                     None
                 };
@@ -809,20 +1000,20 @@ fn descend_assignment(
                         let lo = pos.saturating_sub(rad);
                         let hi = (pos + rad).min(full.len() - 1);
                         let win = &full[lo..=hi];
-                        let kj = find_minimum(win, opts.convex_search, |kj| f(kj, evaluator));
+                        let kj = minimum(lo..=hi, evaluator);
                         // A winner on an interior window edge may be a
                         // cut-off optimum — fall back to the full list.
                         let cut_lo = kj == win[0] && lo > 0;
                         let cut_hi =
                             kj == *win.last().expect("non-empty window") && hi + 1 < full.len();
                         if cut_lo || cut_hi {
-                            find_minimum(full, opts.convex_search, |kj| f(kj, evaluator))
+                            minimum(0..=full.len() - 1, evaluator)
                         } else {
                             pruned_adaptive += full.len() - win.len();
                             kj
                         }
                     }
-                    _ => find_minimum(full, opts.convex_search, |kj| f(kj, evaluator)),
+                    _ => minimum(0..=full.len() - 1, evaluator),
                 };
                 evaluator.end_coordinate();
                 prev_scan[j] = scan_idx;
@@ -869,10 +1060,11 @@ fn descend_assignment(
     }
 }
 
-/// Window radius for level `j` from the observed local curvature around the
-/// incumbent `k[j]`, or `None` to keep the full list. Must be called inside
-/// the caller's `begin_coordinate` bracket for level `j` (the probes vary
-/// only that coordinate).
+/// Window radius from the observed local curvature around the incumbent
+/// candidate, or `None` to keep the full list. `probe` evaluates one
+/// candidate of the active single-coordinate scan — a memoized
+/// [`MakespanEvaluator::makespan`] call on the per-candidate path, a
+/// precomputed landscape lookup on the batched one.
 ///
 /// A discrete quadratic model around the incumbent estimates the relative
 /// makespan increase `Δm/m ≈ q·d²/2` of stepping `d` candidates away, where
@@ -883,30 +1075,19 @@ fn descend_assignment(
 /// neighborhoods (`q ≤ 0`), boundary incumbents, infeasible neighbors and
 /// short lists all decline to prune. The extra neighbor probes are memoized
 /// single-coordinate evaluations.
-fn curvature_radius(
+fn curvature_radius<F: FnMut(i64) -> f64>(
     candidates: &[i64],
-    j: usize,
-    k: &[i64],
-    r: &[i64],
+    incumbent: i64,
     opts: &OptimizerOptions,
-    evaluator: &mut MakespanEvaluator<'_>,
+    mut probe: F,
 ) -> Option<usize> {
     if candidates.len() <= 8 {
         return None; // short lists scan fully anyway
     }
-    let pos = candidates.iter().position(|&c| c == k[j])?;
+    let pos = candidates.iter().position(|&c| c == incumbent)?;
     if pos == 0 || pos + 1 == candidates.len() {
         return None; // boundary incumbent: one-sided curvature is unreliable
     }
-    let base = Solution {
-        k: k.to_vec(),
-        r: r.to_vec(),
-    };
-    let mut probe = |kj: i64| {
-        let mut sol = base.clone();
-        sol.k[j] = kj;
-        evaluator.makespan(&sol)
-    };
     let f0 = probe(candidates[pos]);
     let fl = probe(candidates[pos - 1]);
     let fr = probe(candidates[pos + 1]);
@@ -1072,6 +1253,75 @@ pub fn find_minimum<F: FnMut(i64) -> f64>(candidates: &[i64], convex: bool, mut 
         }
     }
     scan_min(&candidates[lo..=hi], &mut f)
+}
+
+/// Landscape-driven entry point of [`find_minimum`]: the batched scan has
+/// already evaluated every candidate, so the convex bracketing replays over
+/// the precomputed `values` (index-aligned with `candidates`) instead of
+/// re-probing an evaluator. The decision sequence — plateau handling,
+/// bracketing steps, first-best tie-breaking — is exactly
+/// [`find_minimum`]'s, so the selected candidate is bitwise identical to
+/// what the probing form would pick on the same values.
+pub fn find_minimum_landscape(candidates: &[i64], values: &[f64], convex: bool) -> i64 {
+    assert_eq!(candidates.len(), values.len());
+    // Lookups stay cheap: candidate lists are sorted ascending, and
+    // duplicate candidates (if any) carry identical values.
+    find_minimum(candidates, convex, |kj| {
+        values[candidates
+            .binary_search(&kj)
+            .expect("probed candidate is listed")]
+    })
+}
+
+/// Batched form of [`find_minimum`]: the ternary bracketing probes stay on
+/// the evaluator's per-candidate (incremental, memoized) path, while every
+/// exhaustive-scan stretch — short lists, plateau fallbacks, the bracket
+/// tail — is served by one [`MakespanEvaluator::scan_landscape`] batch over
+/// exactly the range the probing form would walk linearly. The probe values
+/// and the landscape values are bitwise identical to
+/// [`MakespanEvaluator::makespan`]'s, and the decision sequence (plateau
+/// handling, bracketing steps, first-best tie-breaking) replicates
+/// [`find_minimum`], so the selected candidate matches the per-candidate
+/// form bit for bit. Falls back to plain probing when no batch is available
+/// (incremental rebuilds off, or a declined delta context).
+fn find_minimum_batched<F: FnMut(i64, &mut MakespanEvaluator<'_>) -> f64>(
+    candidates: &[i64],
+    convex: bool,
+    ev: &mut MakespanEvaluator<'_>,
+    mut probe: F,
+) -> i64 {
+    fn batch_scan<F: FnMut(i64, &mut MakespanEvaluator<'_>) -> f64>(
+        win: &[i64],
+        ev: &mut MakespanEvaluator<'_>,
+        probe: &mut F,
+    ) -> i64 {
+        match ev.scan_landscape(win) {
+            // `convex: false` is `scan_min`'s first-best linear scan.
+            Some(values) => find_minimum_landscape(win, &values, false),
+            None => scan_min(win, &mut |kj| probe(kj, ev)),
+        }
+    }
+
+    assert!(!candidates.is_empty());
+    if !convex || candidates.len() <= 8 {
+        return batch_scan(candidates, ev, &mut probe);
+    }
+    let (mut lo, mut hi) = (0usize, candidates.len() - 1);
+    while hi - lo > 8 {
+        let m1 = lo + (hi - lo) / 3;
+        let m2 = hi - (hi - lo) / 3;
+        let f1 = probe(candidates[m1], ev);
+        let f2 = probe(candidates[m2], ev);
+        if f1 == f2 {
+            return batch_scan(&candidates[lo..=hi], ev, &mut probe);
+        }
+        if f1 < f2 {
+            hi = m2 - 1;
+        } else {
+            lo = m1 + 1;
+        }
+    }
+    batch_scan(&candidates[lo..=hi], ev, &mut probe)
 }
 
 /// Exhaustive scan keeping the *first* best value. Candidate lists are

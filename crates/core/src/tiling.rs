@@ -255,6 +255,101 @@ impl TilePlan {
         })
     }
 
+    /// Re-targets coordinate `j` of a plan built for a solution that differs
+    /// only at `k[j]`, reusing the frozen levels' storage instead of
+    /// rebuilding them. Replays [`TilePlan::build`]'s feasibility checks in
+    /// the same order (so the reported [`Infeasible`] is bitwise identical),
+    /// then rewrites only the `j`-dependent state: `m[j]`, `z[j]`,
+    /// `level_ranges[j]` and the per-core boxes. On `Err` the plan keeps its
+    /// previous (valid) contents and stays usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Infeasible`] for invalid parallelism, thread counts or
+    /// segment counts, exactly as a fresh build of `solution` would.
+    pub fn set_coordinate(
+        &mut self,
+        component: &Component,
+        solution: &Solution,
+        j: usize,
+    ) -> Result<(), Infeasible> {
+        assert_eq!(solution.k.len(), component.depth());
+        assert_eq!(solution.r.len(), component.depth());
+        let cores = self.core_boxes.len();
+        for (i, (lv, &r)) in component.levels.iter().zip(&solution.r).enumerate() {
+            if !lv.parallel && r > 1 {
+                return Err(Infeasible::ParallelismViolation { level: i });
+            }
+        }
+        let threads = solution.threads();
+        if threads > cores as i64 {
+            return Err(Infeasible::TooManyThreads {
+                requested: threads,
+                available: cores,
+            });
+        }
+        let total = solution.total_tiles(component);
+        if total > SEGMENT_CAP {
+            return Err(Infeasible::TooManySegments { count: total });
+        }
+
+        let lv = &component.levels[j];
+        let k = solution.k[j];
+        self.m[j] = div_ceil(lv.count, k);
+        self.z[j] = div_ceil(self.m[j], solution.r[j]);
+        self.level_ranges[j].clear();
+        self.level_ranges[j].extend((0..self.m[j]).map(|t| {
+            let hi = t
+                .saturating_add(1)
+                .saturating_mul(k)
+                .saturating_sub(1)
+                .min(lv.count - 1);
+            Interval::new(t * k, hi)
+        }));
+
+        let depth = component.depth();
+        let mut weight = vec![1i64; depth];
+        for i in (0..depth.saturating_sub(1)).rev() {
+            weight[i] = weight[i + 1] * solution.r[i + 1];
+        }
+
+        // The frozen levels' group ranges are unchanged, but recomputing the
+        // whole box is O(depth) per core — cheap next to the per-level range
+        // fill above — and keeps the `lo > hi → None` transitions exact.
+        let mut scratch: Vec<Interval> = Vec::with_capacity(depth);
+        for (core, slot) in self.core_boxes.iter_mut().enumerate() {
+            let c = core as i64;
+            if c >= threads {
+                *slot = None;
+                continue;
+            }
+            scratch.clear();
+            let mut empty = false;
+            for (i, &w) in weight.iter().enumerate() {
+                let g = (c / w) % solution.r[i];
+                let lo = g * self.z[i];
+                let hi = ((g + 1) * self.z[i] - 1).min(self.m[i] - 1);
+                if lo > hi {
+                    empty = true;
+                    break;
+                }
+                scratch.push(Interval::new(lo, hi));
+            }
+            if empty {
+                *slot = None;
+            } else {
+                match slot {
+                    Some(bx) => {
+                        bx.clear();
+                        bx.extend_from_slice(&scratch);
+                    }
+                    None => *slot = Some(scratch.clone()),
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Number of segments a core executes.
     pub fn core_nseg(&self, core: usize) -> usize {
         match &self.core_boxes[core] {
@@ -465,6 +560,57 @@ mod tests {
         let plan = TilePlan::build(&comp, &sol, 2).unwrap();
         assert_eq!(plan.core_nseg(0), 2);
         assert_eq!(plan.core_nseg(1), 1);
+    }
+
+    #[test]
+    fn set_coordinate_matches_fresh_build() {
+        let comp = mock_component(&[650, 700, 9], &[true, false, true]);
+        let base = Solution {
+            k: vec![109, 350, 3],
+            r: vec![3, 1, 2],
+        };
+        let cores = 6;
+        for j in 0..comp.depth() {
+            let mut plan = TilePlan::build(&comp, &base, cores).unwrap();
+            for kj in 1..=comp.levels[j].count {
+                let mut sol = base.clone();
+                sol.k[j] = kj;
+                let fresh = TilePlan::build(&comp, &sol, cores);
+                match (plan.set_coordinate(&comp, &sol, j), fresh) {
+                    (Ok(()), Ok(f)) => {
+                        assert_eq!(plan.m, f.m, "j={j} k={kj}");
+                        assert_eq!(plan.z, f.z, "j={j} k={kj}");
+                        assert_eq!(plan.level_ranges, f.level_ranges, "j={j} k={kj}");
+                        assert_eq!(plan.core_boxes, f.core_boxes, "j={j} k={kj}");
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b, "j={j} k={kj}"),
+                    (a, b) => panic!("feasibility diverged at j={j} k={kj}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_coordinate_keeps_plan_on_error() {
+        // Force a TooManySegments rejection, then check the plan still
+        // matches its previous solution bit for bit.
+        let comp = mock_component(&[1 << 10, 1 << 10], &[true, true]);
+        let good = Solution {
+            k: vec![4, 1024],
+            r: vec![2, 1],
+        };
+        let mut plan = TilePlan::build(&comp, &good, 4).unwrap();
+        let bad = Solution {
+            k: vec![4, 1],
+            r: vec![2, 1],
+        };
+        assert!(matches!(
+            plan.set_coordinate(&comp, &bad, 1),
+            Err(Infeasible::TooManySegments { .. })
+        ));
+        let fresh = TilePlan::build(&comp, &good, 4).unwrap();
+        assert_eq!(plan.level_ranges, fresh.level_ranges);
+        assert_eq!(plan.core_boxes, fresh.core_boxes);
     }
 
     #[test]

@@ -89,6 +89,17 @@ pub struct SearchTelemetry {
     /// Shared-cache insertions declined by the frequency-based admission
     /// filter (the candidate was colder than the clock victim).
     pub admission_rejects: usize,
+    /// Coordinate scans whose incremental delta context declined
+    /// construction, falling back to full builds. Nonzero values flag an
+    /// incremental-coverage regression — the real kernel suite should
+    /// report 0.
+    pub delta_declines: usize,
+    /// Single-coordinate scans served by one batched landscape rebuild
+    /// instead of per-candidate rebuilds.
+    pub batched_scans: usize,
+    /// Batched-scan candidates answered by the monotone segment-cap
+    /// shortcut without walking any tiles.
+    pub scan_truncations: usize,
 }
 
 impl SearchTelemetry {
@@ -117,6 +128,9 @@ impl SearchTelemetry {
             sweeps_run,
             candidates_pruned_adaptive: 0,
             admission_rejects: 0,
+            delta_declines: 0,
+            batched_scans: 0,
+            scan_truncations: 0,
         }
     }
 
@@ -194,6 +208,9 @@ impl SearchTelemetry {
         self.sweeps_run += other.sweeps_run;
         self.candidates_pruned_adaptive += other.candidates_pruned_adaptive;
         self.admission_rejects += other.admission_rejects;
+        self.delta_declines += other.delta_declines;
+        self.batched_scans += other.batched_scans;
+        self.scan_truncations += other.scan_truncations;
         self.best_makespan_ns = self.best_makespan_ns.min(other.best_makespan_ns);
     }
 
@@ -235,6 +252,15 @@ impl SearchTelemetry {
             (
                 "admission_rejects".to_string(),
                 Json::from(self.admission_rejects),
+            ),
+            (
+                "delta_declines".to_string(),
+                Json::from(self.delta_declines),
+            ),
+            ("batched_scans".to_string(), Json::from(self.batched_scans)),
+            (
+                "scan_truncations".to_string(),
+                Json::from(self.scan_truncations),
             ),
             ("convergence_ns".to_string(), Json::from(self.convergence())),
         ];
@@ -312,6 +338,9 @@ mod tests {
         t.evictions = 1;
         t.candidates_pruned_adaptive = 9;
         t.admission_rejects = 3;
+        t.delta_declines = 2;
+        t.batched_scans = 11;
+        t.scan_truncations = 4;
         t.absorb(&SearchTelemetry::single(vec![1], 60.0));
         assert_eq!(t.evals, 18);
         assert_eq!(t.best_makespan_ns, 60.0);
@@ -326,6 +355,9 @@ mod tests {
         assert_eq!(t.sweeps_run, 5);
         assert_eq!(t.candidates_pruned_adaptive, 9);
         assert_eq!(t.admission_rejects, 3);
+        assert_eq!(t.delta_declines, 2);
+        assert_eq!(t.batched_scans, 11);
+        assert_eq!(t.scan_truncations, 4);
     }
 
     #[test]
@@ -345,6 +377,9 @@ mod tests {
             "sweeps_run",
             "candidates_pruned_adaptive",
             "admission_rejects",
+            "delta_declines",
+            "batched_scans",
+            "scan_truncations",
             "convergence_ns",
             "assignments",
         ] {

@@ -11,6 +11,9 @@
 # review instead of in everyone's inner loop.
 #
 # Usage: scripts/check.sh
+#        scripts/check.sh --bench-snapshot  # additionally run the fig6_1
+#        smoke benchmark and write BENCH_fig6_1.json (per-kernel search_s,
+#        fast_evals, delta_declines) for CI artifact upload / PR review.
 #        PREM_TIER1_BUDGET_S=240 scripts/check.sh  # override the budget
 #        PREM_CHECK_HEAVY=1 scripts/check.sh   # heavier differential
 #        sampling, plus the tier-2 proptest/criterion suite in
@@ -18,6 +21,17 @@
 #        crates/heavy/Cargo.toml).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BENCH_SNAPSHOT=0
+for arg in "$@"; do
+    case "$arg" in
+    --bench-snapshot) BENCH_SNAPSHOT=1 ;;
+    *)
+        echo "unknown argument: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
 
 TIER1_BUDGET_S="${PREM_TIER1_BUDGET_S:-240}"
 tier1_s=0
@@ -68,6 +82,42 @@ if [[ "${PREM_CHECK_HEAVY:-0}" == "1" ]]; then
         env PREM_CHECK_HEAVY=1 cargo test --manifest-path crates/heavy/Cargo.toml -q
 else
     echo "== tier-2 (heavy): skipped (set PREM_CHECK_HEAVY=1 to enable)"
+fi
+
+if [[ "$BENCH_SNAPSHOT" == "1" ]]; then
+    # Search-cost snapshot: run the fig6_1 smoke benchmark into a scratch
+    # results dir and condense its run report into BENCH_fig6_1.json —
+    # per-kernel tiling-search seconds plus the fast-path counters that
+    # guard the batched/incremental machinery (delta_declines must stay 0).
+    snapshot_dir="$(mktemp -d)"
+    trap 'rm -rf "$snapshot_dir"' EXIT
+    timed 0 "bench snapshot: fig6_1 --smoke" \
+        env PREM_RESULTS_DIR="$snapshot_dir" \
+        cargo run -q -p prem-bench --release --bin fig6_1 -- --smoke
+    python3 - "$snapshot_dir/fig6_1.json" BENCH_fig6_1.json <<'PYEOF'
+import collections, json, sys
+
+report = json.load(open(sys.argv[1]))
+per_kernel = collections.OrderedDict()
+for pt in report["points"]:
+    k = per_kernel.setdefault(
+        pt["kernel"],
+        {"kernel": pt["kernel"], "search_s": 0.0, "fast_evals": 0, "delta_declines": 0},
+    )
+    k["search_s"] += pt["search_s"]
+    k["fast_evals"] += pt["fast_evals"]
+    k["delta_declines"] += pt["delta_declines"]
+out = {
+    "bench": "fig6_1",
+    "mode": report["mode"],
+    "adaptive": report["adaptive"],
+    "batched": report["batched"],
+    "kernels": list(per_kernel.values()),
+    "total_search_s": sum(k["search_s"] for k in per_kernel.values()),
+}
+json.dump(out, open(sys.argv[2], "w"), indent=2)
+print(f"wrote {sys.argv[2]} ({len(per_kernel)} kernels)")
+PYEOF
 fi
 
 echo "All checks passed."

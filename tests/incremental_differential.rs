@@ -10,8 +10,9 @@
 //! infeasible transitions the same first [`prem::core::Infeasible`] class.
 
 use prem::core::{
-    nondominated_thread_groups, select_tile_sizes, AnalyticCost, Component, ComponentAnalysis,
-    CoordinateDelta, CostProvider, ExecModel, LoopTree, Platform, Solution,
+    nondominated_thread_groups, optimize_component, select_tile_sizes, AnalyticCost, Component,
+    ComponentAnalysis, CoordinateDelta, CostProvider, ExecModel, LoopTree, OptimizerOptions,
+    Platform, Solution,
 };
 use prem::ir::Program;
 
@@ -245,6 +246,112 @@ fn incremental_matches_full_on_segment_cap() {
     assert!(infeasible > 0, "K_j = 1 must trip the segment cap");
 }
 
+/// One scan check: batch-rebuild the whole sorted candidate list, then
+/// demand each element be bitwise identical to a per-candidate
+/// [`CoordinateDelta::rebuild`] (all candidates) and to a from-scratch
+/// [`ComponentAnalysis::build`] (sampled: corners, midpoint, every 5th) —
+/// including which [`prem::core::Infeasible`] class fires. Also pins the
+/// truncation count to the number of segment-cap rejections. Returns the
+/// number of feasible candidates.
+fn check_scan(
+    name: &str,
+    comp: &Component,
+    delta: &mut CoordinateDelta,
+    base: &Solution,
+    cands: &[i64],
+    model: &ExecModel,
+    cores: usize,
+) -> usize {
+    use prem::core::Infeasible;
+    let j = delta.coordinate();
+    let (batched, truncated) = delta.rebuild_scan(comp, cands, model);
+    assert_eq!(batched.len(), cands.len());
+    let cap_rejects = batched
+        .iter()
+        .filter(|b| matches!(b, Err(Infeasible::TooManySegments { .. })))
+        .count();
+    assert_eq!(
+        truncated, cap_rejects,
+        "{name}: truncation count diverges from segment-cap rejections"
+    );
+    let mut feasible = 0usize;
+    for (i, (&kj, b)) in cands.iter().zip(&batched).enumerate() {
+        let mut sol = base.clone();
+        sol.k[j] = kj;
+        let per = delta.rebuild(comp, kj, model);
+        match (b, &per) {
+            (Ok(a), Ok(p)) => {
+                assert!(
+                    a.bitwise_eq(p),
+                    "{name}: scan vs rebuild diverges for {sol}"
+                );
+                feasible += 1;
+            }
+            (Err(a), Err(p)) => assert_eq!(a, p, "{name}: scan error diverges for {sol}"),
+            _ => panic!("{name}: scan vs rebuild feasibility diverges for {sol}"),
+        }
+        let sampled = i == 0 || i + 1 == cands.len() || i == cands.len() / 2 || i.is_multiple_of(5);
+        if sampled {
+            let full = ComponentAnalysis::build(comp, &sol, cores, model, false);
+            match (b, &full) {
+                (Ok(a), Ok(f)) => {
+                    assert!(a.bitwise_eq(f), "{name}: scan vs full diverges for {sol}")
+                }
+                (Err(a), Err(f)) => assert_eq!(a, f, "{name}: scan error vs full for {sol}"),
+                _ => panic!("{name}: scan vs full feasibility diverges for {sol}"),
+            }
+        }
+    }
+    feasible
+}
+
+/// Batched differential: on every kernel, coordinate and (truncated set of)
+/// assignments, one `rebuild_scan` over the full sorted candidate list must
+/// reproduce the per-candidate rebuilds and the from-scratch builds bit for
+/// bit.
+#[test]
+fn batched_scan_matches_per_candidate_and_full() {
+    let platform = Platform::default();
+    let mut total_feasible = 0usize;
+    for (name, program) in prem::kernels::all_small() {
+        let tree = LoopTree::build(&program).unwrap();
+        let comp = chain_component(&tree, &program);
+        let cost = AnalyticCost::new(&program);
+        let model = cost.exec_model(&comp);
+        let mut rng = SplitMix(0xba7c_4ed0 ^ name.len() as u64);
+        let mut assignments = nondominated_thread_groups(&comp, platform.cores);
+        assignments.truncate(2);
+        for r in &assignments {
+            let depth = comp.depth();
+            let candidates: Vec<Vec<i64>> = (0..depth)
+                .map(|j| select_tile_sizes(&comp, j, r[j]))
+                .collect();
+            let base = Solution {
+                k: candidates.iter().map(|c| rng.pick(c)).collect(),
+                r: r.clone(),
+            };
+            for (j, cands) in candidates.iter().enumerate() {
+                let Some(mut delta) = CoordinateDelta::new(&comp, &base, j, platform.cores) else {
+                    continue;
+                };
+                total_feasible += check_scan(
+                    name,
+                    &comp,
+                    &mut delta,
+                    &base,
+                    cands,
+                    &model,
+                    platform.cores,
+                );
+            }
+        }
+    }
+    assert!(
+        total_feasible > 0,
+        "scans never exercised a feasible rebuild"
+    );
+}
+
 /// Huge-extent levels must not overflow the last-tile bound: with
 /// `count = i64::MAX` and `K = 2^62` the final tile's upper index
 /// `(t + 1)·K − 1` exceeds `i64::MAX` before the `min(count − 1)` clamp.
@@ -295,4 +402,154 @@ fn huge_extent_level_does_not_overflow_tile_bounds() {
         probe.k[1] = kj;
         check_pair("huge", &comp, &mut delta, &probe, &model, cores);
     }
+}
+
+/// A frozen-level context past the dense `DELTA_CELL_CAP` (the product of
+/// the two frozen levels' tile counts times the per-tile cell count tops
+/// 1.5 M interval cells) must no longer decline construction: the delta
+/// switches to the rank-reduced per-level tables and every batched result —
+/// the segment-cap truncated prefix and the feasible tail alike — stays
+/// bitwise identical to the per-candidate rebuilds and the from-scratch
+/// builds.
+#[test]
+fn over_cap_context_stays_incremental() {
+    use prem::ir::{AssignKind, ElemType, Expr, IdxExpr, ProgramBuilder};
+    let (ni, nj, nk) = (1024i64, 512, 64);
+    let mut b = ProgramBuilder::new("overcap");
+    let arrays: Vec<_> = (0..4)
+        .map(|a| b.array(format!("A{a}"), vec![ni, nj, nk], ElemType::F32))
+        .collect();
+    let i = b.begin_loop("i", 0, 1, ni);
+    let j = b.begin_loop("j", 0, 1, nj);
+    let k = b.begin_loop("k", 0, 1, nk);
+    for &a in &arrays {
+        b.stmt(
+            a,
+            vec![IdxExpr::var(i), IdxExpr::var(j), IdxExpr::var(k)],
+            AssignKind::Assign,
+            Expr::Const(1.0),
+        );
+    }
+    b.end_loop();
+    b.end_loop();
+    b.end_loop();
+    let program = b.finish();
+    let tree = LoopTree::build(&program).unwrap();
+    let comp = chain_component(&tree, &program);
+    let cost = AnalyticCost::new(&program);
+    let model = cost.exec_model(&comp);
+    let cores = 2usize;
+
+    // K = [2, 2, ·] freezes 512 × 256 = 2^17 reduced tiles (exactly the
+    // segment cap) × 12 cells each — over the dense cap, under the rank cap.
+    let base = Solution {
+        k: vec![2, 2, 8],
+        r: vec![1, 1, 1],
+    };
+    let mut delta = CoordinateDelta::new(&comp, &base, 2, cores)
+        .expect("over-cap context must stay incremental (rank-reduced)");
+    // Ascending scan: all of K_k < 64 push the total tile count past the
+    // segment cap (truncated without walking a tile); K_k = 64 is feasible.
+    let feasible = check_scan(
+        "overcap",
+        &comp,
+        &mut delta,
+        &base,
+        &[1, 2, 8, 32, 64],
+        &model,
+        cores,
+    );
+    assert_eq!(feasible, 1, "exactly K_k = 64 fits the segment cap");
+}
+
+/// Acceptance A/B: the batched landscape path must produce bitwise-identical
+/// selections and makespans on every kernel × 3 bus speeds — under the
+/// adaptive controller (whose curvature windows then consume precomputed
+/// points) — while actually serving scans batched and never declining a
+/// delta context.
+#[test]
+fn batched_search_is_bitwise_identical_on_every_kernel() {
+    for (name, program) in prem::kernels::all_small() {
+        let tree = LoopTree::build(&program).unwrap();
+        let comp = chain_component(&tree, &program);
+        let cost = AnalyticCost::new(&program);
+        let model = cost.exec_model(&comp);
+        for bus in [16.0, 1.0, 1.0 / 16.0] {
+            let platform = Platform::default()
+                .with_spm_bytes(32 * 1024)
+                .with_bus_gbytes(bus);
+            let opts = OptimizerOptions {
+                adaptive: true,
+                ..OptimizerOptions::default()
+            };
+            let off = optimize_component(&comp, &platform, &model, &opts).expect("feasible");
+            let on = optimize_component(
+                &comp,
+                &platform,
+                &model,
+                &OptimizerOptions {
+                    batched: true,
+                    ..opts.clone()
+                },
+            )
+            .expect("feasible");
+            assert_eq!(
+                off.solution, on.solution,
+                "{name} @ bus {bus}: batched path changed the selection"
+            );
+            assert_eq!(
+                off.result.makespan_ns.to_bits(),
+                on.result.makespan_ns.to_bits(),
+                "{name} @ bus {bus}: batched path changed the makespan"
+            );
+            assert!(
+                on.telemetry.batched_scans > 0,
+                "{name} @ bus {bus}: no scan was served batched"
+            );
+            assert_eq!(
+                on.telemetry.delta_declines, 0,
+                "{name} @ bus {bus}: a delta context declined"
+            );
+            assert_eq!(off.telemetry.batched_scans, 0);
+        }
+    }
+}
+
+/// `batched` without `incremental` must fall back silently: identical
+/// selection, makespan bits and evaluation counts as the plain
+/// non-incremental run, with no scan served batched.
+#[test]
+fn batched_requires_incremental_and_falls_back() {
+    let (name, program) = prem::kernels::all_small().remove(0);
+    let tree = LoopTree::build(&program).unwrap();
+    let comp = chain_component(&tree, &program);
+    let cost = AnalyticCost::new(&program);
+    let model = cost.exec_model(&comp);
+    let platform = Platform::default().with_spm_bytes(32 * 1024);
+    let plain = OptimizerOptions {
+        incremental: false,
+        ..OptimizerOptions::default()
+    };
+    let a = optimize_component(&comp, &platform, &model, &plain).expect("feasible");
+    let b = optimize_component(
+        &comp,
+        &platform,
+        &model,
+        &OptimizerOptions {
+            batched: true,
+            ..plain.clone()
+        },
+    )
+    .expect("feasible");
+    assert_eq!(
+        a.solution, b.solution,
+        "{name}: fallback changed the winner"
+    );
+    assert_eq!(
+        a.result.makespan_ns.to_bits(),
+        b.result.makespan_ns.to_bits()
+    );
+    assert_eq!(a.evals(), b.evals(), "{name}: fallback changed the search");
+    assert_eq!(b.telemetry.batched_scans, 0);
+    assert_eq!(b.telemetry.incremental_rebuilds, 0);
 }
