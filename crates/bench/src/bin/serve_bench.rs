@@ -1,0 +1,218 @@
+//! Replay load driver for `prem-serve`.
+//!
+//! Starts an in-process server on an ephemeral port and fires a mixed-kernel
+//! request stream at it from many concurrent client threads: the five
+//! bundled kernels across several platform points, plus a matvec kernel
+//! submitted as frontend source. The first wave is `concurrency` identical
+//! requests released through a barrier, so request coalescing is exercised
+//! (and asserted) rather than hoped for.
+//!
+//! Checks (the bench fails loudly rather than record garbage):
+//!
+//! - every response is a 200 — zero errors, timeouts or caught panics;
+//! - the coalesced first wave returns byte-identical bodies, whose
+//!   deterministic `result` object matches an uncoalesced baseline computed
+//!   by a separate server instance;
+//! - the server's `coalesced` counter is positive and `computed` stays at
+//!   the number of distinct request bodies.
+//!
+//! Writes `serve_bench.json` (throughput, p50/p95/p99 latency, coalescing
+//! and cache counters) into the results directory; `scripts/check.sh
+//! --bench-snapshot` condenses it into `BENCH_serve.json`.
+//!
+//! Modes: full (2000 requests, 64 clients), `--quick` (1200 / 32),
+//! `--smoke` (160 / 16).
+
+use prem_bench::{new_report, write_report, RunMode};
+use prem_obs::Json;
+use prem_serve::{client, Server, ServerConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+
+/// The distinct request bodies of the mixed workload.
+fn request_bodies() -> Vec<String> {
+    let mut bodies = Vec::new();
+    let platforms = [
+        String::new(),
+        ",\"platform\":{\"spm_kib\":64}".to_string(),
+        ",\"platform\":{\"bus_gbytes\":8}".to_string(),
+        ",\"platform\":{\"cores\":4,\"bus_gbytes\":4}".to_string(),
+    ];
+    for name in prem_serve::api::builtin_names() {
+        for p in &platforms {
+            bodies.push(format!("{{\"kernel\":{{\"builtin\":\"{name}\"}}{p}}}"));
+        }
+    }
+    let matvec = "double a[N][N]; double b[N]; double c[N]; \
+                  for (int i = 0; i < N; i++) { c[i] = 0.0; \
+                  for (int j = 0; j < N; j++) { c[i] = c[i] + a[i][j] * b[j]; } }";
+    for n in [64, 96] {
+        bodies.push(format!(
+            "{{\"kernel\":{{\"source\":\"{matvec}\",\"name\":\"matvec\",\"params\":{{\"N\":{n}}}}}}}"
+        ));
+    }
+    bodies
+}
+
+/// Extracts the deterministic `result` object out of a response body.
+fn result_part(body: &str) -> &str {
+    let start = body.find("\"result\":").map(|i| i + "\"result\":".len());
+    let end = body.find(",\"telemetry\":");
+    match (start, end) {
+        (Some(s), Some(e)) if s < e => &body[s..e],
+        _ => body,
+    }
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+fn stat(stats: &Json, key: &str) -> f64 {
+    stats.get(key).and_then(Json::as_f64).unwrap_or(-1.0)
+}
+
+fn main() {
+    let mode = RunMode::from_args();
+    let (total, concurrency) = match mode {
+        RunMode::Full => (2000usize, 64usize),
+        RunMode::Quick => (1200, 32),
+        RunMode::Smoke => (160, 16),
+    };
+    let bodies = request_bodies();
+    println!(
+        "serve_bench [{}]: {total} requests, {concurrency} clients, {} distinct bodies",
+        mode.as_str(),
+        bodies.len()
+    );
+
+    // Uncoalesced baseline from a throwaway server: the deterministic
+    // `result` object the coalesced wave must reproduce bit-for-bit.
+    let baseline = {
+        let server = Server::start(ServerConfig::default()).expect("bind baseline server");
+        let resp = client::post(server.addr(), "/optimize", &bodies[0]).expect("baseline request");
+        assert_eq!(resp.status, 200, "baseline failed: {}", resp.body);
+        server.shutdown();
+        resp.body
+    };
+
+    let cfg = ServerConfig {
+        workers: concurrency,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(cfg).expect("bind load server");
+    let addr = server.addr();
+
+    // Requests 0..concurrency are identical (body 0) and barrier-released;
+    // the tail round-robins over the whole mix.
+    let next = AtomicUsize::new(0);
+    let barrier = Barrier::new(concurrency);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(total));
+    let first_wave: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..concurrency {
+            s.spawn(|| {
+                let mut my_lat = Vec::new();
+                barrier.wait();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let body = &bodies[if i < concurrency { 0 } else { i % bodies.len() }];
+                    let t = Instant::now();
+                    match client::post(addr, "/optimize", body) {
+                        Ok(resp) => {
+                            my_lat.push(t.elapsed().as_secs_f64() * 1e3);
+                            if resp.status != 200 {
+                                failures
+                                    .lock()
+                                    .unwrap()
+                                    .push(format!("request {i}: status {}", resp.status));
+                            } else if i < concurrency {
+                                first_wave.lock().unwrap().push(resp.body);
+                            }
+                        }
+                        Err(e) => failures.lock().unwrap().push(format!("request {i}: {e}")),
+                    }
+                }
+                latencies.lock().unwrap().extend(my_lat);
+            });
+        }
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let failures = failures.into_inner().unwrap();
+    assert!(failures.is_empty(), "non-200 responses: {failures:?}");
+    let first_wave = first_wave.into_inner().unwrap();
+    assert_eq!(first_wave.len(), concurrency, "first wave lost responses");
+    for body in &first_wave {
+        assert_eq!(
+            body, &first_wave[0],
+            "coalesced wave returned diverging bodies"
+        );
+    }
+    assert_eq!(
+        result_part(&first_wave[0]),
+        result_part(&baseline),
+        "coalesced result differs from the uncoalesced baseline"
+    );
+
+    let stats_resp = client::get(addr, "/stats").expect("stats");
+    let stats = Json::parse(&stats_resp.body).expect("stats parse");
+    server.shutdown();
+
+    let computed = stat(&stats, "computed");
+    let coalesced = stat(&stats, "coalesced");
+    let cache_hits = stat(&stats, "response_cache_hits");
+    assert_eq!(stat(&stats, "panics"), 0.0, "server caught panics");
+    assert_eq!(stat(&stats, "timeouts"), 0.0, "requests timed out");
+    assert_eq!(stat(&stats, "errors"), 0.0, "server counted errors");
+    assert!(coalesced > 0.0, "no coalescing despite the identical wave");
+    assert!(
+        computed <= bodies.len() as f64,
+        "recomputed a cached request: computed={computed}, distinct={}",
+        bodies.len()
+    );
+
+    let mut sorted = latencies.into_inner().unwrap();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p50 = percentile(&sorted, 50.0);
+    let p95 = percentile(&sorted, 95.0);
+    let p99 = percentile(&sorted, 99.0);
+    let throughput = total as f64 / wall_s;
+    println!(
+        "  {total} requests in {wall_s:.2}s = {throughput:.0} req/s; \
+         p50 {p50:.2}ms p95 {p95:.2}ms p99 {p99:.2}ms"
+    );
+    println!(
+        "  computed {computed:.0}, coalesced {coalesced:.0}, response-cache hits {cache_hits:.0}"
+    );
+
+    let mut report = new_report("serve_bench", mode);
+    report.set("total_requests", total);
+    report.set("concurrency", concurrency);
+    report.set("distinct_bodies", bodies.len());
+    report.set("wall_s", wall_s);
+    report.set("throughput_rps", throughput);
+    report.set("p50_ms", p50);
+    report.set("p95_ms", p95);
+    report.set("p99_ms", p99);
+    report.set("computed", computed);
+    report.set("coalesced", coalesced);
+    report.set("response_cache_hits", cache_hits);
+    report.set("errors", stat(&stats, "errors"));
+    report.set("timeouts", stat(&stats, "timeouts"));
+    report.set("panics", stat(&stats, "panics"));
+    if let Some(cache) = stats.get("analysis_cache") {
+        report.set("analysis_cache", cache.clone());
+    }
+    write_report(&report);
+}

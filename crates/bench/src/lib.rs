@@ -131,24 +131,24 @@ pub enum Strategy {
 
 /// Whether the benches run the heuristic with telemetry-driven adaptive
 /// search control (convergence-based early stopping, curvature-sized
-/// candidate windows). On by default; `PREM_ADAPTIVE=0` restores the
-/// fixed-constant PR 3 path, whose selections are bitwise reproducible —
-/// the switch exists for exactly that A/B.
+/// candidate windows). On by default; `PREM_ADAPTIVE=0` (or `false`/`off`/
+/// `no`) restores the fixed-constant PR 3 path, whose selections are bitwise
+/// reproducible — the switch exists for exactly that A/B. Parsed by
+/// [`prem_obs::env_flag`], which warns on unrecognized values instead of
+/// silently treating them as "on" the way the old `v != "0"` check did.
 pub fn adaptive_enabled() -> bool {
-    std::env::var("PREM_ADAPTIVE")
-        .map(|v| v != "0")
-        .unwrap_or(true)
+    prem_obs::env_flag("PREM_ADAPTIVE", true)
 }
 
 /// Whether the benches serve each single-coordinate scan from one batched
 /// landscape rebuild (`CoordinateDelta::rebuild_scan`) instead of
-/// per-candidate rebuilds. On by default; `PREM_BATCHED=0` restores the
-/// per-candidate path, whose selections and makespans are bitwise identical
-/// — the switch exists for exactly that A/B.
+/// per-candidate rebuilds. On by default; `PREM_BATCHED=0` (or `false`/
+/// `off`/`no`) restores the per-candidate path, whose selections and
+/// makespans are bitwise identical — the switch exists for exactly that
+/// A/B. Parsed by [`prem_obs::env_flag`], which warns on unrecognized
+/// values.
 pub fn batched_enabled() -> bool {
-    std::env::var("PREM_BATCHED")
-        .map(|v| v != "0")
-        .unwrap_or(true)
+    prem_obs::env_flag("PREM_BATCHED", true)
 }
 
 /// Runs one (kernel, platform, strategy) point.

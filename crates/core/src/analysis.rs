@@ -1423,12 +1423,14 @@ impl CoordinateDelta {
     }
 }
 
-/// True when `PREM_CHECK_HEAVY=1`: debug-build differential asserts sample
-/// densely (pre-PR-3 rates) instead of the cheap default.
+/// True when `PREM_CHECK_HEAVY` is enabled (default off): debug-build
+/// differential asserts sample densely (pre-PR-3 rates) instead of the
+/// cheap default. Parsed by the shared [`prem_obs::env_flag`] helper, which
+/// warns on unrecognized values.
 #[cfg(debug_assertions)]
 pub(crate) fn heavy_checks() -> bool {
     static HEAVY: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *HEAVY.get_or_init(|| std::env::var("PREM_CHECK_HEAVY").is_ok_and(|v| v == "1"))
+    *HEAVY.get_or_init(|| prem_obs::env_flag("PREM_CHECK_HEAVY", false))
 }
 
 /// One-shot fast-tier makespan of a solution: `+∞` when infeasible, else
@@ -1611,6 +1613,16 @@ impl Shard {
         weight: usize,
         budget: usize,
     ) -> (usize, bool) {
+        // Replace-in-place when the key is already resident: release the old
+        // slot's weight before admitting the new entry. Without this, a
+        // duplicate insert would overwrite the map index while the stale
+        // slot's weight stayed accounted forever — a leak that compounds on
+        // a long-lived cross-request cache. Both callers re-check occupancy
+        // under this same lock, so this is defense in depth rather than a
+        // reachable path today.
+        if let Some(&slot) = self.map.get(&key) {
+            self.evict_at(slot);
+        }
         let cand_freq = self.sketch.estimate(hash);
         let mut evicted = 0;
         while self.weight + weight > budget {
@@ -1687,6 +1699,23 @@ impl Shard {
         self.weight -= s.weight;
         self.free.push(i);
     }
+}
+
+/// Cross-check of the cache's incremental weight/entry accounting against a
+/// ground-truth recount of the resident slots. See [`AnalysisCache::audit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAudit {
+    /// Resident entries per the per-shard key maps.
+    pub entries: usize,
+    /// Total weight per the incrementally maintained per-shard counters —
+    /// what admission decisions are based on.
+    pub accounted_weight: usize,
+    /// Total weight recomputed by walking every resident slot.
+    pub recomputed_weight: usize,
+    /// True when, for every shard, the accounted weight equals the recounted
+    /// slot weight, the key map and slot arena agree entry-for-entry, and
+    /// the free list is consistent with the occupied slots.
+    pub consistent: bool,
 }
 
 /// Outcome of one [`AnalysisCache::get_or_build_with`] lookup.
@@ -1902,6 +1931,39 @@ impl AnalysisCache {
         (evicted, rejected)
     }
 
+    /// Recounts every resident slot and cross-checks the incrementally
+    /// maintained weight/entry accounting against it — the invariant the
+    /// concurrent miss-path hammer test pins. Takes each shard lock in turn,
+    /// so concurrent lookups may land between shards; run it quiesced when
+    /// exact totals matter.
+    pub fn audit(&self) -> CacheAudit {
+        let mut audit = CacheAudit {
+            entries: 0,
+            accounted_weight: 0,
+            recomputed_weight: 0,
+            consistent: true,
+        };
+        for shard in &self.shards {
+            let s = shard.lock().unwrap();
+            let occupied: Vec<(usize, &ShardSlot)> = s
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, slot)| slot.as_ref().map(|sl| (i, sl)))
+                .collect();
+            let recounted: usize = occupied.iter().map(|(_, sl)| sl.weight).sum();
+            audit.entries += s.map.len();
+            audit.accounted_weight += s.weight;
+            audit.recomputed_weight += recounted;
+            let maps_agree = s.map.len() == occupied.len()
+                && occupied.iter().all(|(i, sl)| s.map.get(&sl.key) == Some(i));
+            let free_consistent = s.free.len() + occupied.len() == s.slots.len()
+                && s.free.iter().all(|&i| s.slots[i].is_none());
+            audit.consistent &= s.weight == recounted && maps_agree && free_consistent;
+        }
+        audit
+    }
+
     /// [`AnalysisCache::get_or_build_with`] with the default from-scratch
     /// build. The second element is `true` when the result came from the
     /// cache.
@@ -1992,6 +2054,23 @@ mod tests {
         );
         // The freelist recycles slots instead of growing the arena forever.
         assert!(shard.slots.len() <= 4);
+    }
+
+    #[test]
+    fn duplicate_insert_replaces_without_leaking_weight() {
+        let mut shard = Shard::default();
+        let key = key_for(1);
+        let h = hash_of(&key);
+        shard.insert(key.clone(), h, feasible_entry(), 3, usize::MAX);
+        assert_eq!(shard.weight, 3);
+        // Inserting the same key again must release the old slot's weight,
+        // not strand it behind the overwritten map index.
+        shard.insert(key.clone(), h, feasible_entry(), 5, usize::MAX);
+        assert_eq!(shard.map.len(), 1);
+        assert_eq!(shard.weight, 5);
+        let resident: usize = shard.slots.iter().flatten().map(|s| s.weight).sum();
+        assert_eq!(shard.weight, resident);
+        assert!(shard.get(&key, h).is_some());
     }
 
     #[test]

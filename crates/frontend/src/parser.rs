@@ -9,6 +9,25 @@ use prem_ir::{AssignKind, BinOp, CmpOp, Cond, ElemType, Expr, IdxExpr, Program, 
 use std::collections::HashMap;
 use std::fmt;
 
+// The parser is a hardened API boundary (kernels arrive over the network in
+// `prem-serve`), so every quantity it folds into the IR is bounded *before*
+// the arithmetic that could overflow, and every recursion is depth-capped.
+// Violations are `ParseError`s — `parse_kernel` never panics.
+
+/// Bound on any coefficient or constant term of a parsed affine expression
+/// (and on integer literals / named parameters).
+const MAX_AFFINE: i64 = 1 << 40;
+/// Bound on a single loop's iteration count.
+const MAX_LOOP_COUNT: i64 = 1 << 24;
+/// Bound on the iteration-space product of an open loop nest.
+const MAX_TOTAL_ITERS: i64 = 1 << 40;
+/// Bound on `for`/`if` statement nesting depth.
+const MAX_NESTING: usize = 64;
+/// Bound on expression nesting depth (parentheses, unary minus, calls).
+const MAX_EXPR_DEPTH: usize = 256;
+/// Bound on the element count of one declared array.
+const MAX_ARRAY_ELEMS: i64 = 1 << 32;
+
 /// Parse error with position.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
@@ -78,6 +97,9 @@ pub fn parse_kernel(
         params: params.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
         arrays: HashMap::new(),
         loops: HashMap::new(),
+        nesting: 0,
+        expr_depth: 0,
+        open_iters: 1,
     };
     p.parse_program()?;
     Ok(p.builder.finish())
@@ -88,9 +110,18 @@ struct Parser {
     pos: usize,
     builder: ProgramBuilder,
     params: HashMap<String, i64>,
-    arrays: HashMap<String, usize>,
+    /// Declared arrays: name → (id, dimension count).
+    arrays: HashMap<String, (usize, usize)>,
     /// Open loop variables: name → loop id.
     loops: HashMap<String, usize>,
+    /// Current `for`/`if` nesting depth (capped at [`MAX_NESTING`]).
+    nesting: usize,
+    /// Current expression recursion depth (capped at [`MAX_EXPR_DEPTH`]).
+    expr_depth: usize,
+    /// Product of the iteration counts of all open loops (capped at
+    /// [`MAX_TOTAL_ITERS`], so downstream `u64` instance-count products
+    /// cannot overflow).
+    open_iters: i64,
 }
 
 /// Parsed arithmetic value: affine in loop variables, or a floating constant.
@@ -188,16 +219,32 @@ impl Parser {
         self.bump(); // type
         loop {
             let name = self.expect_ident()?;
+            if self.arrays.contains_key(&name) {
+                return self.err(format!("array `{name}` is declared twice"));
+            }
             let mut dims = Vec::new();
+            let mut elems = 1i64;
             while self.eat_punct("[") {
-                dims.push(self.parse_const_expr()?);
+                let d = self.parse_const_expr()?;
+                if d < 1 {
+                    return self.err(format!("array `{name}` has non-positive dimension {d}"));
+                }
+                elems = match elems.checked_mul(d) {
+                    Some(e) if e <= MAX_ARRAY_ELEMS => e,
+                    _ => {
+                        return self
+                            .err(format!("array `{name}` exceeds {MAX_ARRAY_ELEMS} elements"))
+                    }
+                };
+                dims.push(d);
                 self.expect_punct("]")?;
             }
             if dims.is_empty() {
                 return self.err(format!("array `{name}` needs at least one dimension"));
             }
+            let ndims = dims.len();
             let id = self.builder.array(&name, dims, elem);
-            self.arrays.insert(name, id);
+            self.arrays.insert(name, (id, ndims));
             if self.eat_punct(",") {
                 continue;
             }
@@ -217,13 +264,21 @@ impl Parser {
     }
 
     fn parse_item(&mut self) -> Result<(), ParseError> {
-        if self.eat_ident("for") {
-            return self.parse_for();
+        self.nesting += 1;
+        if self.nesting > MAX_NESTING {
+            return self.err(format!(
+                "statements nest deeper than the supported {MAX_NESTING} levels"
+            ));
         }
-        if self.eat_ident("if") {
-            return self.parse_if();
-        }
-        self.parse_assign()
+        let r = if self.eat_ident("for") {
+            self.parse_for()
+        } else if self.eat_ident("if") {
+            self.parse_if()
+        } else {
+            self.parse_assign()
+        };
+        self.nesting -= 1;
+        r
     }
 
     fn parse_block(&mut self) -> Result<(), ParseError> {
@@ -277,11 +332,29 @@ impl Parser {
         };
         self.expect_punct(")")?;
 
+        // `begin`, `bound` and `stride` came through `parse_const_expr`, so
+        // their magnitudes are bounded by `MAX_AFFINE` and none of the
+        // arithmetic below can overflow.
         let last = if strict { bound - 1 } else { bound };
         if last < begin {
             return self.err("loop executes zero iterations");
         }
         let count = (last - begin) / stride + 1;
+        if count > MAX_LOOP_COUNT {
+            return self.err(format!(
+                "loop `{var}` runs {count} iterations (max {MAX_LOOP_COUNT})"
+            ));
+        }
+        let total = match self.open_iters.checked_mul(count) {
+            Some(t) if t <= MAX_TOTAL_ITERS => t,
+            _ => {
+                return self.err(format!(
+                    "loop nest iteration space exceeds {MAX_TOTAL_ITERS} instances"
+                ))
+            }
+        };
+        let saved_iters = self.open_iters;
+        self.open_iters = total;
         let id = self.builder.begin_loop(&var, begin, stride, count);
         let shadowed = self.loops.insert(var.clone(), id);
         self.parse_block()?;
@@ -293,6 +366,7 @@ impl Parser {
                 self.loops.remove(&var);
             }
         }
+        self.open_iters = saved_iters;
         self.builder.end_loop();
         Ok(())
     }
@@ -330,13 +404,19 @@ impl Parser {
 
     fn parse_assign(&mut self) -> Result<(), ParseError> {
         let name = self.expect_ident()?;
-        let Some(&array) = self.arrays.get(&name) else {
+        let Some(&(array, ndims)) = self.arrays.get(&name) else {
             return self.err(format!("unknown array `{name}`"));
         };
         let mut indices = Vec::new();
         while self.eat_punct("[") {
             indices.push(self.parse_affine()?);
             self.expect_punct("]")?;
+        }
+        if indices.len() != ndims {
+            return self.err(format!(
+                "array `{name}` has {ndims} dimensions but {} indices",
+                indices.len()
+            ));
         }
         let kind = if self.eat_punct("=") {
             AssignKind::Assign
@@ -399,19 +479,46 @@ impl Parser {
         Ok(lhs)
     }
 
+    /// Checks every coefficient of an affine result against [`MAX_AFFINE`].
+    /// Inputs are bounded by induction, so sums reach at most `2^41` and
+    /// never overflow before this check runs; products are pre-checked with
+    /// `checked_mul` in [`Parser::combine`].
+    fn bounded_affine(&self, e: IdxExpr) -> Result<Val, ParseError> {
+        let ok = (-MAX_AFFINE..=MAX_AFFINE).contains(&e.constant_term())
+            && e.terms()
+                .all(|(_, c)| (-MAX_AFFINE..=MAX_AFFINE).contains(&c));
+        if ok {
+            Ok(Val::Affine(e))
+        } else {
+            self.err(format!(
+                "affine expression coefficients exceed the supported magnitude {MAX_AFFINE}"
+            ))
+        }
+    }
+
     fn combine(&self, a: Val, b: Val, op: char) -> Result<Val, ParseError> {
         use Val::*;
         match (a, b, op) {
-            (Affine(x), Affine(y), '+') => Ok(Affine(x.add(&y))),
-            (Affine(x), Affine(y), '-') => Ok(Affine(x.sub(&y))),
+            (Affine(x), Affine(y), '+') => self.bounded_affine(x.add(&y)),
+            (Affine(x), Affine(y), '-') => self.bounded_affine(x.sub(&y)),
             (Affine(x), Affine(y), '*') => {
-                if y.is_constant() {
-                    Ok(Affine(x.scale(y.constant_term())))
+                let (e, k) = if y.is_constant() {
+                    (x, y.constant_term())
                 } else if x.is_constant() {
-                    Ok(Affine(y.scale(x.constant_term())))
+                    (y, x.constant_term())
                 } else {
-                    self.err("product of two loop variables is not affine")
+                    return self.err("product of two loop variables is not affine");
+                };
+                let in_range = |v: i64| (-MAX_AFFINE..=MAX_AFFINE).contains(&v);
+                let fits = e.constant_term().checked_mul(k).is_some_and(in_range)
+                    && e.terms()
+                        .all(|(_, c)| c.checked_mul(k).is_some_and(in_range));
+                if !fits {
+                    return self.err(format!(
+                        "affine expression coefficients exceed the supported magnitude {MAX_AFFINE}"
+                    ));
                 }
+                Ok(Affine(e.scale(k)))
             }
             (Affine(x), Affine(y), '/') => {
                 if y.is_constant() && x.is_constant() && y.constant_term() != 0 {
@@ -438,6 +545,18 @@ impl Parser {
     }
 
     fn parse_factor(&mut self, affine_ctx: bool) -> Result<Val, ParseError> {
+        self.expr_depth += 1;
+        if self.expr_depth > MAX_EXPR_DEPTH {
+            return self.err(format!(
+                "expression nests deeper than the supported {MAX_EXPR_DEPTH} levels"
+            ));
+        }
+        let r = self.parse_factor_inner(affine_ctx);
+        self.expr_depth -= 1;
+        r
+    }
+
+    fn parse_factor_inner(&mut self, affine_ctx: bool) -> Result<Val, ParseError> {
         if self.eat_punct("(") {
             let v = self.parse_value(affine_ctx)?;
             self.expect_punct(")")?;
@@ -454,6 +573,11 @@ impl Parser {
         match self.peek().kind.clone() {
             TokenKind::Int(v) => {
                 self.bump();
+                if !(-MAX_AFFINE..=MAX_AFFINE).contains(&v) {
+                    return self.err(format!(
+                        "integer literal {v} exceeds the supported magnitude {MAX_AFFINE}"
+                    ));
+                }
                 Ok(Val::Affine(IdxExpr::constant(v)))
             }
             TokenKind::Float(v) => {
@@ -483,9 +607,14 @@ impl Parser {
                     return Ok(Val::Affine(IdxExpr::var(id)));
                 }
                 if let Some(&v) = self.params.get(&name) {
+                    if !(-MAX_AFFINE..=MAX_AFFINE).contains(&v) {
+                        return self.err(format!(
+                            "parameter `{name}` value {v} exceeds the supported magnitude"
+                        ));
+                    }
                     return Ok(Val::Affine(IdxExpr::constant(v)));
                 }
-                if let Some(&array) = self.arrays.get(&name) {
+                if let Some(&(array, ndims)) = self.arrays.get(&name) {
                     if affine_ctx {
                         return self.err(format!(
                             "array `{name}` cannot appear in an affine expression"
@@ -498,6 +627,12 @@ impl Parser {
                     }
                     if indices.is_empty() {
                         return self.err(format!("array `{name}` used without indices"));
+                    }
+                    if indices.len() != ndims {
+                        return self.err(format!(
+                            "array `{name}` has {ndims} dimensions but {} indices",
+                            indices.len()
+                        ));
                     }
                     return Ok(Val::Data(Expr::load(array, indices)));
                 }
@@ -613,6 +748,111 @@ mod tests {
     fn rejects_unknown_identifier() {
         let e = parse_kernel("bad", "float a[4]; a[zz] = 0.0;", &[]).unwrap_err();
         assert!(e.message.contains("unknown identifier"));
+    }
+
+    /// The parser is a network-facing boundary in `prem-serve`: every
+    /// malformed input must come back as a `ParseError`, never a panic.
+    #[test]
+    fn malformed_inputs_error_instead_of_panicking() {
+        type Case = (&'static str, String, Vec<(&'static str, i64)>);
+        let cases: Vec<Case> = vec![
+            ("truncated for", "float a[4]; for (int i = 0".into(), vec![]),
+            ("junk bytes", "float a[4]; ∆∆ a[0] = 1;".into(), vec![]),
+            ("unknown param", "float a[4]; a[N] = 0.0;".into(), vec![]),
+            (
+                "overflowing literal",
+                "float a[4]; for (int i = 0; i < 9223372036854775807; i++) a[i] = 0.0;".into(),
+                vec![],
+            ),
+            (
+                "overflowing param",
+                "float a[4]; for (int i = 0; i < N; i++) a[i] = 0.0;".into(),
+                vec![("N", i64::MAX)],
+            ),
+            (
+                "coefficient overflow",
+                "float a[4]; for (int i = 0; i < 4; i++) \
+                 a[i * 1099511627776 * 1099511627776] = 0.0;"
+                    .into(),
+                vec![],
+            ),
+            ("zero dimension", "float a[0]; a[0] = 0.0;".into(), vec![]),
+            (
+                "huge array",
+                "float a[100000][100000][100000]; a[0][0][0] = 0.0;".into(),
+                vec![],
+            ),
+            (
+                "duplicate array",
+                "float a[4]; float a[8]; a[0] = 0.0;".into(),
+                vec![],
+            ),
+            (
+                "index arity mismatch",
+                "float a[4][4]; a[1] = 0.0;".into(),
+                vec![],
+            ),
+            (
+                "huge loop nest",
+                "float a[4]; \
+                 for (int i = 0; i < 16000000; i++) \
+                 for (int j = 0; j < 16000000; j++) \
+                 for (int k = 0; k < 16000000; k++) a[0] = 0.0;"
+                    .into(),
+                vec![],
+            ),
+            (
+                "deep statement nesting",
+                {
+                    let mut s = String::from("float a[4]; ");
+                    for i in 0..100 {
+                        s.push_str(&format!("for (int i{i} = 0; i{i} < 2; i{i}++) {{ "));
+                    }
+                    s.push_str("a[0] = 0.0; ");
+                    s.push_str(&"} ".repeat(100));
+                    s
+                },
+                vec![],
+            ),
+            (
+                "deep expression nesting",
+                format!(
+                    "float a[4]; a[0] = {}1.0{};",
+                    "(".repeat(5000),
+                    ")".repeat(5000)
+                ),
+                vec![],
+            ),
+            (
+                "deep unary minus",
+                format!("float a[4]; a[0] = {}1.0;", "-".repeat(5000)),
+                vec![],
+            ),
+        ];
+        for (what, src, params) in cases {
+            let r = parse_kernel("bad", &src, &params);
+            assert!(r.is_err(), "{what}: expected a parse error");
+        }
+    }
+
+    #[test]
+    fn nesting_caps_do_not_reject_real_kernels() {
+        // 32 nested loops with matching 32-dim array: well inside the caps.
+        let mut s = String::from("float a");
+        for _ in 0..32 {
+            s.push_str("[2]");
+        }
+        s.push_str("; ");
+        for i in 0..32 {
+            s.push_str(&format!("for (int i{i} = 0; i{i} < 2; i{i}++) "));
+        }
+        s.push('a');
+        for i in 0..32 {
+            s.push_str(&format!("[i{i}]"));
+        }
+        s.push_str(" = 1.0;");
+        let p = parse_kernel("deep_ok", &s, &[]).unwrap();
+        assert_eq!(p.loop_count, 32);
     }
 
     #[test]

@@ -16,17 +16,21 @@
 //!   convergence curves;
 //! * [`report`] — machine-readable run reports the bench binaries write
 //!   under `results/`, plus [`phase::PhaseTimings`] for wall-clock per
-//!   compile-pipeline phase.
+//!   compile-pipeline phase;
+//! * [`env`] — centralized parsing of the `PREM_*` environment overrides,
+//!   warning loudly on invalid values instead of silently ignoring them.
 
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod env;
 pub mod json;
 pub mod phase;
 pub mod report;
 pub mod telemetry;
 
 pub use chrome::{ChromeTrace, TraceSpan};
+pub use env::{env_flag, env_u64};
 pub use json::{Json, JsonError};
 pub use phase::{PhaseTimings, Stopwatch};
 pub use report::RunReport;

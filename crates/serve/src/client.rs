@@ -1,0 +1,108 @@
+//! Minimal blocking HTTP/1.1 client — enough for the integration tests, the
+//! load driver, and the binary's `--smoke` mode. One request per connection,
+//! mirroring the server's `Connection: close` contract.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Lower-cased header names with trimmed values.
+    pub headers: Vec<(String, String)>,
+    /// Response body (the server always sends UTF-8 JSON).
+    pub body: String,
+}
+
+impl Response {
+    /// First header value matching `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn bad(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Sends one request and reads the full response.
+///
+/// # Errors
+///
+/// Propagates socket errors; malformed responses surface as `InvalidData`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(120)))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: prem-serve\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw).map_err(|_| bad("response is not UTF-8"))?;
+    let (head, rest) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("response has no header/body separator"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("bad status line {status_line:?}")))?;
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().ok();
+            }
+            headers.push((name, value));
+        }
+    }
+    let body = match content_length {
+        Some(n) if n <= rest.len() => rest[..n].to_string(),
+        _ => rest.to_string(),
+    };
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// `POST path` with a JSON body.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<Response> {
+    request(addr, "POST", path, body)
+}
+
+/// `GET path`.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<Response> {
+    request(addr, "GET", path, "")
+}

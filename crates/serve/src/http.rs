@@ -1,0 +1,260 @@
+//! Minimal, bounded HTTP/1.1 message handling over `std` I/O.
+//!
+//! The server is hermetic (no registry dependencies), so the protocol layer
+//! is hand-rolled — but deliberately tiny: one request per connection,
+//! `Connection: close`, `Content-Length` bodies only. Everything is bounded:
+//! header blocks are capped at [`MAX_HEAD_BYTES`], bodies at the limit the
+//! caller passes, and malformed framing surfaces as a structured
+//! [`HttpError`] rather than a panic or an unbounded read.
+
+use std::io::Read;
+use std::io::Write;
+
+/// Hard cap on the request-line + headers block.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed (bounded) HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, verbatim (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target, verbatim (`/optimize`).
+    pub target: String,
+    /// Raw body bytes (exactly `Content-Length` of them).
+    pub body: Vec<u8>,
+}
+
+/// A protocol-level failure with the status code it should be reported as.
+#[derive(Debug)]
+pub struct HttpError {
+    /// HTTP status code (400, 413, 501, …).
+    pub status: u16,
+    /// Human-readable description, safe to echo back to the client.
+    pub message: String,
+}
+
+impl HttpError {
+    /// Builds an error with `status` and `message`.
+    pub fn new(status: u16, message: impl Into<String>) -> HttpError {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reads one request from `stream`, enforcing the header and body caps.
+///
+/// # Errors
+///
+/// Returns an [`HttpError`] carrying the status the failure should be
+/// reported as: 400 for framing/encoding problems, 413 when the declared
+/// body exceeds `max_body`, 501 for `Transfer-Encoding` bodies.
+pub fn read_request<R: Read>(stream: &mut R, max_body: usize) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_len = loop {
+        if let Some(pos) = head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::new(
+                431,
+                format!("request headers exceed {MAX_HEAD_BYTES} bytes"),
+            ));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| HttpError::new(400, format!("read failed: {e}")))?;
+        if n == 0 {
+            return Err(HttpError::new(
+                400,
+                "connection closed before headers ended",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_len])
+        .map_err(|_| HttpError::new(400, "headers are not valid UTF-8"))?
+        .to_string();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "empty request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "request line has no target"))?
+        .to_string();
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(
+            400,
+            format!("unsupported protocol version {version:?}"),
+        ));
+    }
+    let mut content_length: usize = 0;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::new(
+                400,
+                format!("malformed header line {line:?}"),
+            ));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "transfer-encoding" {
+            return Err(HttpError::new(
+                501,
+                "Transfer-Encoding bodies are not supported; send Content-Length",
+            ));
+        }
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::new(400, format!("bad Content-Length {value:?}")))?;
+        }
+    }
+    if content_length > max_body {
+        return Err(HttpError::new(
+            413,
+            format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        ));
+    }
+    let mut body = buf.split_off(head_len + 4);
+    if body.len() > content_length {
+        return Err(HttpError::new(
+            400,
+            "request carries more bytes than Content-Length declares",
+        ));
+    }
+    let remaining = content_length - body.len();
+    stream
+        .by_ref()
+        .take(remaining as u64)
+        .read_to_end(&mut body)
+        .map_err(|e| HttpError::new(400, format!("read failed mid-body: {e}")))?;
+    if body.len() != content_length {
+        return Err(HttpError::new(
+            400,
+            "connection closed before the declared body arrived",
+        ));
+    }
+    Ok(Request {
+        method,
+        target,
+        body,
+    })
+}
+
+/// Canonical reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        504 => "Gateway Timeout",
+        _ => "Status",
+    }
+}
+
+/// Writes a complete `Connection: close` JSON response.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()), 1 << 20)
+    }
+
+    #[test]
+    fn parses_simple_post() {
+        let r = parse("POST /optimize HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.target, "/optimize");
+        assert_eq!(r.body, b"abcd");
+    }
+
+    #[test]
+    fn get_without_body() {
+        let r = parse("GET /health HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn truncated_body_is_400() {
+        let e = parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nab").unwrap_err();
+        assert_eq!(e.status, 400);
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\n";
+        let e = read_request(&mut Cursor::new(raw.as_bytes().to_vec()), 10).unwrap_err();
+        assert_eq!(e.status, 413);
+    }
+
+    #[test]
+    fn chunked_encoding_is_501() {
+        let e = parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(e.status, 501);
+    }
+
+    #[test]
+    fn unbounded_headers_are_431() {
+        let raw = format!(
+            "GET / HTTP/1.1\r\nX-Junk: {}\r\n\r\n",
+            "a".repeat(64 * 1024)
+        );
+        let e = parse(&raw).unwrap_err();
+        assert_eq!(e.status, 431);
+    }
+
+    #[test]
+    fn garbage_request_line_is_400() {
+        assert_eq!(parse("\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse("GET\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(parse("GET / SPDY/9\r\n\r\n").unwrap_err().status, 400);
+    }
+}

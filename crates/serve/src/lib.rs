@@ -1,0 +1,537 @@
+//! Compilation-as-a-service: a long-lived PREM optimization server.
+//!
+//! [`Server`] listens on a TCP socket and serves the paper's optimizer
+//! ([`prem_core::optimize_app`]) over a hand-rolled, bounded HTTP/1.1 layer
+//! ([`http`]) — hermetic, `std`-only. The interesting parts live above the
+//! protocol:
+//!
+//! - **Hardened boundary** — every request is validated by [`api`] into a
+//!   structured error (400/413/422/…) instead of a panic; the per-connection
+//!   handler and every compute thread additionally run under
+//!   `catch_unwind`, so a pathological-but-parseable kernel that trips an
+//!   internal invariant becomes a 500 response, never an abort.
+//! - **Cross-request analysis cache** — one shared
+//!   [`prem_core::AnalysisCache`] spans all requests and kernels, so sweeps
+//!   that vary platform scalars hit the same structural memo the bench
+//!   harness exploits in-process.
+//! - **Request coalescing** — identical in-flight requests (by canonical
+//!   key, see [`api::parse_optimize_request`]) share one computation: one
+//!   leader computes, followers block on the result. Completed 200s land in
+//!   a bounded response cache so immediate repeats are served from memory.
+//! - **Bounded waits** — followers and leaders alike give up after the
+//!   request timeout with a 504 (the computation keeps running and still
+//!   populates the caches, so a retry picks the result up).
+//!
+//! Endpoints: `POST /optimize`, `GET /health`, `GET /stats`,
+//! `POST /shutdown`. See README for the request/response schema.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+
+use prem_core::{optimize_app_timed, AnalysisCache, LoopTree, OptimizerOptions};
+use prem_sim::SimCost;
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server construction parameters. `Default` reads the `PREM_SERVE_THREADS`
+/// and `PREM_SERVE_TIMEOUT_MS` environment overrides (via
+/// [`prem_obs::env_u64`], which warns on malformed values).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// How long a request waits for its (possibly coalesced) computation
+    /// before answering 504.
+    pub request_timeout: Duration,
+    /// Per-connection socket read/write timeout.
+    pub io_timeout: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// Completed-response cache capacity (entries, FIFO).
+    pub response_cache_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: prem_obs::env_u64("PREM_SERVE_THREADS", 4).clamp(1, 64) as usize,
+            request_timeout: Duration::from_millis(
+                prem_obs::env_u64("PREM_SERVE_TIMEOUT_MS", 30_000).max(1),
+            ),
+            io_timeout: Duration::from_secs(10),
+            max_body_bytes: 1 << 20,
+            response_cache_cap: 256,
+        }
+    }
+}
+
+/// A finished computation: HTTP status plus response body.
+#[derive(Debug)]
+struct Outcome {
+    status: u16,
+    body: String,
+}
+
+/// One in-flight computation; followers wait on `cv` until `done` is filled.
+struct InFlight {
+    done: Mutex<Option<Arc<Outcome>>>,
+    cv: Condvar,
+}
+
+impl InFlight {
+    fn new() -> InFlight {
+        InFlight {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Map plus FIFO insertion order backing [`ResponseCache`].
+type ResponseStore = (HashMap<String, Arc<String>>, VecDeque<String>);
+
+/// Bounded FIFO cache of completed 200 responses, keyed by canonical request.
+struct ResponseCache {
+    cap: usize,
+    inner: Mutex<ResponseStore>,
+}
+
+impl ResponseCache {
+    fn new(cap: usize) -> ResponseCache {
+        ResponseCache {
+            cap,
+            inner: Mutex::new((HashMap::new(), VecDeque::new())),
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<Arc<String>> {
+        self.inner.lock().unwrap().0.get(key).cloned()
+    }
+
+    fn put(&self, key: &str, body: Arc<String>) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let (map, order) = &mut *inner;
+        if map.contains_key(key) {
+            return;
+        }
+        map.insert(key.to_string(), body);
+        order.push_back(key.to_string());
+        while order.len() > self.cap {
+            if let Some(old) = order.pop_front() {
+                map.remove(&old);
+            }
+        }
+    }
+}
+
+/// Monotone request counters, all readable through `GET /stats`.
+#[derive(Default)]
+pub struct Stats {
+    /// Requests that parsed as HTTP (any endpoint).
+    pub requests: AtomicU64,
+    /// `/optimize` computations actually started (coalescing leaders).
+    pub computed: AtomicU64,
+    /// `/optimize` requests that joined an in-flight identical computation.
+    pub coalesced: AtomicU64,
+    /// `/optimize` requests served from the completed-response cache.
+    pub response_cache_hits: AtomicU64,
+    /// Non-200 responses (any endpoint, any cause).
+    pub errors: AtomicU64,
+    /// Requests that gave up waiting (504).
+    pub timeouts: AtomicU64,
+    /// Panics caught at the request/compute boundary (turned into 500s).
+    pub panics: AtomicU64,
+}
+
+impl Stats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Shared server state: caches, coalescing table, counters, shutdown flag.
+pub struct ServeState {
+    cfg: ServerConfig,
+    addr: SocketAddr,
+    analysis_cache: Arc<AnalysisCache>,
+    inflight: Mutex<HashMap<String, Arc<InFlight>>>,
+    response_cache: ResponseCache,
+    /// Request counters.
+    pub stats: Stats,
+    shutdown: AtomicBool,
+}
+
+impl ServeState {
+    /// The shared cross-request analysis cache.
+    pub fn analysis_cache(&self) -> &Arc<AnalysisCache> {
+        &self.analysis_cache
+    }
+
+    /// Renders the `/stats` body.
+    pub fn stats_body(&self) -> String {
+        use prem_obs::Json;
+        let s = &self.stats;
+        let inflight = self.inflight.lock().unwrap().len();
+        Json::obj::<&str, Json>([
+            (
+                "requests",
+                Json::from(s.requests.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "computed",
+                Json::from(s.computed.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "coalesced",
+                Json::from(s.coalesced.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "response_cache_hits",
+                Json::from(s.response_cache_hits.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "errors",
+                Json::from(s.errors.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "timeouts",
+                Json::from(s.timeouts.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "panics",
+                Json::from(s.panics.load(Ordering::Relaxed) as f64),
+            ),
+            ("inflight", Json::from(inflight)),
+            (
+                "analysis_cache",
+                Json::obj::<&str, Json>([
+                    ("entries", Json::from(self.analysis_cache.len())),
+                    ("weight", Json::from(self.analysis_cache.weight())),
+                    ("evictions", Json::from(self.analysis_cache.evictions())),
+                    (
+                        "admission_rejects",
+                        Json::from(self.analysis_cache.admission_rejects()),
+                    ),
+                ]),
+            ),
+        ])
+        .to_compact()
+    }
+}
+
+/// The computation a coalescing leader runs (off the worker thread).
+fn compute(state: &ServeState, req: &api::OptimizeRequest) -> Outcome {
+    let program = match api::build_program(req) {
+        Ok(p) => p,
+        Err(e) => {
+            return Outcome {
+                status: e.status,
+                body: api::error_body(e.status, &e.message),
+            }
+        }
+    };
+    let tree = match LoopTree::build(&program) {
+        Ok(t) => t,
+        Err(e) => {
+            return Outcome {
+                status: 422,
+                body: api::error_body(422, &format!("kernel does not lower: {e}")),
+            }
+        }
+    };
+    let cost = SimCost::new(&program);
+    let opts = OptimizerOptions {
+        analysis_cache: Some(state.analysis_cache.clone()),
+        ..req.options.clone()
+    };
+    let (outcome, phases) = optimize_app_timed(&tree, &program, &req.platform, &cost, &opts);
+    let generated = if outcome.makespan_ns.is_finite() && !outcome.components.is_empty() {
+        let emit: Vec<prem_codegen::EmitComponent> = outcome
+            .components
+            .iter()
+            .map(|c| prem_codegen::EmitComponent {
+                component: c.component.clone(),
+                solution: c.solution.clone(),
+            })
+            .collect();
+        match prem_codegen::emit_prem_c(&program, &emit, &req.platform) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                return Outcome {
+                    status: 500,
+                    body: api::error_body(500, &format!("code generation failed: {e}")),
+                }
+            }
+        }
+    } else {
+        None
+    };
+    Outcome {
+        status: 200,
+        body: api::response_body(&req.kernel_name, &outcome, generated, &phases),
+    }
+}
+
+/// Handles `POST /optimize`: cache probe, coalesce, compute, bounded wait.
+/// Returns `(status, body, cache_disposition)`; the disposition goes out in
+/// the `X-Prem-Cache` header so response *bodies* stay byte-identical across
+/// hit/miss/coalesced paths.
+fn optimize(state: &Arc<ServeState>, body: &str) -> (u16, String, &'static str) {
+    let req = match api::parse_optimize_request(body) {
+        Ok(r) => r,
+        Err(e) => return (e.status, api::error_body(e.status, &e.message), "reject"),
+    };
+    if let Some(hit) = state.response_cache.get(&req.canonical) {
+        Stats::bump(&state.stats.response_cache_hits);
+        return (200, hit.as_ref().clone(), "hit");
+    }
+    let (entry, leader) = {
+        let mut inflight = state.inflight.lock().unwrap();
+        match inflight.get(&req.canonical) {
+            Some(e) => (e.clone(), false),
+            None => {
+                let e = Arc::new(InFlight::new());
+                inflight.insert(req.canonical.clone(), e.clone());
+                (e.clone(), true)
+            }
+        }
+    };
+    if leader {
+        Stats::bump(&state.stats.computed);
+        let state2 = state.clone();
+        let entry2 = entry.clone();
+        let canonical = req.canonical.clone();
+        std::thread::spawn(move || {
+            let out = match catch_unwind(AssertUnwindSafe(|| compute(&state2, &req))) {
+                Ok(out) => out,
+                Err(_) => {
+                    Stats::bump(&state2.stats.panics);
+                    Outcome {
+                        status: 500,
+                        body: api::error_body(500, "optimization panicked; this is a server bug"),
+                    }
+                }
+            };
+            let out = Arc::new(out);
+            if out.status == 200 {
+                state2
+                    .response_cache
+                    .put(&canonical, Arc::new(out.body.clone()));
+            }
+            *entry2.done.lock().unwrap() = Some(out);
+            entry2.cv.notify_all();
+            state2.inflight.lock().unwrap().remove(&canonical);
+        });
+    } else {
+        Stats::bump(&state.stats.coalesced);
+    }
+    let deadline = Instant::now() + state.cfg.request_timeout;
+    let mut done = entry.done.lock().unwrap();
+    loop {
+        if let Some(out) = done.as_ref() {
+            let disposition = if leader { "miss" } else { "coalesced" };
+            return (out.status, out.body.clone(), disposition);
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            Stats::bump(&state.stats.timeouts);
+            return (
+                504,
+                api::error_body(
+                    504,
+                    "optimization is still running; retry to pick up the cached result",
+                ),
+                "timeout",
+            );
+        }
+        let (guard, _) = entry.cv.wait_timeout(done, deadline - now).unwrap();
+        done = guard;
+    }
+}
+
+fn respond(state: &Arc<ServeState>, stream: &mut TcpStream) {
+    let request = match http::read_request(stream, state.cfg.max_body_bytes) {
+        Ok(r) => r,
+        Err(e) => {
+            Stats::bump(&state.stats.errors);
+            let body = api::error_body(e.status, &e.message);
+            let _ = http::write_response(stream, e.status, &[], body.as_bytes());
+            return;
+        }
+    };
+    Stats::bump(&state.stats.requests);
+    let (status, body, cache) = match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/health") => (200, "{\"ok\":true}".to_string(), None),
+        ("GET", "/stats") => (200, state.stats_body(), None),
+        ("POST", "/shutdown") => {
+            if !state.shutdown.swap(true, Ordering::SeqCst) {
+                // Self-connect to pop the blocking accept() out of its wait.
+                let _ = TcpStream::connect(state.addr);
+            }
+            (200, "{\"ok\":true}".to_string(), None)
+        }
+        ("POST", "/optimize") => match String::from_utf8(request.body) {
+            Ok(text) => {
+                let (status, body, cache) = optimize(state, &text);
+                (status, body, Some(cache))
+            }
+            Err(_) => (
+                400,
+                api::error_body(400, "request body is not valid UTF-8"),
+                None,
+            ),
+        },
+        (_, "/health" | "/stats" | "/shutdown" | "/optimize") => (
+            405,
+            api::error_body(405, "method not allowed on this endpoint"),
+            None,
+        ),
+        (_, target) => (
+            404,
+            api::error_body(404, &format!("no such endpoint {target:?}")),
+            None,
+        ),
+    };
+    if status != 200 {
+        Stats::bump(&state.stats.errors);
+    }
+    let mut headers: Vec<(&str, &str)> = Vec::new();
+    if let Some(c) = cache {
+        headers.push(("X-Prem-Cache", c));
+    }
+    let _ = http::write_response(stream, status, &headers, body.as_bytes());
+}
+
+fn handle_connection(state: &Arc<ServeState>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(state.cfg.io_timeout));
+    let _ = stream.set_write_timeout(Some(state.cfg.io_timeout));
+    if catch_unwind(AssertUnwindSafe(|| respond(state, &mut stream))).is_err() {
+        Stats::bump(&state.stats.panics);
+        let body = api::error_body(500, "request handling panicked; this is a server bug");
+        let _ = http::write_response(&mut stream, 500, &[], body.as_bytes());
+    }
+}
+
+/// A running optimization server. Dropping it shuts it down and joins every
+/// thread; `POST /shutdown` ends it remotely (see [`Server::wait`]).
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `cfg.addr` and starts the accept loop plus worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/inspect failures.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = cfg.workers;
+        let response_cache = ResponseCache::new(cfg.response_cache_cap);
+        let state = Arc::new(ServeState {
+            cfg,
+            addr,
+            analysis_cache: Arc::new(AnalysisCache::new()),
+            inflight: Mutex::new(HashMap::new()),
+            response_cache,
+            stats: Stats::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut worker_handles = Vec::new();
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let state = state.clone();
+            worker_handles.push(std::thread::spawn(move || loop {
+                let next = rx.lock().unwrap().recv();
+                match next {
+                    Ok(stream) => handle_connection(&state, stream),
+                    Err(_) => break,
+                }
+            }));
+        }
+        let accept_state = state.clone();
+        let accept = std::thread::spawn(move || {
+            // `tx` lives here: when the loop ends the channel closes and the
+            // workers drain what is queued, then exit.
+            for conn in listener.incoming() {
+                if accept_state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    let _ = tx.send(stream);
+                }
+            }
+        });
+        Ok(Server {
+            addr,
+            state,
+            accept: Some(accept),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state handle, for in-process inspection of stats and caches.
+    pub fn state(&self) -> Arc<ServeState> {
+        self.state.clone()
+    }
+
+    /// Blocks until the server is told to stop (`POST /shutdown`), then
+    /// joins every thread.
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    /// Initiates shutdown and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if !self.state.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept.is_some() || !self.workers.is_empty() {
+            self.stop();
+        }
+    }
+}

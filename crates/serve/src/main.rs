@@ -1,0 +1,96 @@
+//! `prem-serve`: the long-lived PREM optimization server.
+//!
+//! ```text
+//! prem-serve [--addr HOST:PORT] [--threads N]   # serve until POST /shutdown
+//! prem-serve --smoke                            # self-test: one request per
+//!                                               # bundled kernel, then exit
+//! ```
+
+use prem_serve::{client, Server, ServerConfig};
+
+fn run_smoke() -> Result<(), String> {
+    let cfg = ServerConfig::default();
+    let server = Server::start(cfg).map_err(|e| format!("bind failed: {e}"))?;
+    let addr = server.addr();
+    for name in prem_serve::api::builtin_names() {
+        let body = format!("{{\"kernel\":{{\"builtin\":\"{name}\"}}}}");
+        let resp = client::post(addr, "/optimize", &body)
+            .map_err(|e| format!("{name}: request failed: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("{name}: status {} body {}", resp.status, resp.body));
+        }
+        if !resp.body.contains("\"feasible\":true") {
+            return Err(format!("{name}: not feasible: {}", resp.body));
+        }
+        println!("smoke {name}: ok ({} bytes)", resp.body.len());
+    }
+    let health = client::get(addr, "/health").map_err(|e| format!("health: {e}"))?;
+    if health.status != 200 {
+        return Err(format!("health check failed: {}", health.status));
+    }
+    let stats = client::get(addr, "/stats").map_err(|e| format!("stats: {e}"))?;
+    println!("smoke stats: {}", stats.body);
+    let bye = client::post(addr, "/shutdown", "").map_err(|e| format!("shutdown: {e}"))?;
+    if bye.status != 200 {
+        return Err(format!("shutdown failed: {}", bye.status));
+    }
+    server.wait();
+    println!("serve smoke OK");
+    Ok(())
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut cfg = ServerConfig::default();
+    let mut smoke = false;
+    let mut addr_set = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--addr" => match args.next() {
+                Some(a) => {
+                    cfg.addr = a;
+                    addr_set = true;
+                }
+                None => {
+                    eprintln!("--addr needs a HOST:PORT argument");
+                    std::process::exit(2);
+                }
+            },
+            "--threads" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cfg.workers = n.min(64),
+                _ => {
+                    eprintln!("--threads needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: prem-serve [--addr HOST:PORT] [--threads N] [--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        if let Err(e) = run_smoke() {
+            eprintln!("serve smoke FAILED: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if !addr_set {
+        cfg.addr = "127.0.0.1:7878".to_string();
+    }
+    match Server::start(cfg) {
+        Ok(server) => {
+            println!("prem-serve listening on {}", server.addr());
+            println!("endpoints: POST /optimize, GET /health, GET /stats, POST /shutdown");
+            server.wait();
+            println!("prem-serve stopped");
+        }
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -13,7 +13,11 @@
 # Usage: scripts/check.sh
 #        scripts/check.sh --bench-snapshot  # additionally run the fig6_1
 #        smoke benchmark and write BENCH_fig6_1.json (per-kernel search_s,
-#        fast_evals, delta_declines) for CI artifact upload / PR review.
+#        fast_evals, delta_declines), plus the serve_bench load driver and
+#        write BENCH_serve.json (throughput, latency percentiles, coalesce
+#        counters) for CI artifact upload / PR review.
+#        scripts/check.sh --serve-smoke  # additionally boot prem-serve,
+#        fire one request per bundled kernel over TCP and shut it down.
 #        PREM_TIER1_BUDGET_S=240 scripts/check.sh  # override the budget
 #        PREM_CHECK_HEAVY=1 scripts/check.sh   # heavier differential
 #        sampling, plus the tier-2 proptest/criterion suite in
@@ -23,9 +27,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SNAPSHOT=0
+SERVE_SMOKE=0
 for arg in "$@"; do
     case "$arg" in
     --bench-snapshot) BENCH_SNAPSHOT=1 ;;
+    --serve-smoke) SERVE_SMOKE=1 ;;
     *)
         echo "unknown argument: $arg" >&2
         exit 2
@@ -33,7 +39,13 @@ for arg in "$@"; do
     esac
 done
 
+# Validate the budget override here instead of letting a typo'd value blow
+# up as a bash arithmetic error 200 lines later.
 TIER1_BUDGET_S="${PREM_TIER1_BUDGET_S:-240}"
+if ! [[ "$TIER1_BUDGET_S" =~ ^[0-9]+$ ]]; then
+    echo "WARN: PREM_TIER1_BUDGET_S='${TIER1_BUDGET_S}' is not a whole number of seconds; using the default 240" >&2
+    TIER1_BUDGET_S=240
+fi
 tier1_s=0
 
 # timed <budgeted> <label> <cmd...> — runs a step, prints its wall time,
@@ -84,6 +96,13 @@ else
     echo "== tier-2 (heavy): skipped (set PREM_CHECK_HEAVY=1 to enable)"
 fi
 
+if [[ "$SERVE_SMOKE" == "1" ]]; then
+    # Boot the optimization server on an ephemeral port, run one request
+    # per bundled kernel family over real TCP, and shut it down cleanly.
+    timed 0 "serve smoke: prem-serve --smoke" \
+        cargo run -q -p prem-serve --release -- --smoke
+fi
+
 if [[ "$BENCH_SNAPSHOT" == "1" ]]; then
     # Search-cost snapshot: run the fig6_1 smoke benchmark into a scratch
     # results dir and condense its run report into BENCH_fig6_1.json —
@@ -117,6 +136,27 @@ out = {
 }
 json.dump(out, open(sys.argv[2], "w"), indent=2)
 print(f"wrote {sys.argv[2]} ({len(per_kernel)} kernels)")
+PYEOF
+
+    # Server load snapshot: replay a mixed-kernel request stream against an
+    # in-process prem-serve and condense throughput, latency percentiles and
+    # the coalescing/cache counters into BENCH_serve.json. The driver itself
+    # asserts zero errors/timeouts/panics and provable coalescing.
+    timed 0 "bench snapshot: serve_bench --quick" \
+        env PREM_RESULTS_DIR="$snapshot_dir" \
+        cargo run -q -p prem-bench --release --bin serve_bench -- --quick
+    python3 - "$snapshot_dir/serve_bench.json" BENCH_serve.json <<'PYEOF'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+keys = [
+    "bench", "mode", "total_requests", "concurrency", "distinct_bodies",
+    "wall_s", "throughput_rps", "p50_ms", "p95_ms", "p99_ms",
+    "computed", "coalesced", "response_cache_hits",
+    "errors", "timeouts", "panics", "analysis_cache",
+]
+json.dump({k: report[k] for k in keys if k in report}, open(sys.argv[2], "w"), indent=2)
+print(f"wrote {sys.argv[2]}")
 PYEOF
 fi
 

@@ -12,7 +12,9 @@
 //! * [`codegen`] — PREM-compliant C emission;
 //! * [`sim`] — architectural simulator (gem5 substitute) with functional
 //!   PREM execution;
-//! * [`kernels`] — the PolyBench-NN evaluation kernels.
+//! * [`kernels`] — the PolyBench-NN evaluation kernels;
+//! * [`serve`] — the long-lived optimization server (`prem-serve`): JSON
+//!   over HTTP with a shared analysis cache and request coalescing.
 //!
 //! # Quickstart
 //!
@@ -38,4 +40,5 @@ pub use prem_ir as ir;
 pub use prem_kernels as kernels;
 pub use prem_obs as obs;
 pub use prem_polyhedral as polyhedral;
+pub use prem_serve as serve;
 pub use prem_sim as sim;

@@ -222,3 +222,79 @@ fn racing_same_key_miss_counts_weight_once() {
         "racing builders must not double-count the entry weight"
     );
 }
+
+/// Many threads hammer overlapping key windows through both miss paths —
+/// `get_or_build_with`, and the batched-scan `probe` + build + `admit`
+/// round-trip — under a budget tight enough to keep the clock evicting the
+/// whole time. Afterwards the incrementally maintained weight accounting
+/// must agree entry-for-entry with a from-scratch recount: a double-charged
+/// racing miss, a leaked eviction or a map/slot divergence all surface here.
+#[test]
+fn concurrent_miss_hammer_keeps_weight_accounting_consistent() {
+    let (_program, comp, model) = fixture();
+    let cores = 8usize;
+    let pool = solution_pool(&comp, cores, 8);
+    assert!(
+        pool.len() >= 120,
+        "need a large key pool, got {}",
+        pool.len()
+    );
+    let pool: Vec<Solution> = pool.into_iter().take(120).collect();
+
+    // Sampled worst-case entry weight; the budget (~2 such entries per
+    // shard) guarantees the 120-key pool overruns every shard repeatedly.
+    let w_max = pool
+        .iter()
+        .step_by(16)
+        .map(|s| entry_weight(&comp, s, cores, &model))
+        .max()
+        .unwrap();
+    let total = 16 * 2 * (w_max + 1);
+    let cache = AnalysisCache::with_total_weight(total);
+
+    let threads = 8usize;
+    let rounds = 3usize;
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (cache, pool, comp, model, barrier) = (&cache, &pool, &comp, &model, &barrier);
+            s.spawn(move || {
+                for round in 0..rounds {
+                    // Synchronize the round starts so the overlapping
+                    // windows actually contend instead of running skewed.
+                    barrier.wait();
+                    let start = (t * 17 + round * 5) % 60;
+                    for sol in &pool[start..start + 60] {
+                        if round % 2 == 0 {
+                            let lookup = cache.get_or_build_with(comp, sol, cores, model, || {
+                                ComponentAnalysis::build(comp, sol, cores, model, false)
+                                    .map(Arc::new)
+                            });
+                            assert!(lookup.entry.is_ok());
+                        } else if cache.probe(comp, sol, cores, model).is_none() {
+                            let built = ComponentAnalysis::build(comp, sol, cores, model, false)
+                                .map(Arc::new);
+                            let _ = cache.admit(comp, sol, cores, model, built);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let audit = cache.audit();
+    assert!(
+        audit.consistent,
+        "cache internal structures diverged: {audit:?}"
+    );
+    assert_eq!(
+        audit.accounted_weight, audit.recomputed_weight,
+        "incremental weight accounting drifted from the resident entries"
+    );
+    assert_eq!(audit.entries, cache.len());
+    assert!(
+        cache.weight() <= total,
+        "resident weight {} exceeds budget {total}",
+        cache.weight()
+    );
+}

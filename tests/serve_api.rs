@@ -1,0 +1,245 @@
+//! Integration tests for the `prem-serve` optimization server: responses
+//! must be bitwise-identical to driving the optimizer directly, identical
+//! concurrent requests must coalesce onto one computation, and a corpus of
+//! malformed inputs must come back as structured errors — never 500s,
+//! panics or aborts.
+
+use prem::codegen::{emit_prem_c, EmitComponent};
+use prem::core::{optimize_app, LoopTree, OptimizerOptions, Platform};
+use prem::obs::Json;
+use prem::serve::{client, Server, ServerConfig};
+use prem::sim::SimCost;
+use std::sync::Barrier;
+
+fn start() -> Server {
+    Server::start(ServerConfig {
+        workers: 8,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral server")
+}
+
+/// The options the server applies when the request carries none.
+fn server_default_options() -> OptimizerOptions {
+    OptimizerOptions {
+        adaptive: true,
+        batched: true,
+        ..OptimizerOptions::default()
+    }
+}
+
+fn direct(kernel: &str, platform: &Platform) -> (prem::core::AppOutcome, String) {
+    let program = prem::kernels::all_small()
+        .into_iter()
+        .find(|(n, _)| *n == kernel)
+        .map(|(_, p)| p)
+        .expect("builtin kernel");
+    let tree = LoopTree::build(&program).expect("kernel lowers");
+    let cost = SimCost::new(&program);
+    let outcome = optimize_app(&tree, &program, platform, &cost, &server_default_options());
+    let emit: Vec<EmitComponent> = outcome
+        .components
+        .iter()
+        .map(|c| EmitComponent {
+            component: c.component.clone(),
+            solution: c.solution.clone(),
+        })
+        .collect();
+    let generated = emit_prem_c(&program, &emit, platform).expect("emits");
+    (outcome, generated)
+}
+
+fn ints(v: &Json) -> Vec<i64> {
+    match v {
+        Json::Arr(items) => items
+            .iter()
+            .map(|x| x.as_f64().expect("integer array") as i64)
+            .collect(),
+        _ => panic!("expected array, got {v:?}"),
+    }
+}
+
+#[test]
+fn server_responses_match_direct_optimization() {
+    let server = start();
+    let cases = [
+        (
+            "cnn",
+            r#"{"kernel":{"builtin":"cnn"}}"#,
+            Platform::default(),
+        ),
+        (
+            "maxpool",
+            r#"{"kernel":{"builtin":"maxpool"},"platform":{"spm_kib":64}}"#,
+            Platform {
+                spm_bytes: 64 * 1024,
+                ..Platform::default()
+            },
+        ),
+    ];
+    for (kernel, body, platform) in cases {
+        let resp = client::post(server.addr(), "/optimize", body).expect("request");
+        assert_eq!(resp.status, 200, "{kernel}: {}", resp.body);
+        let json = Json::parse(&resp.body).expect("response parses");
+        let result = json.get("result").expect("result object");
+        let (outcome, generated) = direct(kernel, &platform);
+
+        assert_eq!(result.get("kernel").and_then(Json::as_str), Some(kernel));
+        assert_eq!(
+            result.get("makespan_bits").and_then(Json::as_str),
+            Some(format!("{:016x}", outcome.makespan_ns.to_bits()).as_str()),
+            "{kernel}: makespan differs from direct optimize_app"
+        );
+        let comps = match result.get("components") {
+            Some(Json::Arr(c)) => c,
+            other => panic!("components: {other:?}"),
+        };
+        assert_eq!(comps.len(), outcome.components.len());
+        for (served, computed) in comps.iter().zip(&outcome.components) {
+            assert_eq!(
+                ints(served.get("k").unwrap()),
+                computed.solution.k,
+                "{kernel} K"
+            );
+            assert_eq!(
+                ints(served.get("r").unwrap()),
+                computed.solution.r,
+                "{kernel} R"
+            );
+        }
+        assert_eq!(
+            result.get("generated_c").and_then(Json::as_str),
+            Some(generated.as_str()),
+            "{kernel}: generated C differs from direct emit_prem_c"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn identical_concurrent_requests_coalesce() {
+    let server = start();
+    let addr = server.addr();
+    let body = r#"{"kernel":{"builtin":"sumpool"},"platform":{"bus_gbytes":2}}"#;
+    let clients = 8;
+    let barrier = Barrier::new(clients);
+    let responses: Vec<(u16, String, String)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(|| {
+                    barrier.wait();
+                    let resp = client::post(addr, "/optimize", body).expect("request");
+                    let cache = resp.header("X-Prem-Cache").unwrap_or("?").to_string();
+                    (resp.status, cache, resp.body)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (status, _, resp_body) in &responses {
+        assert_eq!(*status, 200, "{resp_body}");
+        assert_eq!(
+            resp_body, &responses[0].2,
+            "coalesced responses must be byte-identical"
+        );
+    }
+    let dispositions: Vec<&str> = responses.iter().map(|(_, c, _)| c.as_str()).collect();
+    assert_eq!(
+        dispositions.iter().filter(|c| **c == "miss").count(),
+        1,
+        "exactly one leader expected: {dispositions:?}"
+    );
+
+    let stats =
+        Json::parse(&client::get(addr, "/stats").expect("stats").body).expect("stats parse");
+    let count = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap_or(-1.0);
+    assert_eq!(count("computed"), 1.0, "duplicates were not coalesced");
+    assert_eq!(
+        count("coalesced") + count("response_cache_hits"),
+        (clients - 1) as f64
+    );
+    assert_eq!(count("panics"), 0.0);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_structured_errors_not_500s() {
+    let server = start();
+    let addr = server.addr();
+    let broken_kernels = [
+        // Lexer/parser breakage: junk, truncation, unterminated constructs.
+        "@#$%^&*",
+        "for (",
+        "float a[10; for (int i = 0; i < 10; i++) a[i] = 0.0;",
+        "for (int i = 0; i < 10; i++) { a[i] = 0.0;",
+        "float a[10]; for (int i = 10; i > 0; i--) a[i] = 0.0;",
+        // Semantic breakage: unknown parameter, zero-size array, arity.
+        "float a[N]; for (int i = 0; i < N; i++) a[i] = 0.0;",
+        "float a[0]; a[0] = 1.0;",
+        "float a[4][4]; for (int i = 0; i < 4; i++) a[i] = 1.0;",
+        // Resource-bound breakage: loop count and nesting caps.
+        "float a[8]; for (int i = 0; i < 99999999999; i++) a[0] = 1.0;",
+        &{
+            let mut s = String::from("float a[8]; ");
+            for i in 0..70 {
+                s.push_str(&format!("for (int i{i} = 0; i{i} < 2; i{i}++) {{ "));
+            }
+            s.push_str("a[0] = 1.0; ");
+            s.push_str(&"} ".repeat(70));
+            s
+        },
+    ];
+    for (i, source) in broken_kernels.iter().enumerate() {
+        let body = Json::obj::<&str, Json>([(
+            "kernel",
+            Json::obj::<&str, Json>([("source", Json::from(*source))]),
+        )])
+        .to_compact();
+        let resp = client::post(addr, "/optimize", &body).expect("request");
+        assert_eq!(resp.status, 422, "corpus[{i}]: {}", resp.body);
+        let err = Json::parse(&resp.body)
+            .expect("error body parses")
+            .get("error")
+            .and_then(|e| e.get("message").and_then(Json::as_str).map(String::from))
+            .unwrap_or_else(|| panic!("corpus[{i}]: unstructured error {}", resp.body));
+        assert!(!err.is_empty(), "corpus[{i}]");
+    }
+
+    // Protocol- and schema-level garbage.
+    for (body, want) in [
+        ("{not json", 400),
+        ("[1,2,3]", 422),
+        (r#"{"kernel":{"builtin":"nope"}}"#, 422),
+        (
+            r#"{"kernel":{"builtin":"cnn"},"platform":{"cores":"many"}}"#,
+            422,
+        ),
+        (r#"{"kernel":{"builtin":"cnn"},"mystery":1}"#, 422),
+        // Over the per-kernel source cap, under the HTTP body cap.
+        (
+            &format!(
+                r#"{{"kernel":{{"source":{}}}}}"#,
+                Json::from("x".repeat(300_000)).to_compact()
+            ),
+            422,
+        ),
+    ] {
+        let resp = client::post(addr, "/optimize", body).expect("request");
+        assert_eq!(resp.status, want, "{}", &body[..body.len().min(80)]);
+        assert!(resp.body.contains("\"error\""), "{}", resp.body);
+    }
+    assert_eq!(client::get(addr, "/nope").expect("404").status, 404);
+    assert_eq!(
+        client::request(addr, "DELETE", "/optimize", "")
+            .expect("405")
+            .status,
+        405
+    );
+
+    // The server survived the whole corpus.
+    let health = client::get(addr, "/health").expect("health");
+    assert_eq!(health.status, 200);
+    let stats = Json::parse(&client::get(addr, "/stats").expect("stats").body).unwrap();
+    assert_eq!(stats.get("panics").and_then(Json::as_f64), Some(0.0));
+    server.shutdown();
+}
