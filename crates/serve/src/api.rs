@@ -47,6 +47,24 @@ pub fn error_body(status: u16, message: &str) -> String {
     .to_compact()
 }
 
+/// The structured `503 Service Unavailable` body for a full compute queue:
+/// the machine-readable `retry_after_s` mirrors the `Retry-After` header so
+/// clients that only look at bodies still see the backoff hint.
+pub fn overload_body(retry_after_s: u64) -> String {
+    Json::obj::<&str, Json>([(
+        "error",
+        Json::obj::<&str, Json>([
+            ("status", Json::Num(503.0)),
+            (
+                "message",
+                Json::from("compute queue is full; retry after retry_after_s seconds"),
+            ),
+            ("retry_after_s", Json::Num(retry_after_s as f64)),
+        ]),
+    )])
+    .to_compact()
+}
+
 /// Which kernel the request targets.
 #[derive(Debug, Clone)]
 pub enum KernelSpec {
@@ -518,5 +536,14 @@ mod tests {
         let err = json.get("error").unwrap();
         assert_eq!(err.get("status").and_then(Json::as_f64), Some(422.0));
         assert_eq!(err.get("message").and_then(Json::as_str), Some("nope"));
+    }
+
+    #[test]
+    fn overload_body_carries_retry_hint() {
+        let json = Json::parse(&overload_body(1)).unwrap();
+        let err = json.get("error").unwrap();
+        assert_eq!(err.get("status").and_then(Json::as_f64), Some(503.0));
+        assert_eq!(err.get("retry_after_s").and_then(Json::as_f64), Some(1.0));
+        assert!(err.get("message").and_then(Json::as_str).is_some());
     }
 }

@@ -1,6 +1,12 @@
 //! Minimal blocking HTTP/1.1 client — enough for the integration tests, the
-//! load driver, and the binary's `--smoke` mode. One request per connection,
-//! mirroring the server's `Connection: close` contract.
+//! load driver, and the binary's `--smoke` mode.
+//!
+//! [`Conn`] holds one keep-alive connection and serves sequential requests
+//! over it; the free functions ([`request`], [`get`], [`post`]) are one-shot
+//! `Connection: close` conveniences on top. Responses are parsed by framing
+//! — exactly `Content-Length` body bytes are consumed — so the client works
+//! identically against keep-alive and close connections, and surplus bytes
+//! (the next pipelined response) stay buffered on the connection.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -26,39 +32,123 @@ impl Response {
             .find(|(n, _)| *n == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// Whether the server will keep the connection open after this response.
+    pub fn keep_alive(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+    }
 }
 
 fn bad(msg: impl Into<String>) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
 }
 
-/// Sends one request and reads the full response.
-///
-/// # Errors
-///
-/// Propagates socket errors; malformed responses surface as `InvalidData`.
-pub fn request(
-    addr: SocketAddr,
-    method: &str,
-    path: &str,
-    body: &str,
-) -> std::io::Result<Response> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(120)))?;
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: prem-serve\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()?;
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    let text = String::from_utf8(raw).map_err(|_| bad("response is not UTF-8"))?;
-    let (head, rest) = text
-        .split_once("\r\n\r\n")
-        .ok_or_else(|| bad("response has no header/body separator"))?;
+/// A persistent keep-alive connection to the server.
+pub struct Conn {
+    stream: TcpStream,
+    /// Bytes read off the socket but not yet consumed (next response).
+    carry: Vec<u8>,
+    open: bool,
+}
+
+impl Conn {
+    /// Connects with the default 120 s I/O timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(120)))?;
+        Ok(Conn {
+            stream,
+            carry: Vec::new(),
+            open: true,
+        })
+    }
+
+    /// Whether the connection is still usable (the server has not answered
+    /// `Connection: close`).
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Sends one request on this connection and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; malformed responses surface as
+    /// `InvalidData`. After an error (or a `Connection: close` response) the
+    /// connection is no longer usable — open a new one.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<Response> {
+        self.send(method, path, body, true)
+    }
+
+    fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        keep_alive: bool,
+    ) -> std::io::Result<Response> {
+        if !self.open {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "connection was closed by the server",
+            ));
+        }
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: prem-serve\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
+        );
+        // Single write per request: split head/body writes on a keep-alive
+        // socket trip over Nagle + delayed ACK.
+        let mut frame = head.into_bytes();
+        frame.extend_from_slice(body.as_bytes());
+        let sent = self
+            .stream
+            .write_all(&frame)
+            .and_then(|()| self.stream.flush());
+        if let Err(e) = sent {
+            self.open = false;
+            return Err(e);
+        }
+        match read_response(&mut self.stream, &mut self.carry) {
+            Ok(resp) => {
+                if !resp.keep_alive() {
+                    self.open = false;
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                self.open = false;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Reads one framed response: headers, then exactly `Content-Length` body
+/// bytes. Surplus bytes stay in `carry` for the next response.
+fn read_response<R: Read>(stream: &mut R, carry: &mut Vec<u8>) -> std::io::Result<Response> {
+    let mut chunk = [0u8; 4096];
+    let head_len = loop {
+        if let Some(pos) = carry.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("connection closed before response headers ended"));
+        }
+        carry.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&carry[..head_len])
+        .map_err(|_| bad("response headers are not UTF-8"))?
+        .to_string();
     let mut lines = head.split("\r\n");
     let status_line = lines.next().unwrap_or("");
     let status: u16 = status_line
@@ -78,15 +168,40 @@ pub fn request(
             headers.push((name, value));
         }
     }
-    let body = match content_length {
-        Some(n) if n <= rest.len() => rest[..n].to_string(),
-        _ => rest.to_string(),
-    };
+    let content_length = content_length.ok_or_else(|| bad("response carries no Content-Length"))?;
+    let body_end = head_len + 4 + content_length;
+    while carry.len() < body_end {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("connection closed before the declared body arrived"));
+        }
+        carry.extend_from_slice(&chunk[..n]);
+    }
+    let surplus = carry.split_off(body_end);
+    let mut consumed = std::mem::replace(carry, surplus);
+    let body_bytes = consumed.split_off(head_len + 4);
+    let body = String::from_utf8(body_bytes).map_err(|_| bad("response body is not UTF-8"))?;
     Ok(Response {
         status,
         headers,
         body,
     })
+}
+
+/// Sends one `Connection: close` request on a fresh connection and reads
+/// the full response.
+///
+/// # Errors
+///
+/// Propagates socket errors; malformed responses surface as `InvalidData`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<Response> {
+    let mut conn = Conn::connect(addr)?;
+    conn.send(method, path, body, false)
 }
 
 /// `POST path` with a JSON body.

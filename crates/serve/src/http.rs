@@ -1,11 +1,17 @@
 //! Minimal, bounded HTTP/1.1 message handling over `std` I/O.
 //!
 //! The server is hermetic (no registry dependencies), so the protocol layer
-//! is hand-rolled — but deliberately tiny: one request per connection,
-//! `Connection: close`, `Content-Length` bodies only. Everything is bounded:
-//! header blocks are capped at [`MAX_HEAD_BYTES`], bodies at the limit the
-//! caller passes, and malformed framing surfaces as a structured
-//! [`HttpError`] rather than a panic or an unbounded read.
+//! is hand-rolled — but deliberately tiny: `Content-Length` bodies only,
+//! HTTP/1.1 keep-alive with sequential (pipelined-input) requests per
+//! connection. Everything is bounded: header blocks are capped at
+//! [`MAX_HEAD_BYTES`], bodies at the limit the caller passes, and malformed
+//! framing surfaces as a structured [`HttpError`] rather than a panic or an
+//! unbounded read.
+//!
+//! Because a pipelining client may send the next request's bytes in the same
+//! TCP segment as the current one's body, [`read_request`] works against a
+//! caller-owned carry buffer: whatever arrives past the current request's
+//! body stays in the buffer and seeds the next parse on the same connection.
 
 use std::io::Read;
 use std::io::Write;
@@ -22,6 +28,10 @@ pub struct Request {
     pub target: String,
     /// Raw body bytes (exactly `Content-Length` of them).
     pub body: Vec<u8>,
+    /// Whether the client allows the connection to be reused: HTTP/1.1
+    /// unless `Connection: close`, HTTP/1.0 only with
+    /// `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 /// A protocol-level failure with the status code it should be reported as.
@@ -47,38 +57,66 @@ fn head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 /// Reads one request from `stream`, enforcing the header and body caps.
+///
+/// `carry` holds bytes already read off this connection but not yet
+/// consumed (a pipelining client may batch several requests into one
+/// segment); on success the parsed request's bytes are drained from it and
+/// any surplus is left for the next call. Returns `Ok(None)` on a clean
+/// end-of-connection: EOF or an idle (read-timeout) expiry at a request
+/// boundary, i.e. with no partial request buffered.
 ///
 /// # Errors
 ///
 /// Returns an [`HttpError`] carrying the status the failure should be
-/// reported as: 400 for framing/encoding problems, 413 when the declared
-/// body exceeds `max_body`, 501 for `Transfer-Encoding` bodies.
-pub fn read_request<R: Read>(stream: &mut R, max_body: usize) -> Result<Request, HttpError> {
-    let mut buf: Vec<u8> = Vec::new();
+/// reported as: 400 for framing/encoding problems, 408 for a timeout
+/// mid-request, 413 when the declared body exceeds `max_body`, 431 for
+/// oversized headers, 501 for `Transfer-Encoding` bodies.
+pub fn read_request<R: Read>(
+    stream: &mut R,
+    carry: &mut Vec<u8>,
+    max_body: usize,
+) -> Result<Option<Request>, HttpError> {
     let mut chunk = [0u8; 4096];
     let head_len = loop {
-        if let Some(pos) = head_end(&buf) {
+        if let Some(pos) = head_end(carry) {
             break pos;
         }
-        if buf.len() > MAX_HEAD_BYTES {
+        if carry.len() > MAX_HEAD_BYTES {
             return Err(HttpError::new(
                 431,
                 format!("request headers exceed {MAX_HEAD_BYTES} bytes"),
             ));
         }
-        let n = stream
-            .read(&mut chunk)
-            .map_err(|e| HttpError::new(400, format!("read failed: {e}")))?;
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            Err(e) if is_timeout(&e) => {
+                if carry.is_empty() {
+                    return Ok(None); // idle keep-alive connection: close quietly
+                }
+                return Err(HttpError::new(408, "connection idled out mid-request"));
+            }
+            Err(e) => return Err(HttpError::new(400, format!("read failed: {e}"))),
+        };
         if n == 0 {
+            if carry.is_empty() {
+                return Ok(None); // clean close between requests
+            }
             return Err(HttpError::new(
                 400,
                 "connection closed before headers ended",
             ));
         }
-        buf.extend_from_slice(&chunk[..n]);
+        carry.extend_from_slice(&chunk[..n]);
     };
-    let head = std::str::from_utf8(&buf[..head_len])
+    let head = std::str::from_utf8(&carry[..head_len])
         .map_err(|_| HttpError::new(400, "headers are not valid UTF-8"))?
         .to_string();
     let mut lines = head.split("\r\n");
@@ -99,6 +137,8 @@ pub fn read_request<R: Read>(stream: &mut R, max_body: usize) -> Result<Request,
             format!("unsupported protocol version {version:?}"),
         ));
     }
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
     let mut content_length: usize = 0;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
@@ -115,6 +155,15 @@ pub fn read_request<R: Read>(stream: &mut R, max_body: usize) -> Result<Request,
                 "Transfer-Encoding bodies are not supported; send Content-Length",
             ));
         }
+        if name == "connection" {
+            for token in value.split(',') {
+                match token.trim().to_ascii_lowercase().as_str() {
+                    "close" => keep_alive = false,
+                    "keep-alive" if version == "HTTP/1.0" => keep_alive = true,
+                    _ => {}
+                }
+            }
+        }
         if name == "content-length" {
             content_length = value
                 .parse()
@@ -127,30 +176,34 @@ pub fn read_request<R: Read>(stream: &mut R, max_body: usize) -> Result<Request,
             format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
         ));
     }
-    let mut body = buf.split_off(head_len + 4);
-    if body.len() > content_length {
-        return Err(HttpError::new(
-            400,
-            "request carries more bytes than Content-Length declares",
-        ));
+    let body_end = head_len + 4 + content_length;
+    while carry.len() < body_end {
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            Err(e) if is_timeout(&e) => {
+                return Err(HttpError::new(408, "connection idled out mid-body"));
+            }
+            Err(e) => return Err(HttpError::new(400, format!("read failed mid-body: {e}"))),
+        };
+        if n == 0 {
+            return Err(HttpError::new(
+                400,
+                "connection closed before the declared body arrived",
+            ));
+        }
+        carry.extend_from_slice(&chunk[..n]);
     }
-    let remaining = content_length - body.len();
-    stream
-        .by_ref()
-        .take(remaining as u64)
-        .read_to_end(&mut body)
-        .map_err(|e| HttpError::new(400, format!("read failed mid-body: {e}")))?;
-    if body.len() != content_length {
-        return Err(HttpError::new(
-            400,
-            "connection closed before the declared body arrived",
-        ));
-    }
-    Ok(Request {
+    // Surplus bytes past this request's body belong to the next pipelined
+    // request: leave them in the carry buffer.
+    let surplus = carry.split_off(body_end);
+    let mut consumed = std::mem::replace(carry, surplus);
+    let body = consumed.split_off(head_len + 4);
+    Ok(Some(Request {
         method,
         target,
         body,
-    })
+        keep_alive,
+    }))
 }
 
 /// Canonical reason phrase for the status codes the server emits.
@@ -160,17 +213,21 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Status",
     }
 }
 
-/// Writes a complete `Connection: close` JSON response.
+/// Writes a complete JSON response. `keep_alive` selects the
+/// `Connection: keep-alive` / `Connection: close` header; the server closes
+/// the socket after a `close` response.
 ///
 /// # Errors
 ///
@@ -180,11 +237,13 @@ pub fn write_response<W: Write>(
     status: u16,
     extra_headers: &[(&str, &str)],
     body: &[u8],
+    keep_alive: bool,
 ) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
         reason(status),
-        body.len()
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
     );
     for (name, value) in extra_headers {
         head.push_str(name);
@@ -193,8 +252,12 @@ pub fn write_response<W: Write>(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    // One write for head + body: on a keep-alive socket, two small writes
+    // interact with Nagle + delayed ACK and stall the response by tens of
+    // milliseconds.
+    let mut frame = head.into_bytes();
+    frame.extend_from_slice(body);
+    stream.write_all(&frame)?;
     stream.flush()
 }
 
@@ -203,23 +266,76 @@ mod tests {
     use super::*;
     use std::io::Cursor;
 
-    fn parse(raw: &str) -> Result<Request, HttpError> {
-        read_request(&mut Cursor::new(raw.as_bytes().to_vec()), 1 << 20)
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        let mut carry = Vec::new();
+        read_request(
+            &mut Cursor::new(raw.as_bytes().to_vec()),
+            &mut carry,
+            1 << 20,
+        )
+    }
+
+    fn parse_one(raw: &str) -> Result<Request, HttpError> {
+        parse(raw).map(|r| r.expect("request expected"))
     }
 
     #[test]
     fn parses_simple_post() {
-        let r = parse("POST /optimize HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        let r = parse_one("POST /optimize HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
         assert_eq!(r.method, "POST");
         assert_eq!(r.target, "/optimize");
         assert_eq!(r.body, b"abcd");
+        assert!(r.keep_alive, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
     fn get_without_body() {
-        let r = parse("GET /health HTTP/1.1\r\n\r\n").unwrap();
+        let r = parse_one("GET /health HTTP/1.1\r\n\r\n").unwrap();
         assert_eq!(r.method, "GET");
         assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let r = parse_one("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        let r = parse_one("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r.keep_alive, "HTTP/1.0 defaults to close");
+        let r = parse_one("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive);
+        let r = parse_one("GET / HTTP/1.1\r\nConnection: foo, Close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive, "close wins in a token list");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let raw = "POST /optimize HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc\
+                   GET /health HTTP/1.1\r\n\r\n";
+        let mut carry = Vec::new();
+        let mut cursor = Cursor::new(raw.as_bytes().to_vec());
+        let a = read_request(&mut cursor, &mut carry, 1 << 20)
+            .unwrap()
+            .expect("first request");
+        assert_eq!(a.body, b"abc");
+        assert!(
+            !carry.is_empty(),
+            "second pipelined request stays in the carry buffer"
+        );
+        let b = read_request(&mut cursor, &mut carry, 1 << 20)
+            .unwrap()
+            .expect("second request");
+        assert_eq!(b.method, "GET");
+        assert_eq!(b.target, "/health");
+        assert!(carry.is_empty());
+        // A third read sees EOF at a request boundary: clean close.
+        assert!(read_request(&mut cursor, &mut carry, 1 << 20)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn eof_at_request_boundary_is_clean_close() {
+        assert!(parse("").unwrap().is_none());
     }
 
     #[test]
@@ -231,7 +347,9 @@ mod tests {
     #[test]
     fn oversized_body_is_413() {
         let raw = "POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\n";
-        let e = read_request(&mut Cursor::new(raw.as_bytes().to_vec()), 10).unwrap_err();
+        let mut carry = Vec::new();
+        let e =
+            read_request(&mut Cursor::new(raw.as_bytes().to_vec()), &mut carry, 10).unwrap_err();
         assert_eq!(e.status, 413);
     }
 

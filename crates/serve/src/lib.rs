@@ -6,10 +6,21 @@
 //! protocol:
 //!
 //! - **Hardened boundary** — every request is validated by [`api`] into a
-//!   structured error (400/413/422/…) instead of a panic; the per-connection
-//!   handler and every compute thread additionally run under
-//!   `catch_unwind`, so a pathological-but-parseable kernel that trips an
-//!   internal invariant becomes a 500 response, never an abort.
+//!   structured error (400/413/422/…) instead of a panic; each request and
+//!   every pooled computation additionally runs under `catch_unwind`, so a
+//!   pathological-but-parseable kernel that trips an internal invariant
+//!   becomes a 500 response, never an abort. Server-side locks recover from
+//!   poisoning, so one caught panic cannot turn into permanent 500s.
+//! - **Bounded compute pool with backpressure** — optimizations run on a
+//!   fixed pool of compute threads (`pool_size`, default ≈ cores via
+//!   `PREM_SERVE_POOL`) fed by a bounded submission queue
+//!   (`PREM_SERVE_QUEUE`). When the queue is full, `POST /optimize` answers
+//!   `503` with a `Retry-After` header instead of accepting unbounded work —
+//!   a flood of distinct kernels can no longer spawn a thread per request.
+//! - **Keep-alive connections** — HTTP/1.1 keep-alive with sequential
+//!   handling of pipelined requests, bounded by `max_conn_requests` per
+//!   connection and an idle timeout (`PREM_SERVE_IDLE_MS`);
+//!   `Connection: close` is honored per request.
 //! - **Cross-request analysis cache** — one shared
 //!   [`prem_core::AnalysisCache`] spans all requests and kernels, so sweeps
 //!   that vary platform scalars hit the same structural memo the bench
@@ -18,9 +29,19 @@
 //!   key, see [`api::parse_optimize_request`]) share one computation: one
 //!   leader computes, followers block on the result. Completed 200s land in
 //!   a bounded response cache so immediate repeats are served from memory.
-//! - **Bounded waits** — followers and leaders alike give up after the
-//!   request timeout with a 504 (the computation keeps running and still
-//!   populates the caches, so a retry picks the result up).
+//! - **Bounded waits, accounted orphans** — followers and leaders alike
+//!   give up after the request timeout with a 504. The computation keeps
+//!   running in the pool; if *every* waiter timed out by the time it
+//!   finishes it is counted as `orphaned` (it still populates the response
+//!   cache, so a retry picks the result up byte-identically).
+//!
+//! `GET /stats` exposes all the counters, which satisfy the conservation
+//! invariant (whenever no `/optimize` request is in flight):
+//!
+//! ```text
+//! computed + coalesced + response_cache_hits + rejected + invalid
+//!     == ok + timeouts + errors
+//! ```
 //!
 //! Endpoints: `POST /optimize`, `GET /health`, `GET /stats`,
 //! `POST /shutdown`. See README for the request/response schema.
@@ -37,41 +58,103 @@ use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Server construction parameters. `Default` reads the `PREM_SERVE_THREADS`
-/// and `PREM_SERVE_TIMEOUT_MS` environment overrides (via
-/// [`prem_obs::env_u64`], which warns on malformed values).
+/// Seconds a `503 Service Unavailable` response suggests waiting before a
+/// retry (the `Retry-After` header).
+pub const RETRY_AFTER_SECS: u64 = 1;
+
+/// Locks `m`, recovering the guard when a previous holder panicked.
+///
+/// Every server-side lock site goes through this (or
+/// [`wait_timeout_unpoisoned`]): a panic caught at the request boundary must
+/// not leave a poisoned mutex behind that turns all future requests into
+/// 500s. The data under these locks stays consistent across a recovery —
+/// each critical section either completes its map/queue mutation in one
+/// step or is re-derivable (counters, caches).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `Condvar::wait_timeout` with the same poison-recovery policy as
+/// [`lock_unpoisoned`].
+fn wait_timeout_unpoisoned<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> MutexGuard<'a, T> {
+    match cv.wait_timeout(guard, dur) {
+        Ok((g, _)) => g,
+        Err(p) => p.into_inner().0,
+    }
+}
+
+fn default_pool_size() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(4)
+}
+
+/// Server construction parameters. `Default` reads the `PREM_SERVE_THREADS`,
+/// `PREM_SERVE_POOL`, `PREM_SERVE_QUEUE`, `PREM_SERVE_IDLE_MS` and
+/// `PREM_SERVE_TIMEOUT_MS` environment overrides (via [`prem_obs::env_u64`],
+/// which warns on malformed values and falls back to the default).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Worker threads serving connections.
+    /// Worker threads serving connections (each owns one connection at a
+    /// time for its keep-alive lifetime).
     pub workers: usize,
+    /// Compute threads running optimizations (`PREM_SERVE_POOL`, default
+    /// ≈ available cores).
+    pub pool_size: usize,
+    /// Bounded submission-queue capacity in pending computations
+    /// (`PREM_SERVE_QUEUE`, default `2 × pool_size`). A full queue rejects
+    /// new leaders with `503` + `Retry-After`.
+    pub queue_cap: usize,
     /// How long a request waits for its (possibly coalesced) computation
     /// before answering 504.
     pub request_timeout: Duration,
-    /// Per-connection socket read/write timeout.
+    /// Per-connection socket write timeout (and mid-request read stall cap).
     pub io_timeout: Duration,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it (`PREM_SERVE_IDLE_MS`).
+    pub idle_timeout: Duration,
+    /// Requests served per connection before the server answers
+    /// `Connection: close` (bounds per-connection state lifetime).
+    pub max_conn_requests: usize,
     /// Largest accepted request body.
     pub max_body_bytes: usize,
     /// Completed-response cache capacity (entries, FIFO).
     pub response_cache_cap: usize,
+    /// Artificial delay prepended to every computation. Zero in production;
+    /// saturation tests and benches use it to hold pool slots busy for a
+    /// deterministic window.
+    pub compute_holdup: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let pool_size = prem_obs::env_u64("PREM_SERVE_POOL", default_pool_size()).clamp(1, 256);
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: prem_obs::env_u64("PREM_SERVE_THREADS", 4).clamp(1, 64) as usize,
+            pool_size: pool_size as usize,
+            queue_cap: prem_obs::env_u64("PREM_SERVE_QUEUE", pool_size * 2).clamp(1, 4096) as usize,
             request_timeout: Duration::from_millis(
                 prem_obs::env_u64("PREM_SERVE_TIMEOUT_MS", 30_000).max(1),
             ),
             io_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_millis(
+                prem_obs::env_u64("PREM_SERVE_IDLE_MS", 10_000).max(1),
+            ),
+            max_conn_requests: 1024,
             max_body_bytes: 1 << 20,
             response_cache_cap: 256,
+            compute_holdup: Duration::ZERO,
         }
     }
 }
@@ -83,18 +166,103 @@ struct Outcome {
     body: String,
 }
 
-/// One in-flight computation; followers wait on `cv` until `done` is filled.
+/// Waiter-visible state of one in-flight computation.
+struct InFlightState {
+    result: Option<Arc<Outcome>>,
+    /// Requests currently blocked on this computation (the leader counts
+    /// from birth). When it hits zero before `result` is published, the
+    /// computation finishes as an *orphan*: still cached, but nobody was
+    /// left to receive it.
+    waiters: u64,
+}
+
+/// One in-flight computation; waiters block on `cv` until `result` fills.
 struct InFlight {
-    done: Mutex<Option<Arc<Outcome>>>,
+    done: Mutex<InFlightState>,
     cv: Condvar,
 }
 
 impl InFlight {
+    /// A fresh entry with the leader pre-registered as its first waiter
+    /// (registration happens before the job is submitted, so a computation
+    /// can never observe `waiters == 0` just because the leader has not
+    /// reached its wait loop yet).
     fn new() -> InFlight {
         InFlight {
-            done: Mutex::new(None),
+            done: Mutex::new(InFlightState {
+                result: None,
+                waiters: 1,
+            }),
             cv: Condvar::new(),
         }
+    }
+}
+
+/// A queued computation.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared half of the bounded compute pool: the submission queue plus its
+/// shutdown flag. Worker join handles live on [`Server`] (keeping them here
+/// would create an `Arc` cycle through the jobs' captured state).
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    cap: usize,
+    shutdown: AtomicBool,
+}
+
+impl PoolShared {
+    fn new(cap: usize) -> PoolShared {
+        PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            cap,
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueues `job` unless the queue is at capacity (→ `Err(job)`), which
+    /// is the backpressure signal the caller turns into a 503.
+    fn try_submit(&self, job: Job) -> Result<(), Job> {
+        let mut queue = lock_unpoisoned(&self.queue);
+        if queue.len() >= self.cap || self.shutdown.load(Ordering::SeqCst) {
+            return Err(job);
+        }
+        queue.push_back(job);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    fn depth(&self) -> usize {
+        lock_unpoisoned(&self.queue).len()
+    }
+
+    /// Worker loop: run queued jobs until shutdown *and* the queue drains —
+    /// accepted work is never dropped, so no waiter is left to hit its full
+    /// timeout during a graceful stop.
+    fn work(&self) {
+        loop {
+            let job = {
+                let mut queue = lock_unpoisoned(&self.queue);
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break job;
+                    }
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    queue = wait_timeout_unpoisoned(&self.cv, queue, Duration::from_millis(100));
+                }
+            };
+            // Jobs carry their own catch_unwind; this one keeps the worker
+            // alive even if that inner guard is ever bypassed.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+        }
+    }
+
+    fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
     }
 }
 
@@ -116,14 +284,14 @@ impl ResponseCache {
     }
 
     fn get(&self, key: &str) -> Option<Arc<String>> {
-        self.inner.lock().unwrap().0.get(key).cloned()
+        lock_unpoisoned(&self.inner).0.get(key).cloned()
     }
 
     fn put(&self, key: &str, body: Arc<String>) {
         if self.cap == 0 {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_unpoisoned(&self.inner);
         let (map, order) = &mut *inner;
         if map.contains_key(key) {
             return;
@@ -139,20 +307,45 @@ impl ResponseCache {
 }
 
 /// Monotone request counters, all readable through `GET /stats`.
+///
+/// The `/optimize` counters form a conservation law. Every `/optimize`
+/// request is classified exactly once on admission (`computed` leader,
+/// `coalesced` follower, `response_cache_hits`, `rejected` on a full queue,
+/// `invalid` on a validation failure) and exactly once on completion (`ok`,
+/// `timeouts`, `errors`), so with no request in flight:
+///
+/// ```text
+/// computed + coalesced + response_cache_hits + rejected + invalid
+///     == ok + timeouts + errors
+/// ```
 #[derive(Default)]
 pub struct Stats {
     /// Requests that parsed as HTTP (any endpoint).
     pub requests: AtomicU64,
-    /// `/optimize` computations actually started (coalescing leaders).
+    /// `/optimize` computations actually started (coalescing leaders whose
+    /// job was accepted by the pool).
     pub computed: AtomicU64,
     /// `/optimize` requests that joined an in-flight identical computation.
     pub coalesced: AtomicU64,
     /// `/optimize` requests served from the completed-response cache.
     pub response_cache_hits: AtomicU64,
-    /// Non-200 responses (any endpoint, any cause).
-    pub errors: AtomicU64,
-    /// Requests that gave up waiting (504).
+    /// `/optimize` leaders turned away with 503 because the compute queue
+    /// was full (backpressure).
+    pub rejected: AtomicU64,
+    /// `/optimize` requests rejected before admission (non-JSON, schema
+    /// violations, non-UTF-8 bodies: 400/413/422).
+    pub invalid: AtomicU64,
+    /// Computations that finished after every waiter had timed out. The
+    /// result still lands in the response cache; this counter is how such
+    /// work stays visible instead of vanishing.
+    pub orphaned: AtomicU64,
+    /// `/optimize` requests answered 200.
+    pub ok: AtomicU64,
+    /// `/optimize` requests that gave up waiting (504).
     pub timeouts: AtomicU64,
+    /// `/optimize` requests answered any other non-200 (validation, 503
+    /// backpressure, compute-level 422/500).
+    pub errors: AtomicU64,
     /// Panics caught at the request/compute boundary (turned into 500s).
     pub panics: AtomicU64,
 }
@@ -163,13 +356,15 @@ impl Stats {
     }
 }
 
-/// Shared server state: caches, coalescing table, counters, shutdown flag.
+/// Shared server state: caches, coalescing table, compute pool, counters,
+/// shutdown flag.
 pub struct ServeState {
     cfg: ServerConfig,
     addr: SocketAddr,
     analysis_cache: Arc<AnalysisCache>,
     inflight: Mutex<HashMap<String, Arc<InFlight>>>,
     response_cache: ResponseCache,
+    pool: Arc<PoolShared>,
     /// Request counters.
     pub stats: Stats,
     shutdown: AtomicBool,
@@ -181,41 +376,54 @@ impl ServeState {
         &self.analysis_cache
     }
 
+    /// Pending computations in the bounded submission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.pool.depth()
+    }
+
+    /// Poisons every server-side mutex by panicking while holding it, then
+    /// catching the panic. Test hook for the lock-recovery path: after this,
+    /// requests must still succeed.
+    #[doc(hidden)]
+    pub fn poison_locks_for_test(&self) {
+        fn poison<T>(m: &Mutex<T>) {
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                let _guard = lock_unpoisoned(m);
+                panic!("deliberate poison (test)");
+            }));
+        }
+        poison(&self.inflight);
+        poison(&self.response_cache.inner);
+        poison(&self.pool.queue);
+    }
+
     /// Renders the `/stats` body.
     pub fn stats_body(&self) -> String {
         use prem_obs::Json;
         let s = &self.stats;
-        let inflight = self.inflight.lock().unwrap().len();
+        let inflight = lock_unpoisoned(&self.inflight).len();
+        let load = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed) as f64);
         Json::obj::<&str, Json>([
-            (
-                "requests",
-                Json::from(s.requests.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "computed",
-                Json::from(s.computed.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "coalesced",
-                Json::from(s.coalesced.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "response_cache_hits",
-                Json::from(s.response_cache_hits.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "errors",
-                Json::from(s.errors.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "timeouts",
-                Json::from(s.timeouts.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "panics",
-                Json::from(s.panics.load(Ordering::Relaxed) as f64),
-            ),
+            ("requests", load(&s.requests)),
+            ("computed", load(&s.computed)),
+            ("coalesced", load(&s.coalesced)),
+            ("response_cache_hits", load(&s.response_cache_hits)),
+            ("rejected", load(&s.rejected)),
+            ("invalid", load(&s.invalid)),
+            ("orphaned", load(&s.orphaned)),
+            ("ok", load(&s.ok)),
+            ("errors", load(&s.errors)),
+            ("timeouts", load(&s.timeouts)),
+            ("panics", load(&s.panics)),
             ("inflight", Json::from(inflight)),
+            ("queue_depth", Json::from(self.pool.depth())),
+            (
+                "pool",
+                Json::obj::<&str, Json>([
+                    ("size", Json::from(self.cfg.pool_size)),
+                    ("queue_cap", Json::from(self.cfg.queue_cap)),
+                ]),
+            ),
             (
                 "analysis_cache",
                 Json::obj::<&str, Json>([
@@ -233,7 +441,7 @@ impl ServeState {
     }
 }
 
-/// The computation a coalescing leader runs (off the worker thread).
+/// The computation a coalescing leader runs (on a pool thread).
 fn compute(state: &ServeState, req: &api::OptimizeRequest) -> Outcome {
     let program = match api::build_program(req) {
         Ok(p) => p,
@@ -286,143 +494,239 @@ fn compute(state: &ServeState, req: &api::OptimizeRequest) -> Outcome {
     }
 }
 
-/// Handles `POST /optimize`: cache probe, coalesce, compute, bounded wait.
-/// Returns `(status, body, cache_disposition)`; the disposition goes out in
-/// the `X-Prem-Cache` header so response *bodies* stay byte-identical across
-/// hit/miss/coalesced paths.
+/// The pool job a coalescing leader submits: compute (panic-guarded),
+/// publish to cache + waiters, account orphans, retire the in-flight entry.
+fn run_leader_job(state: &Arc<ServeState>, entry: &Arc<InFlight>, req: &api::OptimizeRequest) {
+    if !state.cfg.compute_holdup.is_zero() {
+        std::thread::sleep(state.cfg.compute_holdup);
+    }
+    let out = match catch_unwind(AssertUnwindSafe(|| compute(state, req))) {
+        Ok(out) => out,
+        Err(_) => {
+            Stats::bump(&state.stats.panics);
+            Outcome {
+                status: 500,
+                body: api::error_body(500, "optimization panicked; this is a server bug"),
+            }
+        }
+    };
+    let out = Arc::new(out);
+    // Cache put and in-flight retirement happen under the in-flight lock so
+    // they are atomic with respect to admission: a request that misses the
+    // response cache while holding that lock and finds no in-flight entry
+    // can only mean the work truly has not started — never that it
+    // completed in the gap (which would recompute a cached request).
+    let orphaned = {
+        let mut inflight = lock_unpoisoned(&state.inflight);
+        if out.status == 200 {
+            state
+                .response_cache
+                .put(&req.canonical, Arc::new(out.body.clone()));
+        }
+        let orphaned = {
+            let mut done = lock_unpoisoned(&entry.done);
+            done.result = Some(out);
+            entry.cv.notify_all();
+            done.waiters == 0
+        };
+        inflight.remove(&req.canonical);
+        orphaned
+    };
+    if orphaned {
+        Stats::bump(&state.stats.orphaned);
+    }
+}
+
+/// Blocks on `entry` until the computation publishes or `deadline` passes.
+/// `registered` says whether this waiter is already counted (the leader is,
+/// from [`InFlight::new`]).
+fn await_outcome(entry: &InFlight, deadline: Instant, registered: bool) -> Option<(u16, String)> {
+    let mut done = lock_unpoisoned(&entry.done);
+    if !registered {
+        done.waiters += 1;
+    }
+    loop {
+        if let Some(out) = done.result.clone() {
+            done.waiters = done.waiters.saturating_sub(1);
+            return Some((out.status, out.body.clone()));
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            done.waiters = done.waiters.saturating_sub(1);
+            return None;
+        }
+        done = wait_timeout_unpoisoned(&entry.cv, done, deadline - now);
+    }
+}
+
+/// Handles `POST /optimize`: cache probe, coalesce-or-submit (bounded),
+/// bounded wait. Returns `(status, body, cache_disposition)`; the
+/// disposition goes out in the `X-Prem-Cache` header so response *bodies*
+/// stay byte-identical across hit/miss/coalesced paths.
 fn optimize(state: &Arc<ServeState>, body: &str) -> (u16, String, &'static str) {
+    let (status, body, disposition) = optimize_classified(state, body);
+    // Completion-side accounting: every /optimize request lands in exactly
+    // one of ok / timeouts / errors, balancing the admission-side counter
+    // it bumped above (see the Stats invariant).
+    match status {
+        200 => Stats::bump(&state.stats.ok),
+        504 => Stats::bump(&state.stats.timeouts),
+        _ => Stats::bump(&state.stats.errors),
+    }
+    (status, body, disposition)
+}
+
+fn optimize_classified(state: &Arc<ServeState>, body: &str) -> (u16, String, &'static str) {
     let req = match api::parse_optimize_request(body) {
         Ok(r) => r,
-        Err(e) => return (e.status, api::error_body(e.status, &e.message), "reject"),
+        Err(e) => {
+            Stats::bump(&state.stats.invalid);
+            return (e.status, api::error_body(e.status, &e.message), "reject");
+        }
     };
     if let Some(hit) = state.response_cache.get(&req.canonical) {
         Stats::bump(&state.stats.response_cache_hits);
         return (200, hit.as_ref().clone(), "hit");
     }
     let (entry, leader) = {
-        let mut inflight = state.inflight.lock().unwrap();
+        // Leadership and submission are decided under the in-flight lock:
+        // an entry only becomes joinable if its job was accepted by the
+        // bounded queue, so followers can never attach to rejected work.
+        let mut inflight = lock_unpoisoned(&state.inflight);
+        // Re-probe the cache under the lock: a leader may have published
+        // and retired between the unlocked probe above and acquiring this
+        // lock, and completion holds this lock across put + retire.
+        if let Some(hit) = state.response_cache.get(&req.canonical) {
+            Stats::bump(&state.stats.response_cache_hits);
+            return (200, hit.as_ref().clone(), "hit");
+        }
         match inflight.get(&req.canonical) {
             Some(e) => (e.clone(), false),
             None => {
-                let e = Arc::new(InFlight::new());
-                inflight.insert(req.canonical.clone(), e.clone());
-                (e.clone(), true)
+                let entry = Arc::new(InFlight::new());
+                let canonical = req.canonical.clone();
+                let state2 = state.clone();
+                let entry2 = entry.clone();
+                let job: Job = Box::new(move || run_leader_job(&state2, &entry2, &req));
+                if state.pool.try_submit(job).is_err() {
+                    Stats::bump(&state.stats.rejected);
+                    return (503, api::overload_body(RETRY_AFTER_SECS), "rejected");
+                }
+                inflight.insert(canonical, entry.clone());
+                (entry, true)
             }
         }
     };
     if leader {
         Stats::bump(&state.stats.computed);
-        let state2 = state.clone();
-        let entry2 = entry.clone();
-        let canonical = req.canonical.clone();
-        std::thread::spawn(move || {
-            let out = match catch_unwind(AssertUnwindSafe(|| compute(&state2, &req))) {
-                Ok(out) => out,
-                Err(_) => {
-                    Stats::bump(&state2.stats.panics);
-                    Outcome {
-                        status: 500,
-                        body: api::error_body(500, "optimization panicked; this is a server bug"),
-                    }
-                }
-            };
-            let out = Arc::new(out);
-            if out.status == 200 {
-                state2
-                    .response_cache
-                    .put(&canonical, Arc::new(out.body.clone()));
-            }
-            *entry2.done.lock().unwrap() = Some(out);
-            entry2.cv.notify_all();
-            state2.inflight.lock().unwrap().remove(&canonical);
-        });
     } else {
         Stats::bump(&state.stats.coalesced);
     }
     let deadline = Instant::now() + state.cfg.request_timeout;
-    let mut done = entry.done.lock().unwrap();
-    loop {
-        if let Some(out) = done.as_ref() {
+    match await_outcome(&entry, deadline, leader) {
+        Some((status, body)) => {
             let disposition = if leader { "miss" } else { "coalesced" };
-            return (out.status, out.body.clone(), disposition);
+            (status, body, disposition)
         }
-        let now = Instant::now();
-        if now >= deadline {
-            Stats::bump(&state.stats.timeouts);
-            return (
+        None => (
+            504,
+            api::error_body(
                 504,
-                api::error_body(
-                    504,
-                    "optimization is still running; retry to pick up the cached result",
-                ),
-                "timeout",
-            );
-        }
-        let (guard, _) = entry.cv.wait_timeout(done, deadline - now).unwrap();
-        done = guard;
+                "optimization is still running; retry to pick up the cached result",
+            ),
+            "timeout",
+        ),
     }
 }
 
-fn respond(state: &Arc<ServeState>, stream: &mut TcpStream) {
-    let request = match http::read_request(stream, state.cfg.max_body_bytes) {
-        Ok(r) => r,
-        Err(e) => {
-            Stats::bump(&state.stats.errors);
-            let body = api::error_body(e.status, &e.message);
-            let _ = http::write_response(stream, e.status, &[], body.as_bytes());
-            return;
-        }
-    };
+/// Dispatches one parsed request. Returns status, body, and the extra
+/// response headers (`X-Prem-Cache`, `Retry-After`).
+fn handle_request(
+    state: &Arc<ServeState>,
+    request: &http::Request,
+) -> (u16, String, Vec<(&'static str, String)>) {
     Stats::bump(&state.stats.requests);
-    let (status, body, cache) = match (request.method.as_str(), request.target.as_str()) {
-        ("GET", "/health") => (200, "{\"ok\":true}".to_string(), None),
-        ("GET", "/stats") => (200, state.stats_body(), None),
+    let mut headers: Vec<(&'static str, String)> = Vec::new();
+    let (status, body) = match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/health") => (200, "{\"ok\":true}".to_string()),
+        ("GET", "/stats") => (200, state.stats_body()),
         ("POST", "/shutdown") => {
             if !state.shutdown.swap(true, Ordering::SeqCst) {
                 // Self-connect to pop the blocking accept() out of its wait.
                 let _ = TcpStream::connect(state.addr);
             }
-            (200, "{\"ok\":true}".to_string(), None)
+            (200, "{\"ok\":true}".to_string())
         }
-        ("POST", "/optimize") => match String::from_utf8(request.body) {
+        ("POST", "/optimize") => match std::str::from_utf8(&request.body) {
             Ok(text) => {
-                let (status, body, cache) = optimize(state, &text);
-                (status, body, Some(cache))
+                let (status, body, cache) = optimize(state, text);
+                headers.push(("X-Prem-Cache", cache.to_string()));
+                if status == 503 {
+                    headers.push(("Retry-After", RETRY_AFTER_SECS.to_string()));
+                }
+                (status, body)
             }
-            Err(_) => (
-                400,
-                api::error_body(400, "request body is not valid UTF-8"),
-                None,
-            ),
+            Err(_) => {
+                Stats::bump(&state.stats.invalid);
+                Stats::bump(&state.stats.errors);
+                (400, api::error_body(400, "request body is not valid UTF-8"))
+            }
         },
         (_, "/health" | "/stats" | "/shutdown" | "/optimize") => (
             405,
             api::error_body(405, "method not allowed on this endpoint"),
-            None,
         ),
         (_, target) => (
             404,
             api::error_body(404, &format!("no such endpoint {target:?}")),
-            None,
         ),
     };
-    if status != 200 {
-        Stats::bump(&state.stats.errors);
-    }
-    let mut headers: Vec<(&str, &str)> = Vec::new();
-    if let Some(c) = cache {
-        headers.push(("X-Prem-Cache", c));
-    }
-    let _ = http::write_response(stream, status, &headers, body.as_bytes());
+    (status, body, headers)
 }
 
+/// Serves one connection: sequential keep-alive requests until the client
+/// closes, asks for `Connection: close`, idles out, or the per-connection
+/// request bound is reached.
 fn handle_connection(state: &Arc<ServeState>, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(state.cfg.io_timeout));
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(state.cfg.idle_timeout));
     let _ = stream.set_write_timeout(Some(state.cfg.io_timeout));
-    if catch_unwind(AssertUnwindSafe(|| respond(state, &mut stream))).is_err() {
-        Stats::bump(&state.stats.panics);
-        let body = api::error_body(500, "request handling panicked; this is a server bug");
-        let _ = http::write_response(&mut stream, 500, &[], body.as_bytes());
+    let mut carry: Vec<u8> = Vec::new();
+    let mut served = 0usize;
+    loop {
+        let request = match http::read_request(&mut stream, &mut carry, state.cfg.max_body_bytes) {
+            Ok(Some(r)) => r,
+            Ok(None) => break, // clean close or idle expiry between requests
+            Err(e) => {
+                let body = api::error_body(e.status, &e.message);
+                let _ = http::write_response(&mut stream, e.status, &[], body.as_bytes(), false);
+                break;
+            }
+        };
+        served += 1;
+        let keep_alive = request.keep_alive
+            && served < state.cfg.max_conn_requests
+            && !state.shutdown.load(Ordering::SeqCst);
+        match catch_unwind(AssertUnwindSafe(|| handle_request(state, &request))) {
+            Ok((status, body, extra)) => {
+                let extra: Vec<(&str, &str)> =
+                    extra.iter().map(|(n, v)| (*n, v.as_str())).collect();
+                if http::write_response(&mut stream, status, &extra, body.as_bytes(), keep_alive)
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            Err(_) => {
+                Stats::bump(&state.stats.panics);
+                let body = api::error_body(500, "request handling panicked; this is a server bug");
+                let _ = http::write_response(&mut stream, 500, &[], body.as_bytes(), false);
+                break;
+            }
+        }
+        if !keep_alive {
+            break;
+        }
     }
 }
 
@@ -433,10 +737,12 @@ pub struct Server {
     state: Arc<ServeState>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    pool_workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `cfg.addr` and starts the accept loop plus worker pool.
+    /// Binds `cfg.addr` and starts the accept loop, the connection workers
+    /// and the bounded compute pool.
     ///
     /// # Errors
     ///
@@ -445,13 +751,20 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let workers = cfg.workers;
+        let pool = Arc::new(PoolShared::new(cfg.queue_cap));
         let response_cache = ResponseCache::new(cfg.response_cache_cap);
+        let mut pool_workers = Vec::new();
+        for _ in 0..cfg.pool_size {
+            let pool = pool.clone();
+            pool_workers.push(std::thread::spawn(move || pool.work()));
+        }
         let state = Arc::new(ServeState {
             cfg,
             addr,
             analysis_cache: Arc::new(AnalysisCache::new()),
             inflight: Mutex::new(HashMap::new()),
             response_cache,
+            pool,
             stats: Stats::default(),
             shutdown: AtomicBool::new(false),
         });
@@ -462,7 +775,7 @@ impl Server {
             let rx = rx.clone();
             let state = state.clone();
             worker_handles.push(std::thread::spawn(move || loop {
-                let next = rx.lock().unwrap().recv();
+                let next = lock_unpoisoned(&rx).recv();
                 match next {
                     Ok(stream) => handle_connection(&state, stream),
                     Err(_) => break,
@@ -487,6 +800,7 @@ impl Server {
             state,
             accept: Some(accept),
             workers: worker_handles,
+            pool_workers,
         })
     }
 
@@ -519,10 +833,18 @@ impl Server {
     }
 
     fn join_all(&mut self) {
+        // Order matters: the accept loop releases the connection channel,
+        // connection workers drain it (their in-flight waits are served by
+        // the still-running pool), and only then does the pool stop — after
+        // draining its own queue, so accepted computations always finish.
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.state.pool.stop();
+        for h in self.pool_workers.drain(..) {
             let _ = h.join();
         }
     }
@@ -530,7 +852,7 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.accept.is_some() || !self.workers.is_empty() {
+        if self.accept.is_some() || !self.workers.is_empty() || !self.pool_workers.is_empty() {
             self.stop();
         }
     }

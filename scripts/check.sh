@@ -15,9 +15,12 @@
 #        smoke benchmark and write BENCH_fig6_1.json (per-kernel search_s,
 #        fast_evals, delta_declines), plus the serve_bench load driver and
 #        write BENCH_serve.json (throughput, latency percentiles, coalesce
-#        counters) for CI artifact upload / PR review.
+#        and backpressure counters, saturation-scenario thread bounds) for
+#        CI artifact upload / PR review.
 #        scripts/check.sh --serve-smoke  # additionally boot prem-serve,
-#        fire one request per bundled kernel over TCP and shut it down.
+#        fire one request per bundled kernel over a single keep-alive TCP
+#        connection, then saturate a 1-thread/1-slot pool to prove the 503
+#        + Retry-After overload path, and shut everything down.
 #        PREM_TIER1_BUDGET_S=240 scripts/check.sh  # override the budget
 #        PREM_CHECK_HEAVY=1 scripts/check.sh   # heavier differential
 #        sampling, plus the tier-2 proptest/criterion suite in
@@ -98,7 +101,9 @@ fi
 
 if [[ "$SERVE_SMOKE" == "1" ]]; then
     # Boot the optimization server on an ephemeral port, run one request
-    # per bundled kernel family over real TCP, and shut it down cleanly.
+    # per bundled kernel family over a single keep-alive TCP connection,
+    # then overload a deliberately tiny compute pool and verify the
+    # structured 503 + Retry-After backpressure path end to end.
     timed 0 "serve smoke: prem-serve --smoke" \
         cargo run -q -p prem-serve --release -- --smoke
 fi
@@ -139,9 +144,12 @@ print(f"wrote {sys.argv[2]} ({len(per_kernel)} kernels)")
 PYEOF
 
     # Server load snapshot: replay a mixed-kernel request stream against an
-    # in-process prem-serve and condense throughput, latency percentiles and
-    # the coalescing/cache counters into BENCH_serve.json. The driver itself
-    # asserts zero errors/timeouts/panics and provable coalescing.
+    # in-process prem-serve (keep-alive client pool) and condense throughput,
+    # latency percentiles, the coalescing/cache counters, and the saturation
+    # scenario's thread-bound/backpressure evidence into BENCH_serve.json.
+    # The driver itself asserts zero errors/timeouts/panics/rejections under
+    # nominal load, provable coalescing, a bounded thread count under
+    # saturation, and at least one structured 503 when the pool is full.
     timed 0 "bench snapshot: serve_bench --quick" \
         env PREM_RESULTS_DIR="$snapshot_dir" \
         cargo run -q -p prem-bench --release --bin serve_bench -- --quick
@@ -151,9 +159,13 @@ import json, sys
 report = json.load(open(sys.argv[1]))
 keys = [
     "bench", "mode", "total_requests", "concurrency", "distinct_bodies",
-    "wall_s", "throughput_rps", "p50_ms", "p95_ms", "p99_ms",
-    "computed", "coalesced", "response_cache_hits",
-    "errors", "timeouts", "panics", "analysis_cache",
+    "connections_opened", "wall_s", "throughput_rps", "p50_ms", "p95_ms",
+    "p99_ms", "computed", "coalesced", "response_cache_hits",
+    "errors", "timeouts", "panics", "rejected", "orphaned", "analysis_cache",
+    "sat_pool_size", "sat_queue_cap", "sat_clients", "sat_distinct_kernels",
+    "sat_first_pass_ok", "sat_rejected", "sat_retries",
+    "sat_threads_base", "sat_threads_peak", "sat_threads_bound",
+    "sat_server_rejected", "sat_server_ok", "sat_server_orphaned",
 ]
 json.dump({k: report[k] for k in keys if k in report}, open(sys.argv[2], "w"), indent=2)
 print(f"wrote {sys.argv[2]}")

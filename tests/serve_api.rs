@@ -1,22 +1,62 @@
 //! Integration tests for the `prem-serve` optimization server: responses
 //! must be bitwise-identical to driving the optimizer directly, identical
-//! concurrent requests must coalesce onto one computation, and a corpus of
+//! concurrent requests must coalesce onto one computation, a corpus of
 //! malformed inputs must come back as structured errors — never 500s,
-//! panics or aborts.
+//! panics or aborts — and the bounded compute pool must reject overload
+//! with 503 + `Retry-After`, account orphaned computations, survive lock
+//! poisoning, and keep the `/stats` conservation invariant balanced.
 
 use prem::codegen::{emit_prem_c, EmitComponent};
 use prem::core::{optimize_app, LoopTree, OptimizerOptions, Platform};
 use prem::obs::Json;
 use prem::serve::{client, Server, ServerConfig};
 use prem::sim::SimCost;
+use std::net::SocketAddr;
 use std::sync::Barrier;
+use std::time::Duration;
 
 fn start() -> Server {
     Server::start(ServerConfig {
         workers: 8,
+        // Pinned pool/queue so the functional tests never see backpressure
+        // regardless of the host's core count.
+        pool_size: 2,
+        queue_cap: 16,
         ..ServerConfig::default()
     })
     .expect("bind ephemeral server")
+}
+
+/// Polls `/stats` until no `/optimize` work is in flight, then returns the
+/// parsed stats object.
+fn settled_stats(addr: SocketAddr) -> Json {
+    for _ in 0..500 {
+        let stats =
+            Json::parse(&client::get(addr, "/stats").expect("stats").body).expect("stats parse");
+        let c = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap_or(-1.0);
+        if c("inflight") == 0.0 && c("queue_depth") == 0.0 {
+            return stats;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("server never settled");
+}
+
+/// The `/stats` conservation law: every `/optimize` request is counted once
+/// on admission (computed / coalesced / hit / rejected / invalid) and once
+/// on completion (ok / timeouts / errors).
+fn assert_stats_invariant(stats: &Json) {
+    let c = |k: &str| {
+        stats
+            .get(k)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("stats missing {k}: {stats:?}"))
+    };
+    assert_eq!(
+        c("computed") + c("coalesced") + c("response_cache_hits") + c("rejected") + c("invalid"),
+        c("ok") + c("timeouts") + c("errors"),
+        "stats invariant violated: {stats:?}"
+    );
 }
 
 /// The options the server applies when the request carries none.
@@ -150,8 +190,7 @@ fn identical_concurrent_requests_coalesce() {
         "exactly one leader expected: {dispositions:?}"
     );
 
-    let stats =
-        Json::parse(&client::get(addr, "/stats").expect("stats").body).expect("stats parse");
+    let stats = settled_stats(addr);
     let count = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap_or(-1.0);
     assert_eq!(count("computed"), 1.0, "duplicates were not coalesced");
     assert_eq!(
@@ -159,6 +198,7 @@ fn identical_concurrent_requests_coalesce() {
         (clients - 1) as f64
     );
     assert_eq!(count("panics"), 0.0);
+    assert_stats_invariant(&stats);
     server.shutdown();
 }
 
@@ -236,10 +276,321 @@ fn malformed_requests_get_structured_errors_not_500s() {
         405
     );
 
-    // The server survived the whole corpus.
+    // The server survived the whole corpus, and the books still balance:
+    // every malformed /optimize request is one `invalid` and one `errors`.
     let health = client::get(addr, "/health").expect("health");
     assert_eq!(health.status, 200);
-    let stats = Json::parse(&client::get(addr, "/stats").expect("stats").body).unwrap();
+    let stats = settled_stats(addr);
     assert_eq!(stats.get("panics").and_then(Json::as_f64), Some(0.0));
+    assert!(stats.get("invalid").and_then(Json::as_f64).unwrap_or(0.0) > 0.0);
+    assert_stats_invariant(&stats);
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    let server = start();
+    let mut conn = client::Conn::connect(server.addr()).expect("connect");
+    // Mixed endpoints, one socket: compute, cached repeat, health, stats.
+    let body = r#"{"kernel":{"builtin":"maxpool"}}"#;
+    let first = conn.request("POST", "/optimize", body).expect("request 1");
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert!(first.keep_alive(), "server dropped keep-alive");
+    let second = conn.request("POST", "/optimize", body).expect("request 2");
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("X-Prem-Cache"), Some("hit"));
+    assert_eq!(
+        first.body, second.body,
+        "cached repeat must be byte-identical"
+    );
+    let health = conn.request("GET", "/health", "").expect("request 3");
+    assert_eq!(health.status, 200);
+    assert!(conn.is_open(), "connection should survive all requests");
+
+    // `Connection: close` is honored per request: the one-shot client path
+    // sends it and the server answers in kind.
+    let closed = client::get(server.addr(), "/health").expect("one-shot");
+    assert_eq!(closed.status, 200);
+    assert!(
+        !closed.keep_alive(),
+        "close request got a keep-alive answer"
+    );
+
+    drop(conn);
+    let stats = settled_stats(server.addr());
+    assert_stats_invariant(&stats);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_get_sequential_responses() {
+    use std::io::{Read, Write};
+    let server = start();
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // Two complete requests in one write; the server must answer both, in
+    // order, on the same connection.
+    let batch = "GET /health HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n\
+                 GET /health HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+    stream.write_all(batch.as_bytes()).expect("write batch");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read responses");
+    let text = String::from_utf8(raw).expect("utf8");
+    assert_eq!(
+        text.matches("HTTP/1.1 200 OK").count(),
+        2,
+        "expected two pipelined responses: {text:?}"
+    );
+    assert_eq!(text.matches("{\"ok\":true}").count(), 2);
+    assert!(
+        text.contains("Connection: keep-alive") && text.contains("Connection: close"),
+        "first response keeps alive, second honors close: {text:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn connection_request_bound_is_enforced() {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        pool_size: 1,
+        queue_cap: 4,
+        max_conn_requests: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let mut conn = client::Conn::connect(server.addr()).expect("connect");
+    let a = conn.request("GET", "/health", "").expect("request 1");
+    assert!(a.keep_alive());
+    let b = conn.request("GET", "/health", "").expect("request 2");
+    assert!(
+        !b.keep_alive(),
+        "request bound reached: server must answer Connection: close"
+    );
+    assert!(!conn.is_open());
+    assert!(
+        conn.request("GET", "/health", "").is_err(),
+        "closed connection must not accept further requests"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn full_compute_queue_rejects_with_503_and_retry_after() {
+    // One compute thread, one queue slot, and a 150 ms artificial holdup:
+    // four simultaneous *distinct* kernels can admit at most the running
+    // one plus ~one queued; the rest must bounce with structured 503s.
+    let server = Server::start(ServerConfig {
+        workers: 8,
+        pool_size: 1,
+        queue_cap: 1,
+        compute_holdup: Duration::from_millis(150),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    let bodies: Vec<String> = (0..4)
+        .map(|n| {
+            format!(
+                "{{\"kernel\":{{\"source\":\"double a[{len}]; for (int i = 0; i < {len}; i++) a[i] = 0.0;\",\"name\":\"fill\"}}}}",
+                len = 16 + n
+            )
+        })
+        .collect();
+    let barrier = Barrier::new(bodies.len());
+    let responses: Vec<client::Response> = std::thread::scope(|s| {
+        let handles: Vec<_> = bodies
+            .iter()
+            .map(|body| {
+                s.spawn(|| {
+                    barrier.wait();
+                    client::post(addr, "/optimize", body).expect("request")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut rejected = Vec::new();
+    for (body, resp) in bodies.iter().zip(&responses) {
+        match resp.status {
+            200 => {}
+            503 => {
+                assert_eq!(
+                    resp.header("Retry-After"),
+                    Some("1"),
+                    "503 must carry Retry-After"
+                );
+                assert_eq!(resp.header("X-Prem-Cache"), Some("rejected"));
+                let err = Json::parse(&resp.body).expect("structured 503 body");
+                assert_eq!(
+                    err.get("error")
+                        .and_then(|e| e.get("retry_after_s"))
+                        .and_then(Json::as_f64),
+                    Some(1.0)
+                );
+                rejected.push(body.clone());
+            }
+            other => panic!("unexpected status {other}: {}", resp.body),
+        }
+    }
+    assert!(!rejected.is_empty(), "saturation produced no 503s");
+
+    // Backpressure is advisory, not fatal: rejected bodies succeed on retry.
+    for body in &rejected {
+        let mut ok = false;
+        for _ in 0..100 {
+            std::thread::sleep(Duration::from_millis(50));
+            let resp = client::post(addr, "/optimize", body).expect("retry");
+            if resp.status == 200 {
+                ok = true;
+                break;
+            }
+            assert_eq!(resp.status, 503, "{}", resp.body);
+        }
+        assert!(ok, "rejected request never succeeded on retry");
+    }
+
+    let stats = settled_stats(addr);
+    let c = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap_or(-1.0);
+    assert!(c("rejected") >= rejected.len() as f64);
+    assert_eq!(c("panics"), 0.0);
+    assert_stats_invariant(&stats);
+    server.shutdown();
+}
+
+#[test]
+fn timed_out_request_is_orphaned_then_served_from_cache() {
+    // A zero request timeout makes the leader 504 immediately while its
+    // computation keeps running in the pool. The finished computation must
+    // be counted as orphaned and still land in the response cache, so the
+    // retry is a byte-stable cache hit matching a direct optimize_app run.
+    let server = Server::start(ServerConfig {
+        workers: 4,
+        pool_size: 1,
+        queue_cap: 4,
+        request_timeout: Duration::ZERO,
+        compute_holdup: Duration::from_millis(50),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+    let body = r#"{"kernel":{"builtin":"sumpool"},"platform":{"spm_kib":64}}"#;
+    let resp = client::post(addr, "/optimize", body).expect("request");
+    assert_eq!(resp.status, 504, "{}", resp.body);
+    assert_eq!(resp.header("X-Prem-Cache"), Some("timeout"));
+
+    // The orphan finishes in the background and is accounted.
+    let stats = settled_stats(addr);
+    let c = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap_or(-1.0);
+    assert_eq!(c("orphaned"), 1.0, "orphan not counted: {stats:?}");
+    assert_eq!(c("timeouts"), 1.0);
+    assert_stats_invariant(&stats);
+
+    // The retry is served from the response cache (no wait, so the zero
+    // timeout cannot 504 it) and matches a direct optimizer run bit-for-bit.
+    let retry = client::post(addr, "/optimize", body).expect("retry");
+    assert_eq!(retry.status, 200, "{}", retry.body);
+    assert_eq!(retry.header("X-Prem-Cache"), Some("hit"));
+    let result = Json::parse(&retry.body)
+        .expect("parses")
+        .get("result")
+        .cloned()
+        .expect("result object");
+    let platform = Platform {
+        spm_bytes: 64 * 1024,
+        ..Platform::default()
+    };
+    let (outcome, generated) = direct("sumpool", &platform);
+    assert_eq!(
+        result.get("makespan_bits").and_then(Json::as_str),
+        Some(format!("{:016x}", outcome.makespan_ns.to_bits()).as_str()),
+        "orphan-cached makespan differs from direct optimize_app"
+    );
+    assert_eq!(
+        result.get("generated_c").and_then(Json::as_str),
+        Some(generated.as_str()),
+        "orphan-cached generated C differs from direct emit_prem_c"
+    );
+    let stats = settled_stats(addr);
+    assert_stats_invariant(&stats);
+    server.shutdown();
+}
+
+#[test]
+fn poisoned_locks_recover_instead_of_cascading_500s() {
+    let server = start();
+    let addr = server.addr();
+    // Poison every server-side mutex by panicking while holding each one.
+    server.state().poison_locks_for_test();
+    // Every path that touches a poisoned lock must still work: a fresh
+    // computation (inflight map + pool queue), its cached repeat (response
+    // cache), and /stats (inflight map again).
+    let body = r#"{"kernel":{"builtin":"rnn"}}"#;
+    let first = client::post(addr, "/optimize", body).expect("request after poison");
+    assert_eq!(first.status, 200, "{}", first.body);
+    let second = client::post(addr, "/optimize", body).expect("repeat after poison");
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("X-Prem-Cache"), Some("hit"));
+    assert_eq!(first.body, second.body);
+    let stats = settled_stats(addr);
+    assert_stats_invariant(&stats);
+    server.shutdown();
+}
+
+#[test]
+fn stats_invariant_balances_across_mixed_traffic() {
+    let server = start();
+    let addr = server.addr();
+    // ok computes
+    for body in [
+        r#"{"kernel":{"builtin":"cnn"}}"#,
+        r#"{"kernel":{"builtin":"lstm"}}"#,
+    ] {
+        assert_eq!(client::post(addr, "/optimize", body).unwrap().status, 200);
+    }
+    // response-cache hit
+    assert_eq!(
+        client::post(addr, "/optimize", r#"{"kernel":{"builtin":"cnn"}}"#)
+            .unwrap()
+            .status,
+        200
+    );
+    // invalid: schema violation and non-JSON
+    assert_eq!(
+        client::post(addr, "/optimize", r#"{"kernel":7}"#)
+            .unwrap()
+            .status,
+        422
+    );
+    assert_eq!(
+        client::post(addr, "/optimize", "{nope").unwrap().status,
+        400
+    );
+    // coalesced wave on a fresh body
+    let wave_body = r#"{"kernel":{"builtin":"maxpool"},"platform":{"bus_gbytes":2}}"#;
+    let barrier = Barrier::new(4);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                barrier.wait();
+                assert_eq!(
+                    client::post(addr, "/optimize", wave_body).unwrap().status,
+                    200
+                );
+            });
+        }
+    });
+
+    let stats = settled_stats(addr);
+    let c = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap_or(-1.0);
+    assert_eq!(c("invalid"), 2.0);
+    assert_eq!(c("errors"), 2.0, "validation failures land in errors");
+    assert_eq!(c("timeouts"), 0.0);
+    assert_eq!(c("rejected"), 0.0);
+    assert_eq!(c("orphaned"), 0.0);
+    assert_eq!(c("computed"), 3.0, "cnn, lstm, maxpool");
+    assert_stats_invariant(&stats);
     server.shutdown();
 }
