@@ -151,6 +151,16 @@ pub fn batched_enabled() -> bool {
     prem_obs::env_flag("PREM_BATCHED", true)
 }
 
+/// Whether the benches run the heuristic with reduction-aware parallel
+/// legality (accumulator privatization plus a modeled combine phase,
+/// `OptimizerOptions::reductions`). **Off** by default: with the flag off
+/// every selection and makespan is bitwise identical to the
+/// reduction-oblivious path, so `PREM_REDUCTIONS=1` vs unset is the A/B.
+/// Parsed by [`prem_obs::env_flag`], which warns on unrecognized values.
+pub fn reductions_enabled() -> bool {
+    prem_obs::env_flag("PREM_REDUCTIONS", false)
+}
+
 /// Runs one (kernel, platform, strategy) point.
 pub fn run_point(bench: &Bench, platform: &Platform, strategy: Strategy) -> TimedRun {
     let t0 = Instant::now();
@@ -162,6 +172,7 @@ pub fn run_point(bench: &Bench, platform: &Platform, strategy: Strategy) -> Time
                 analysis_cache: Some(bench.cache.clone()),
                 adaptive: adaptive_enabled(),
                 batched: batched_enabled(),
+                reductions: reductions_enabled(),
                 ..OptimizerOptions::default()
             };
             let (outcome, solve) =
@@ -253,6 +264,11 @@ pub fn run_pairs(run: &TimedRun) -> Vec<(String, Json)> {
         ("delta_declines".into(), t.delta_declines.into()),
         ("batched_scans".into(), t.batched_scans.into()),
         ("scan_truncations".into(), t.scan_truncations.into()),
+        ("reduction_deps".into(), t.reduction_deps.into()),
+        (
+            "privatized_accumulators".into(),
+            t.privatized_accumulators.into(),
+        ),
         ("phases".into(), run.phases.to_json()),
     ]
 }
@@ -264,6 +280,7 @@ pub fn new_report(bin: &str, mode: RunMode) -> RunReport {
     r.set("mode", mode.as_str());
     r.set("adaptive", if adaptive_enabled() { "1" } else { "0" });
     r.set("batched", if batched_enabled() { "1" } else { "0" });
+    r.set("reductions", if reductions_enabled() { "1" } else { "0" });
     r
 }
 

@@ -33,7 +33,7 @@ use crate::config::Platform;
 use crate::segments::ComponentSchedule;
 use crate::tiling::{Infeasible, Solution, TilePlan, SEGMENT_CAP};
 use crate::timing::{transfer_time_from_lines, ExecModel, TransferShape};
-use prem_polyhedral::{div_ceil, Interval};
+use prem_polyhedral::{div_ceil, Interval, ReduceOp};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -76,6 +76,22 @@ pub struct CoreAnalysis {
     pub(crate) ranges: Option<Vec<Vec<Vec<Interval>>>>,
 }
 
+/// Combine-phase structure for one privatized reduction accumulator: the DMA
+/// line shape of the accumulator's full canonical region (K-independent —
+/// partials cover the whole accumulator regardless of tiling) plus the time
+/// to merge one partner partial element-wise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CombineXfer {
+    /// `DataLineNum` of the accumulator region.
+    pub lines: i64,
+    /// `DataLineSize` of the accumulator region (elements per line).
+    pub line_elems: i64,
+    /// Element size in bytes.
+    pub elem_bytes: i64,
+    /// Element-wise merge time per round in ns (`elements × w`).
+    pub exec_ns: f64,
+}
+
 /// Everything about a `(component, solution)` pair that does not depend on
 /// platform timing scalars. Build once, fold on every sweep point.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,13 +102,104 @@ pub struct ComponentAnalysis {
     pub cores: Vec<CoreAnalysis>,
     /// Bounding box per array (§5.3.1), sizing the SPM buffers.
     pub bounding_boxes: Vec<Vec<i64>>,
-    /// Bytes of SPM needed (both double-buffer partitions).
+    /// Bytes of SPM needed (both double-buffer partitions, plus a third
+    /// partial-merge buffer for privatized accumulators).
     pub spm_bytes_needed: i64,
     /// Total bytes transferred by all cores.
     pub total_bytes: i64,
     /// Total number of DMA transfers.
     pub total_ops: usize,
+    /// Sequential merge rounds of the explicit combine phase
+    /// (`Π_j R_j − 1` over the reduction-parallel levels); `0` when no
+    /// accumulator is privatized or a single group runs the reduction, in
+    /// which case the combine phase costs exactly nothing and the analysis
+    /// is bitwise identical to the reduction-oblivious one.
+    pub combine_rounds: usize,
+    /// Combine transfer/merge structure, one entry per privatized
+    /// accumulator.
+    pub combine: Vec<CombineXfer>,
     arrays: Vec<ArrayMeta>,
+}
+
+/// Computes the combine-phase structure of a solution: the number of
+/// sequential merge rounds and one transfer shape per privatized
+/// accumulator over the accumulator's *full* canonical region (component
+/// counters at their whole ranges — tile sizes cancel out, only the group
+/// counts `R_j` matter). Empty when nothing is privatized.
+fn combine_structure(
+    component: &Component,
+    solution: &Solution,
+    exec_model: &ExecModel,
+) -> (usize, Vec<CombineXfer>) {
+    if !component.arrays.iter().any(|a| a.privatized.is_some()) {
+        return (0, Vec::new());
+    }
+    let red_r: i64 = component
+        .levels
+        .iter()
+        .zip(&solution.r)
+        .filter(|(lv, _)| lv.reduction_parallel)
+        .map(|(_, &r)| r)
+        .product();
+    if red_r <= 1 {
+        return (0, Vec::new());
+    }
+    let full: Vec<Interval> = component
+        .levels
+        .iter()
+        .map(|lv| Interval::new(0, lv.count - 1))
+        .collect();
+    let xfers = component
+        .arrays
+        .iter()
+        .filter(|a| a.privatized.is_some())
+        .map(|a| {
+            let shape = crate::timing::TransferShape {
+                range: a
+                    .canonical_range(&full)
+                    .iter()
+                    .map(|iv| iv.len() as i64)
+                    .collect(),
+                array: a.dims.clone(),
+                elem_bytes: a.elem_bytes,
+            };
+            CombineXfer {
+                lines: shape.data_line_num(),
+                line_elems: shape.data_line_size(),
+                elem_bytes: a.elem_bytes,
+                exec_ns: shape.volume() as f64 * exec_model.w,
+            }
+        })
+        .collect();
+    ((red_r - 1) as usize, xfers)
+}
+
+/// Prices the combine phase on a platform: per round, each privatized
+/// accumulator's partner partial is DMA-transferred into the merge buffer
+/// and folded element-wise; rounds run sequentially (the tree depth of a
+/// pairwise merge is bounded by the linear chain this models). Returns
+/// `(total_ns, longest_single_combine_phase_ns)` — exactly `(0.0, 0.0)`
+/// when `rounds == 0`, keeping the reduction-oblivious path bitwise
+/// identical. Shared by [`ComponentAnalysis::makespan_only`] and
+/// [`crate::segments::materialize_schedule`] so both tiers produce the
+/// same f64 bits.
+pub(crate) fn combine_time(
+    rounds: usize,
+    xfers: &[CombineXfer],
+    platform: &Platform,
+) -> (f64, f64) {
+    if rounds == 0 || xfers.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut per_round = 0.0f64;
+    let mut max_phase = 0.0f64;
+    for x in xfers {
+        let mem = transfer_time_from_lines(x.lines, x.line_elems, x.elem_bytes, platform)
+            + platform.api.dma_int_handler;
+        per_round += mem + x.exec_ns;
+        max_phase = max_phase.max(mem).max(x.exec_ns);
+    }
+    (rounds as f64 * per_round, max_phase)
 }
 
 /// Result of the fast makespan fold.
@@ -243,8 +350,12 @@ impl ComponentAnalysis {
 
         let mut spm_bytes_needed = 0i64;
         for (arr, bb) in component.arrays.iter().zip(&bounding_boxes) {
-            spm_bytes_needed += 2 * arr.elem_bytes * bb.iter().product::<i64>();
+            // Privatized accumulators keep a third buffer: the combine phase
+            // DMAs a partner group's partial next to the live copy to merge.
+            let bufs = if arr.privatized.is_some() { 3 } else { 2 };
+            spm_bytes_needed += bufs * arr.elem_bytes * bb.iter().product::<i64>();
         }
+        let (combine_rounds, combine) = combine_structure(component, solution, exec_model);
 
         Ok(ComponentAnalysis {
             solution: solution.clone(),
@@ -253,6 +364,8 @@ impl ComponentAnalysis {
             spm_bytes_needed,
             total_bytes,
             total_ops,
+            combine_rounds,
+            combine,
             arrays,
         })
     }
@@ -412,6 +525,17 @@ impl ComponentAnalysis {
             }
         }
 
+        // Explicit combine phase (reduction privatization): sequential merge
+        // rounds appended after the streaming schedule drains. Guarded so the
+        // reduction-oblivious path (`combine_rounds == 0`) stays bitwise
+        // untouched.
+        let (combine_ns, combine_phase) =
+            combine_time(self.combine_rounds, &self.combine, platform);
+        if combine_ns > 0.0 {
+            makespan += combine_ns;
+            max_phase = max_phase.max(combine_phase);
+        }
+
         Ok(FastEval {
             makespan_ns: makespan,
             max_phase_ns: max_phase,
@@ -457,6 +581,14 @@ impl ComponentAnalysis {
             && self.spm_bytes_needed == other.spm_bytes_needed
             && self.total_bytes == other.total_bytes
             && self.total_ops == other.total_ops
+            && self.combine_rounds == other.combine_rounds
+            && self.combine.len() == other.combine.len()
+            && self.combine.iter().zip(&other.combine).all(|(a, b)| {
+                a.lines == b.lines
+                    && a.line_elems == b.line_elems
+                    && a.elem_bytes == b.elem_bytes
+                    && a.exec_ns.to_bits() == b.exec_ns.to_bits()
+            })
             && self.arrays == other.arrays
             && self.cores.len() == other.cores.len()
             && self.cores.iter().zip(&other.cores).all(|(a, b)| {
@@ -1408,8 +1540,12 @@ impl CoordinateDelta {
 
         let mut spm_bytes_needed = 0i64;
         for (arr, bb) in component.arrays.iter().zip(&bounding_boxes) {
-            spm_bytes_needed += 2 * arr.elem_bytes * bb.iter().product::<i64>();
+            // Mirror of the full build: privatized accumulators keep a third
+            // partial-merge buffer.
+            let bufs = if arr.privatized.is_some() { 3 } else { 2 };
+            spm_bytes_needed += bufs * arr.elem_bytes * bb.iter().product::<i64>();
         }
+        let (combine_rounds, combine) = combine_structure(component, &solution, exec_model);
 
         Ok(ComponentAnalysis {
             solution,
@@ -1418,6 +1554,8 @@ impl CoordinateDelta {
             spm_bytes_needed,
             total_bytes,
             total_ops,
+            combine_rounds,
+            combine,
             arrays: metas.clone(),
         })
     }
@@ -1466,6 +1604,12 @@ pub fn fast_makespan(
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct AnalysisKey {
     levels: Vec<(usize, i64)>,
+    /// Per-level `parallel` flags plus the privatized accumulators: reduction
+    /// privatization mutates the component (levels become parallel, arrays
+    /// gain combine buffers and a combine phase), so analyses of the
+    /// privatized and unprivatized variants of one kernel must not collide.
+    parallel: Vec<bool>,
+    privatized: Vec<(usize, ReduceOp)>,
     model_bits: Vec<u64>,
     cores: usize,
     solution: Solution,
@@ -1482,6 +1626,13 @@ fn analysis_key(
             .levels
             .iter()
             .map(|l| (l.loop_id, l.count))
+            .collect(),
+        parallel: component.levels.iter().map(|l| l.parallel).collect(),
+        privatized: component
+            .arrays
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.privatized.map(|op| (i, op)))
             .collect(),
         model_bits: exec_model
             .o
@@ -1988,6 +2139,8 @@ mod tests {
     fn key_for(i: i64) -> AnalysisKey {
         AnalysisKey {
             levels: vec![(0, 64)],
+            parallel: vec![true],
+            privatized: vec![],
             model_bits: vec![0],
             cores: 1,
             solution: Solution {

@@ -107,6 +107,12 @@ impl AppOutcome {
 trait ComponentStrategy {
     fn solve(&self, component: &Component) -> Option<OptimizeOutcome>;
     fn stmt_instance_ns(&self, stmt: usize) -> f64;
+    /// Whether extracted components should privatize reduction accumulators
+    /// before the search ([`Component::privatize_reductions`]). Off for the
+    /// greedy baseline and off by default.
+    fn reductions(&self) -> bool {
+        false
+    }
 }
 
 struct HeuristicStrategy<'a, C: CostProvider> {
@@ -123,6 +129,10 @@ impl<C: CostProvider> ComponentStrategy for HeuristicStrategy<'_, C> {
 
     fn stmt_instance_ns(&self, stmt: usize) -> f64 {
         self.cost.stmt_instance_ns(stmt)
+    }
+
+    fn reductions(&self) -> bool {
+        self.opts.reductions
     }
 }
 
@@ -241,12 +251,15 @@ fn extract_component<'t>(
                        timings: &mut PhaseTimings|
      -> f64 {
         let mut clock = Stopwatch::start();
-        let component = Component::extract(tree, program, chain);
+        let mut component = Component::extract(tree, program, chain);
+        if strategy.reductions() {
+            component.privatize_reductions();
+        }
         timings.add("component_extraction", clock.lap());
         let solved = strategy.solve(&component);
         let solve_s = clock.lap();
         match solved {
-            Some(outcome) => {
+            Some(mut outcome) => {
                 // The final schedule build happens inside the solve; report
                 // it as its own pipeline phase.
                 timings.add("schedule_build", outcome.telemetry.schedule_build_s);
@@ -254,6 +267,16 @@ fn extract_component<'t>(
                     "tiling_search",
                     (solve_s - outcome.telemetry.schedule_build_s).max(0.0),
                 );
+                outcome.telemetry.reduction_deps = component
+                    .deps
+                    .iter()
+                    .filter(|d| d.reduction.is_some())
+                    .count();
+                outcome.telemetry.privatized_accumulators = component
+                    .arrays
+                    .iter()
+                    .filter(|a| a.privatized.is_some())
+                    .count();
                 let report = ComponentReport {
                     level_names: component.levels.iter().map(|l| l.name.clone()).collect(),
                     solution: outcome.solution,

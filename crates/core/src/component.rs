@@ -4,7 +4,7 @@
 
 use crate::looptree::{LoopTree, LoopTreeNode};
 use prem_ir::{AssignKind, Program, Statement};
-use prem_polyhedral::{DepKind, Dependence, Interval};
+use prem_polyhedral::{DepKind, Dependence, Interval, ReduceOp};
 use std::collections::BTreeMap;
 
 /// One tiled level of a component.
@@ -25,6 +25,10 @@ pub struct CompLevel {
     /// Whether the level may be tiled with arbitrary tile sizes (`false`
     /// forces a single tile `K = N`).
     pub tilable: bool,
+    /// Whether the level is sequential only because of reduction-marked
+    /// dependences and becomes parallel once the accumulators are privatized
+    /// (see [`Component::privatize_reductions`]). Disjoint from `parallel`.
+    pub reduction_parallel: bool,
 }
 
 /// R/W attribute of a streaming buffer (§5.3.2).
@@ -117,6 +121,10 @@ pub struct ArrayUse {
     /// canonical ranges are only valid for the scheduler's pinned outer
     /// values and the machine simulator must reject the program.
     pub outer_uniform: bool,
+    /// `Some(op)` when the array is a reduction accumulator that each thread
+    /// group updates privately; partials are merged with `op` in an explicit
+    /// combine phase. Set by [`Component::privatize_reductions`].
+    pub privatized: Option<ReduceOp>,
 }
 
 impl ArrayUse {
@@ -184,6 +192,10 @@ pub struct ComponentDep {
     /// Distance interval per component level (outermost first); `[0,0]` when
     /// the level is beyond the dependence's shared prefix.
     pub dist: Vec<Interval>,
+    /// Reduction marker inherited from the underlying [`Dependence`]: the
+    /// dependence only chains associative-commutative updates of the same
+    /// accumulator and may be ignored once that accumulator is privatized.
+    pub reduction: Option<ReduceOp>,
 }
 
 impl ComponentDep {
@@ -214,6 +226,7 @@ impl Component {
                 stride: n.stride,
                 parallel: n.parallel,
                 tilable: n.tilable,
+                reduction_parallel: n.reduction_parallel,
             })
             .collect();
         let stmts = chain.last().unwrap().subtree_stmts();
@@ -226,6 +239,7 @@ impl Component {
             .map(|d| ComponentDep {
                 array: d.array,
                 kind: d.kind,
+                reduction: d.reduction,
                 dist: levels
                     .iter()
                     .map(|lv| {
@@ -265,6 +279,52 @@ impl Component {
     /// Number of levels `L`.
     pub fn depth(&self) -> usize {
         self.levels.len()
+    }
+
+    /// Privatizes reduction accumulators: every `reduction_parallel` level
+    /// becomes `parallel`, and the arrays whose reduction-marked dependences
+    /// carried at those levels are marked [`ArrayUse::privatized`] with their
+    /// combine operator. Returns `true` if anything was privatized.
+    ///
+    /// Legality rests on the loop-tree analysis: `reduction_parallel` is set
+    /// only when *every* dependence blocking the level is reduction-marked.
+    /// Callers must then pay for the transformation — per-group private
+    /// accumulator copies (SPM space) and an explicit combine phase that
+    /// merges the partials with the operator (see `ComponentAnalysis`).
+    pub fn privatize_reductions(&mut self) -> bool {
+        let red: Vec<usize> = (0..self.levels.len())
+            .filter(|&j| self.levels[j].reduction_parallel && !self.levels[j].parallel)
+            .collect();
+        if red.is_empty() {
+            return false;
+        }
+        let mut ops: BTreeMap<prem_ir::ArrayId, ReduceOp> = BTreeMap::new();
+        for d in &self.deps {
+            let Some(op) = d.reduction else { continue };
+            let Some(c) = d.carry_level() else { continue };
+            if !red.contains(&c) {
+                continue;
+            }
+            if let Some(prev) = ops.insert(d.array, op) {
+                if prev != op {
+                    // Conflicting combine operators on one accumulator: the
+                    // partials cannot be merged with a single op — refuse.
+                    return false;
+                }
+            }
+        }
+        if ops.is_empty() {
+            return false;
+        }
+        for j in red {
+            self.levels[j].parallel = true;
+        }
+        for a in &mut self.arrays {
+            if let Some(&op) = ops.get(&a.array) {
+                a.privatized = Some(op);
+            }
+        }
+        true
     }
 
     /// Worst-case arithmetic work per innermost component iteration.
@@ -453,6 +513,7 @@ fn build_array_uses(
                 affected_by,
                 outer_terms: acc.outer_terms,
                 outer_uniform: acc.outer_uniform,
+                privatized: None,
             }
         })
         .collect()
@@ -562,8 +623,56 @@ mod tests {
         assert_eq!(comp.levels[0].name, "s1");
         assert!(comp.levels[0].parallel);
         assert!(!comp.levels[1].parallel);
+        // p is blocked by init↔update dependences (the `p == 0` init re-runs
+        // at every t, so it is not a pinned init): not reduction-parallel.
+        assert!(!comp.levels[1].reduction_parallel);
+        assert!(!comp.clone().privatize_reductions());
         assert_eq!(comp.exec_count, 10);
         assert_eq!(comp.stmts, vec![0, 1]);
+    }
+
+    /// Row-sum kernel with a pinned init:
+    /// for i { for j { if(j==0) acc[i]=0; acc[i] += x[i][j] } }
+    #[test]
+    fn privatize_reductions_flips_reduction_levels() {
+        let mut b = ProgramBuilder::new("rowsum");
+        let acc = b.array("acc", vec![64], ElemType::F32);
+        let x = b.array("x", vec![64, 128], ElemType::F32);
+        let i = b.begin_loop("i", 0, 1, 64);
+        let j = b.begin_loop("j", 0, 1, 128);
+        b.begin_if(Cond::atom(IdxExpr::var(j), CmpOp::Eq));
+        b.stmt(
+            acc,
+            vec![IdxExpr::var(i)],
+            AssignKind::Assign,
+            Expr::Const(0.0),
+        );
+        b.end_if();
+        b.stmt(
+            acc,
+            vec![IdxExpr::var(i)],
+            AssignKind::AddAssign,
+            Expr::load(x, vec![IdxExpr::var(i), IdxExpr::var(j)]),
+        );
+        b.end_loop();
+        b.end_loop();
+        let program = b.finish();
+        let tree = LoopTree::build(&program).unwrap();
+        let i_node = &tree.roots[0];
+        let j_node = &i_node.children[0];
+        let mut comp = Component::extract(&tree, &program, &[i_node, j_node]);
+
+        assert!(comp.levels[0].parallel);
+        assert!(!comp.levels[1].parallel);
+        assert!(comp.levels[1].reduction_parallel);
+        assert!(comp.deps.iter().any(|d| d.reduction == Some(ReduceOp::Add)));
+
+        assert!(comp.privatize_reductions());
+        assert!(comp.levels[1].parallel);
+        let a = comp.arrays.iter().find(|a| a.name == "acc").unwrap();
+        assert_eq!(a.privatized, Some(ReduceOp::Add));
+        let xs = comp.arrays.iter().find(|a| a.name == "x").unwrap();
+        assert_eq!(xs.privatized, None);
     }
 
     #[test]

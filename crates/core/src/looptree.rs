@@ -30,6 +30,12 @@ pub struct LoopTreeNode {
     /// Whether a rectangular band ending at this level may be tiled with
     /// arbitrary tile sizes (per-level distance non-negativity, §5.2.1).
     pub tilable: bool,
+    /// The level is *not* parallel under the paper's rule, but every
+    /// blocking dependence is reduction-marked: privatizing the accumulator
+    /// per thread group (and combining partials afterwards) would make it
+    /// parallel. Always computed; only acted on when the optimizer runs
+    /// with `OptimizerOptions::reductions`. Disjoint from `parallel`.
+    pub reduction_parallel: bool,
     /// Child loops.
     pub children: Vec<LoopTreeNode>,
     /// Statements whose innermost enclosing loop is this one (they live in
@@ -77,7 +83,8 @@ impl LoopTree {
     /// Propagates [`prem_ir::LowerError`] if the program is malformed.
     pub fn build(program: &Program) -> Result<LoopTree, prem_ir::LowerError> {
         let stmts = prem_ir::lower(program)?;
-        let deps = prem_polyhedral::analyze_dependences(&stmts);
+        let hints = prem_ir::reduction_hints(program);
+        let deps = prem_polyhedral::analyze_dependences_with(&stmts, &hints);
         Ok(Self::build_with(program, stmts, deps))
     }
 
@@ -177,6 +184,7 @@ fn build_nodes(nodes: &[Node], out: &mut Vec<LoopTreeNode>, out_stmts: &mut Vec<
                         exec_count,
                         parallel: false,
                         tilable: false,
+                        reduction_parallel: false,
                         children: Vec::new(),
                         own_stmts: Vec::new(),
                     };
@@ -229,6 +237,17 @@ fn annotate(node: &mut LoopTreeNode, comp_start: usize, deps: &[Dependence]) {
             subtree.contains(&d.src)
                 && subtree.contains(&d.dst)
                 && d.level_of(node.loop_id).is_some()
+                // A dependence whose shared prefix does not reach the
+                // component-start loop cannot be classified active or
+                // inactive within one component execution, so it is
+                // *excluded* from the legality filter (`false`, i.e. it
+                // constrains nothing). For `lower`-produced inputs this is
+                // unreachable: both endpoints live under `node`, hence both
+                // loop chains contain the path root → comp_start → node and
+                // the shared prefix includes comp_start. The fallback only
+                // decides the behavior for hand-built dependence lists fed
+                // through `build_with` — pinned by
+                // `malformed_shared_prefix_dep_is_ignored`.
                 && d.level_of(comp_start)
                     .map(|start| prem_polyhedral::is_active_within(d, start))
                     .unwrap_or(false)
@@ -244,6 +263,18 @@ fn annotate(node: &mut LoopTreeNode, comp_start: usize, deps: &[Dependence]) {
         && relevant.iter().all(|d| {
             let iv = d.dist_at(lvl_of(d));
             iv.is_empty() || iv.is_zero()
+        });
+    // Reduction-aware variant of the parallel rule: the level fails the
+    // paper's zero-distance test, but only because of reduction-marked
+    // dependences — every unmarked dependence is still zero/empty there.
+    // Such a level becomes parallel once the accumulator is privatized
+    // (`Component::privatize_reductions`). Computed unconditionally; inert
+    // unless the optimizer opts in.
+    node.reduction_parallel = node.tilable
+        && !node.parallel
+        && relevant.iter().all(|d| {
+            let iv = d.dist_at(lvl_of(d));
+            iv.is_empty() || iv.is_zero() || d.reduction.is_some()
         });
     // If the perfect nest continues into a single child, the child belongs
     // to the same component (same start); otherwise each child starts its
@@ -346,6 +377,13 @@ mod tests {
         // p carries the reduction into i[s1]: tilable but not parallel.
         assert!(pl.tilable, "p must be tilable");
         assert!(!pl.parallel, "p must not be parallel");
+        // p is not even reduction-parallel: the i[s1] = 0 initializer runs
+        // at every t, so init↔update dependences carried at p stay unmarked
+        // (the pinned-initializer rule requires bounds [0,0] along every
+        // loop the update's write does not index — t is not). Conservative
+        // by design; the pool kernels' r==0 && s==0 guards do qualify.
+        assert!(!pl.reduction_parallel, "p reduction-parallelism is blocked");
+        assert!(!s1.reduction_parallel, "parallel levels are not re-flagged");
         // b is parallel within its component.
         let b = &t.children[1];
         assert!(
@@ -370,6 +408,45 @@ mod tests {
         let tree = LoopTree::build(&p).unwrap();
         assert_eq!(tree.roots[0].subtree_stmts(), vec![0, 1, 2]);
         assert_eq!(tree.roots[0].children[0].subtree_stmts(), vec![0, 1]);
+    }
+
+    #[test]
+    fn malformed_shared_prefix_dep_is_ignored() {
+        // Pins the defensive `.unwrap_or(false)` in `annotate`'s relevance
+        // filter: a dependence that names the node's loop in its shared
+        // prefix but NOT the component-start loop cannot be classified, so
+        // it must be excluded — the flags come out as if it did not exist.
+        // `lower` can never produce such a dependence (both endpoints'
+        // chains contain the whole root→node path); only a hand-built list
+        // through `build_with` reaches this.
+        use prem_polyhedral::{Carry, DepKind, Interval};
+        let p = lstmish(10, 6, 7);
+        let stmts = prem_ir::lower(&p).unwrap();
+        let baseline = LoopTree::build_with(&p, stmts.clone(), vec![]);
+
+        // Loop ids: t=0, s1=1, p=2, b=3. The p node's component starts at
+        // s1 (s1 perfectly nests into p). This dependence's shared prefix
+        // claims only p — missing s1 — with a negative distance that would
+        // kill p's tilable flag if it were honored.
+        let malformed = prem_polyhedral::Dependence {
+            src: 1,
+            dst: 1,
+            array: 0,
+            src_access: 0,
+            dst_access: 0,
+            kind: DepKind::Flow,
+            carry: Carry::Level(0),
+            dist: vec![Interval::point(-1)],
+            shared: vec![2],
+            reduction: None,
+        };
+        let tree = LoopTree::build_with(&p, stmts, vec![malformed]);
+        let flags = |t: &LoopTree| {
+            let pl = &t.roots[0].children[0].children[0];
+            (pl.parallel, pl.tilable, pl.reduction_parallel)
+        };
+        assert_eq!(flags(&tree), flags(&baseline));
+        assert!(flags(&tree).1, "p stays tilable");
     }
 
     #[test]

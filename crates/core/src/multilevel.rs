@@ -373,6 +373,8 @@ mod tests {
             spm_bytes_needed: 0,
             total_bytes: 0,
             total_ops: 0,
+            combine_ns: 0.0,
+            combine_phase_ns: 0.0,
         };
         let out = evaluate_two_level(&sched, &Platform::default(), &TwoLevelConfig::default())
             .expect("empty schedule is trivially feasible");
@@ -395,6 +397,8 @@ mod tests {
             spm_bytes_needed: 0,
             total_bytes: 0,
             total_ops: 0,
+            combine_ns: 0.0,
+            combine_phase_ns: 0.0,
         };
         let out = evaluate_two_level(&sched, &Platform::default(), &TwoLevelConfig::default())
             .expect("segmentless schedule is trivially feasible");
@@ -426,6 +430,8 @@ mod tests {
             spm_bytes_needed: 0,
             total_bytes: 0,
             total_ops: 0,
+            combine_ns: 0.0,
+            combine_phase_ns: 0.0,
         };
         let out = evaluate_two_level(&sched, &Platform::default(), &TwoLevelConfig::default())
             .expect("no segment exceeds the partition");

@@ -63,6 +63,14 @@ pub struct OptimizerOptions {
     /// descent is considered converged (adaptive mode only). Also the bound
     /// the adaptive A/B tests hold selections to.
     pub convergence_eps: f64,
+    /// Reduction-aware legality: privatize accumulators so that levels whose
+    /// only blocking dependences are associative-commutative reduction
+    /// chains (`+=`, `max=`, `min=`) may run on multiple thread groups, at
+    /// the cost of per-group accumulator copies in SPM and an explicit
+    /// combine phase merging the partials. Off by default — selections and
+    /// makespans are bitwise identical to the reduction-oblivious path
+    /// (`PREM_REDUCTIONS=1` enables it in the benches).
+    pub reductions: bool,
 }
 
 impl Default for OptimizerOptions {
@@ -77,6 +85,7 @@ impl Default for OptimizerOptions {
             batched: false,
             adaptive: false,
             convergence_eps: 1e-6,
+            reductions: false,
         }
     }
 }
@@ -90,6 +99,7 @@ impl PartialEq for OptimizerOptions {
             && self.incremental == other.incremental
             && self.batched == other.batched
             && self.adaptive == other.adaptive
+            && self.reductions == other.reductions
             && self.convergence_eps.to_bits() == other.convergence_eps.to_bits()
             && match (&self.analysis_cache, &other.analysis_cache) {
                 (None, None) => true,
@@ -123,6 +133,13 @@ impl OptimizeOutcome {
 /// All valid, non-dominated thread-group assignments for a component on `p`
 /// cores (§4.3). Assignment `r'` dominates `r` if `r'_j ≥ r_j` everywhere;
 /// dominated assignments never need to be checked.
+///
+/// Privatized reduction levels are the exception to the paper's rule: extra
+/// thread groups there are *not* free — each split multiplies the combine
+/// rounds the schedule must pay — so domination additionally requires the
+/// two assignments to agree on every reduction-parallel level. Without
+/// privatization those levels are sequential (`r_j = 1` in every candidate)
+/// and the filter reduces bitwise to the paper's.
 pub fn nondominated_thread_groups(component: &Component, p: usize) -> Vec<Vec<i64>> {
     let depth = component.depth();
     let mut all: Vec<Vec<i64>> = Vec::new();
@@ -159,6 +176,11 @@ pub fn nondominated_thread_groups(component: &Component, p: usize) -> Vec<Vec<i6
             if i2 != i
                 && r2.iter().zip(r).all(|(a, b)| a >= b)
                 && r2.iter().zip(r).any(|(a, b)| a > b)
+                && component
+                    .levels
+                    .iter()
+                    .zip(r2.iter().zip(r))
+                    .all(|(lv, (a, b))| !lv.reduction_parallel || a == b)
             {
                 continue 'outer;
             }
@@ -1380,6 +1402,7 @@ mod tests {
                     stride: 1,
                     parallel: p,
                     tilable: true,
+                    reduction_parallel: false,
                 })
                 .collect(),
             stmts: vec![],

@@ -111,6 +111,15 @@ pub fn evaluate(schedule: &ComponentSchedule) -> ScheduleResult {
         }
     }
 
+    // Explicit combine phase (reduction privatization): a sequential suffix
+    // after the streaming DAG drains, priced by the same helper the fast
+    // tier uses. Guarded so schedules without privatized accumulators
+    // (`combine_ns == 0.0`) evaluate bitwise identically to before.
+    if schedule.combine_ns > 0.0 {
+        makespan += schedule.combine_ns;
+        max_phase_ns = max_phase_ns.max(schedule.combine_phase_ns);
+    }
+
     ScheduleResult {
         makespan_ns: makespan,
         exec_ns,
@@ -145,6 +154,9 @@ pub enum PhaseNode {
         /// Batch number (gates execution of the same-numbered segment).
         batch: usize,
     },
+    /// The explicit combine phase merging privatized reduction partials;
+    /// runs after every other phase has finished.
+    Combine,
 }
 
 /// Explicit DAG of program phases with node weights in ns.
@@ -282,6 +294,17 @@ pub fn build_dag(schedule: &ComponentSchedule) -> PhaseDag {
         }
     }
 
+    // Combine phase: a sequential suffix gated by every other phase, exactly
+    // like the recurrence's `makespan += combine_ns`.
+    if schedule.combine_ns > 0.0 {
+        let id = dag.nodes.len();
+        dag.nodes.push(PhaseNode::Combine);
+        dag.weights.push(schedule.combine_ns);
+        for from in 0..id {
+            dag.edges.push((from, id));
+        }
+    }
+
     dag
 }
 
@@ -341,6 +364,8 @@ mod tests {
             spm_bytes_needed: 0,
             total_bytes: 0,
             total_ops: 0,
+            combine_ns: 0.0,
+            combine_phase_ns: 0.0,
         }
     }
 

@@ -100,6 +100,13 @@ pub struct ComponentSchedule {
     pub total_bytes: i64,
     /// Total number of DMA transfers.
     pub total_ops: usize,
+    /// Total time of the explicit combine phase in ns: the sequential merge
+    /// rounds that fold privatized reduction partials after the streaming
+    /// schedule drains. Exactly `0.0` when no accumulator is privatized.
+    pub combine_ns: f64,
+    /// Longest single combine phase in ns (one partial transfer or one
+    /// element-wise merge); `0.0` when unused.
+    pub combine_phase_ns: f64,
 }
 
 /// Builds the complete segment/batch schedule for a solution.
@@ -227,6 +234,11 @@ pub fn materialize_schedule(
         });
     }
 
+    // Price the combine phase with the same helper the fast tier uses so
+    // both tiers produce identical f64 bits.
+    let (combine_ns, combine_phase_ns) =
+        crate::analysis::combine_time(analysis.combine_rounds, &analysis.combine, platform);
+
     Ok(ComponentSchedule {
         solution: analysis.solution.clone(),
         cores,
@@ -234,6 +246,8 @@ pub fn materialize_schedule(
         spm_bytes_needed: analysis.spm_bytes_needed,
         total_bytes: analysis.total_bytes,
         total_ops: analysis.total_ops,
+        combine_ns,
+        combine_phase_ns,
     })
 }
 

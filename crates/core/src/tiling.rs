@@ -472,6 +472,7 @@ mod tests {
                     stride: 1,
                     parallel: p,
                     tilable: true,
+                    reduction_parallel: false,
                 })
                 .collect(),
             stmts: vec![],

@@ -724,6 +724,35 @@ mod tests {
     }
 
     #[test]
+    fn parsed_update_statements_are_recognized_as_reductions() {
+        // Both update spellings must survive parsing in a shape
+        // `Statement::reduction_op` recognizes: the spelled-out
+        // `c[i] = c[i] + …` and an fmax accumulation.
+        let src = r#"
+            double a[8][16]; double c[8]; double m[8];
+            for (int i = 0; i < 8; i++) {
+                c[i] = 0.0;
+                for (int j = 0; j < 16; j++) {
+                    c[i] = c[i] + a[i][j];
+                    m[i] = fmax(m[i], a[i][j]);
+                }
+            }
+        "#;
+        let p = parse_kernel("rowstats", src, &[]).unwrap();
+        let hints = prem_ir::reduction_hints(&p);
+        let c = p.array_id("c").unwrap();
+        let m = p.array_id("m").unwrap();
+        assert_eq!(
+            hints.updates,
+            vec![
+                (1, c, prem_ir::ReduceOp::Add),
+                (2, m, prem_ir::ReduceOp::Max)
+            ]
+        );
+        assert_eq!(hints.inits, vec![(0, c)]);
+    }
+
+    #[test]
     fn rejects_non_affine_index() {
         let src = r#"
             float a[16];

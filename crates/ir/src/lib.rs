@@ -45,7 +45,8 @@ pub mod types;
 
 pub use expr::{Access, BinOp, CmpOp, Cond, CondAtom, Env, Expr, IdxExpr};
 pub use interp::{eval_expr, run_block, run_program, DataStore, InterpStats, MemStore};
-pub use lower::{lower, LowerError};
+pub use lower::{lower, reduction_hints, LowerError};
+pub use prem_polyhedral::{ReduceOp, ReductionHints};
 pub use program::{
     guarded_span, AssignKind, IfNode, Loop, Node, Program, ProgramBuilder, Statement,
 };

@@ -7,7 +7,7 @@
 
 use crate::expr::{CmpOp, Cond, IdxExpr};
 use crate::program::{AssignKind, Node, Program};
-use prem_polyhedral::{AccessInfo, AffExpr, Guard, LoopInfo, StmtPoly};
+use prem_polyhedral::{AccessInfo, AffExpr, Guard, LoopInfo, ReductionHints, StmtPoly};
 use std::fmt;
 
 /// Error raised when a program is not lowerable (e.g. an index expression
@@ -202,6 +202,25 @@ pub fn lower(program: &Program) -> Result<Vec<StmtPoly>, LowerError> {
         .collect())
 }
 
+/// Collects IR-level reduction facts for
+/// [`prem_polyhedral::analyze_dependences_with`]: every statement recognized
+/// as an associative-commutative accumulator update
+/// ([`crate::Statement::reduction_op`]) and every constant initializer
+/// ([`crate::Statement::is_const_init`]). Statement ids match the
+/// [`lower`]-produced [`StmtPoly`] ids, so the hints pair directly with the
+/// lowered summaries.
+pub fn reduction_hints(program: &Program) -> ReductionHints {
+    let mut hints = ReductionHints::default();
+    program.visit_statements(|s, _, _| {
+        if let Some(op) = s.reduction_op() {
+            hints.updates.push((s.id, s.target.array, op));
+        } else if s.is_const_init() {
+            hints.inits.push((s.id, s.target.array));
+        }
+    });
+    hints
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +317,53 @@ mod tests {
         b.end_loop();
         let err = lower(&b.finish()).unwrap_err();
         assert_eq!(err.loop_id, 0);
+    }
+
+    #[test]
+    fn reduction_hints_feed_dependence_marking() {
+        use crate::expr::BinOp;
+        use prem_polyhedral::{analyze_dependences_with, ReduceOp};
+
+        // for i { for j { if (j == 0) acc[i] = 0; acc[i] = acc[i] + x[i][j] } }
+        let mut b = ProgramBuilder::new("rowsum");
+        let acc = b.array("acc", vec![8], ElemType::F32);
+        let x = b.array("x", vec![8, 16], ElemType::F32);
+        let i = b.begin_loop("i", 0, 1, 8);
+        let j = b.begin_loop("j", 0, 1, 16);
+        b.begin_if(Cond::atom(IdxExpr::var(j), CmpOp::Eq));
+        b.stmt(
+            acc,
+            vec![IdxExpr::var(i)],
+            AssignKind::Assign,
+            Expr::Const(0.0),
+        );
+        b.end_if();
+        b.stmt(
+            acc,
+            vec![IdxExpr::var(i)],
+            AssignKind::Assign,
+            Expr::bin(
+                BinOp::Add,
+                Expr::load(acc, vec![IdxExpr::var(i)]),
+                Expr::load(x, vec![IdxExpr::var(i), IdxExpr::var(j)]),
+            ),
+        );
+        b.end_loop();
+        b.end_loop();
+        let p = b.finish();
+
+        let hints = reduction_hints(&p);
+        assert_eq!(hints.updates, vec![(1, acc, ReduceOp::Add)]);
+        assert_eq!(hints.inits, vec![(0, acc)]);
+
+        // End to end: the init is pinned (j == 0), so every dependence on
+        // acc — update self-deps and init↔update — is reduction-marked.
+        let polys = lower(&p).unwrap();
+        let deps = analyze_dependences_with(&polys, &hints);
+        assert!(!deps.is_empty());
+        for d in &deps {
+            assert_eq!(d.reduction, Some(ReduceOp::Add), "{d}");
+        }
     }
 
     #[test]

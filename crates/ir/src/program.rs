@@ -1,7 +1,8 @@
 //! Loop-nest programs: the IR the PREM compiler analyzes and transforms.
 
-use crate::expr::{Access, Cond, Env, Expr, IdxExpr};
+use crate::expr::{Access, BinOp, Cond, Env, Expr, IdxExpr};
 use crate::types::{ArrayDecl, ArrayId, ElemType};
+use prem_polyhedral::ReduceOp;
 use std::fmt;
 
 /// Assignment kind of a statement.
@@ -59,6 +60,48 @@ impl Statement {
     /// implicit add of `+=`).
     pub fn op_count(&self) -> u64 {
         self.rhs.op_count() + u64::from(self.kind == AssignKind::AddAssign)
+    }
+
+    /// Recognizes the statement as an associative-commutative accumulator
+    /// update and returns its operator.
+    ///
+    /// Two shapes qualify:
+    ///
+    /// * `a[..] += e` where `e` does not read array `a` (reading it — e.g.
+    ///   `a[i] += a[i-1]` — is a recurrence, not a reorderable reduction);
+    /// * the spelled-out `a[..] = op(a[..], e)` for `op ∈ {+, max, min}`,
+    ///   where exactly one operand is a load of the *same element* being
+    ///   written and the other does not read array `a`.
+    pub fn reduction_op(&self) -> Option<ReduceOp> {
+        let reads_target_array = |e: &Expr| e.loads().iter().any(|l| l.array == self.target.array);
+        match self.kind {
+            AssignKind::AddAssign => (!reads_target_array(&self.rhs)).then_some(ReduceOp::Add),
+            AssignKind::Assign => {
+                let Expr::Bin(op, l, r) = &self.rhs else {
+                    return None;
+                };
+                let op = match op {
+                    BinOp::Add => ReduceOp::Add,
+                    BinOp::Max => ReduceOp::Max,
+                    BinOp::Min => ReduceOp::Min,
+                    BinOp::Sub | BinOp::Mul | BinOp::Div => return None,
+                };
+                let is_self_load = |e: &Expr| matches!(e, Expr::Load(a) if *a == self.target);
+                match (is_self_load(l), is_self_load(r)) {
+                    (true, false) if !reads_target_array(r) => Some(op),
+                    (false, true) if !reads_target_array(l) => Some(op),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// True when the statement overwrites its target with a value loading
+    /// nothing — the constant-initializer shape that may be folded into a
+    /// reduction when its domain is pinned (see
+    /// [`prem_polyhedral::analyze_dependences_with`]).
+    pub fn is_const_init(&self) -> bool {
+        self.kind == AssignKind::Assign && self.rhs.loads().is_empty()
     }
 }
 
@@ -589,6 +632,68 @@ mod tests {
         let mut b = ProgramBuilder::new("bad");
         b.begin_loop("i", 0, 1, 4);
         let _ = b.finish();
+    }
+
+    #[test]
+    fn reduction_op_recognizes_update_shapes() {
+        let mut b = ProgramBuilder::new("red");
+        let a = b.array("a", vec![8], ElemType::F32);
+        let x = b.array("x", vec![8], ElemType::F32);
+        let i = b.begin_loop("i", 0, 1, 8);
+        let at = |arr| Expr::load(arr, vec![IdxExpr::var(i)]);
+        // s0: a[i] += x[i]                      → Add
+        b.stmt(a, vec![IdxExpr::var(i)], AssignKind::AddAssign, at(x));
+        // s1: a[i] = a[i] + x[i]  (spelled out) → Add
+        b.stmt(
+            a,
+            vec![IdxExpr::var(i)],
+            AssignKind::Assign,
+            Expr::bin(crate::expr::BinOp::Add, at(a), at(x)),
+        );
+        // s2: a[i] = max(x[i], a[i]) (operand order flipped) → Max
+        b.stmt(
+            a,
+            vec![IdxExpr::var(i)],
+            AssignKind::Assign,
+            Expr::bin(crate::expr::BinOp::Max, at(x), at(a)),
+        );
+        // s3: a[i] = a[i] - x[i] — subtraction is not commutative-mergeable
+        b.stmt(
+            a,
+            vec![IdxExpr::var(i)],
+            AssignKind::Assign,
+            Expr::bin(crate::expr::BinOp::Sub, at(a), at(x)),
+        );
+        // s4: a[i] += a[i] — rhs reads the accumulator array: a recurrence
+        b.stmt(a, vec![IdxExpr::var(i)], AssignKind::AddAssign, at(a));
+        // s5: a[i] = max(a[i], a[i]) — both operands are the accumulator
+        b.stmt(
+            a,
+            vec![IdxExpr::var(i)],
+            AssignKind::Assign,
+            Expr::bin(crate::expr::BinOp::Max, at(a), at(a)),
+        );
+        // s6: a[i] = 0.0 — initializer, not an update
+        b.stmt(
+            a,
+            vec![IdxExpr::var(i)],
+            AssignKind::Assign,
+            Expr::Const(0.0),
+        );
+        b.end_loop();
+        let p = b.finish();
+        let mut ops = Vec::new();
+        let mut inits = Vec::new();
+        p.visit_statements(|s, _, _| {
+            ops.push(s.reduction_op());
+            inits.push(s.is_const_init());
+        });
+        use prem_polyhedral::ReduceOp::*;
+        assert_eq!(
+            ops,
+            vec![Some(Add), Some(Add), Some(Max), None, None, None, None]
+        );
+        assert_eq!(inits, vec![false, false, false, false, false, false, true]);
     }
 
     #[test]

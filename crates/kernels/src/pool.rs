@@ -70,6 +70,41 @@ impl PoolConfig {
         }
     }
 
+    /// A shape whose parallelism lives almost entirely in the pooling
+    /// window: only `np · nq = 4` output points but a `6 × 6` reduction per
+    /// point. Under the paper's §5.2.1 rule at most 4 threads are legal; the
+    /// reduction-aware rule can split the window across further thread
+    /// groups. Used to exercise accumulator privatization.
+    pub fn window_dominant(op: PoolOp) -> Self {
+        PoolConfig {
+            op,
+            nn: 1,
+            nc: 1,
+            np: 2,
+            nq: 2,
+            window: 6,
+            stride: 6,
+        }
+    }
+
+    /// Like [`PoolConfig::window_dominant`] but with a `64 × 64` window, so
+    /// the per-point reduction carries enough work (≈ 16 K accumulations)
+    /// that splitting it across thread groups beats the per-core API setup
+    /// plus the combine phase. This is the shape where reduction-aware
+    /// legality *improves* the modeled makespan instead of merely matching
+    /// it.
+    pub fn reduction_bound(op: PoolOp) -> Self {
+        PoolConfig {
+            op,
+            nn: 1,
+            nc: 1,
+            np: 2,
+            nq: 2,
+            window: 64,
+            stride: 64,
+        }
+    }
+
     /// Input height.
     pub fn in_h(&self) -> i64 {
         self.np * self.stride + self.window - self.stride
@@ -220,15 +255,36 @@ mod tests {
     #[test]
     fn pool_is_fully_parallel_component() {
         use prem_core::LoopTree;
-        let cfg = PoolConfig::small(PoolOp::Sum);
-        let tree = LoopTree::build(&cfg.build()).unwrap();
-        // All of n, c, p, q are parallel; r and s carry the reduction.
-        let mut node = &tree.roots[0];
-        for expected in ["n", "c", "p", "q"] {
-            assert_eq!(node.name, expected);
-            assert!(node.parallel, "{} should be parallel", node.name);
-            node = &node.children[0];
+        for op in [PoolOp::Sum, PoolOp::Max] {
+            let cfg = PoolConfig::small(op);
+            let tree = LoopTree::build(&cfg.build()).unwrap();
+            // All of n, c, p, q are parallel; r and s carry the reduction.
+            let mut node = &tree.roots[0];
+            for expected in ["n", "c", "p", "q"] {
+                assert_eq!(node.name, expected);
+                assert!(node.parallel, "{} should be parallel", node.name);
+                assert!(
+                    !node.reduction_parallel,
+                    "{} is plainly parallel, not reduction-parallel",
+                    node.name
+                );
+                node = &node.children[0];
+            }
+            // r is sequential under the §5.2.1 rule, but every distance it
+            // carries belongs to the `out` accumulator update (`+=` /
+            // `max=`), so it is reduction-parallel: privatizing `out` makes
+            // r a legal thread-group level.
+            assert_eq!(node.name, "r");
+            assert!(!node.parallel, "r must not be parallel");
+            assert!(node.tilable, "r stays tilable");
+            assert!(node.reduction_parallel, "r carries only the reduction");
+            // s is not even tilable (the window-overlap anti-dependence
+            // carried at r has a negative distance component at s), and
+            // `reduction_parallel` deliberately implies `tilable` — so s is
+            // excluded and folds into the component leaf instead.
+            let s = &node.children[0];
+            assert_eq!(s.name, "s");
+            assert!(!s.parallel && !s.tilable && !s.reduction_parallel);
         }
-        assert!(!node.parallel, "r must not be parallel");
     }
 }

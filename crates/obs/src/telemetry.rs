@@ -100,6 +100,13 @@ pub struct SearchTelemetry {
     /// Batched-scan candidates answered by the monotone segment-cap
     /// shortcut without walking any tiles.
     pub scan_truncations: usize,
+    /// Intra-component dependences classified as reduction chains
+    /// (associative-commutative accumulator updates). Counted whether or not
+    /// the reduction pass is enabled — the detector always runs.
+    pub reduction_deps: usize,
+    /// Accumulator arrays actually privatized for parallel execution
+    /// (nonzero only when the optimizer runs with reductions enabled).
+    pub privatized_accumulators: usize,
 }
 
 impl SearchTelemetry {
@@ -131,6 +138,8 @@ impl SearchTelemetry {
             delta_declines: 0,
             batched_scans: 0,
             scan_truncations: 0,
+            reduction_deps: 0,
+            privatized_accumulators: 0,
         }
     }
 
@@ -211,6 +220,8 @@ impl SearchTelemetry {
         self.delta_declines += other.delta_declines;
         self.batched_scans += other.batched_scans;
         self.scan_truncations += other.scan_truncations;
+        self.reduction_deps += other.reduction_deps;
+        self.privatized_accumulators += other.privatized_accumulators;
         self.best_makespan_ns = self.best_makespan_ns.min(other.best_makespan_ns);
     }
 
@@ -261,6 +272,14 @@ impl SearchTelemetry {
             (
                 "scan_truncations".to_string(),
                 Json::from(self.scan_truncations),
+            ),
+            (
+                "reduction_deps".to_string(),
+                Json::from(self.reduction_deps),
+            ),
+            (
+                "privatized_accumulators".to_string(),
+                Json::from(self.privatized_accumulators),
             ),
             ("convergence_ns".to_string(), Json::from(self.convergence())),
         ];
@@ -341,6 +360,8 @@ mod tests {
         t.delta_declines = 2;
         t.batched_scans = 11;
         t.scan_truncations = 4;
+        t.reduction_deps = 2;
+        t.privatized_accumulators = 1;
         t.absorb(&SearchTelemetry::single(vec![1], 60.0));
         assert_eq!(t.evals, 18);
         assert_eq!(t.best_makespan_ns, 60.0);
@@ -358,6 +379,8 @@ mod tests {
         assert_eq!(t.delta_declines, 2);
         assert_eq!(t.batched_scans, 11);
         assert_eq!(t.scan_truncations, 4);
+        assert_eq!(t.reduction_deps, 2);
+        assert_eq!(t.privatized_accumulators, 1);
     }
 
     #[test]
@@ -380,6 +403,8 @@ mod tests {
             "delta_declines",
             "batched_scans",
             "scan_truncations",
+            "reduction_deps",
+            "privatized_accumulators",
             "convergence_ns",
             "assignments",
         ] {

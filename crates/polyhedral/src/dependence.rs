@@ -39,6 +39,54 @@ impl fmt::Display for DepKind {
     }
 }
 
+/// Associative-commutative operator of a reduction update statement
+/// (`a[..] += e`, `a[..] = max(a[..], e)`, `a[..] = min(a[..], e)`).
+///
+/// Reductions over these operators may be evaluated in any order, so a
+/// dependence that only chains successive updates of the same accumulator
+/// can be ignored for parallelization — provided each thread group gets a
+/// private copy of the accumulator and the partials are merged with the same
+/// operator afterwards (Polly-style reduction handling, arXiv:1505.07716).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// `+=` — merged by addition, identity `0.0`.
+    Add,
+    /// `max=` — merged by maximum, identity `-inf`.
+    Max,
+    /// `min=` — merged by minimum, identity `+inf`.
+    Min,
+}
+
+impl ReduceOp {
+    /// The operator's identity element: `combine(identity, x) == x`.
+    pub fn identity(self) -> f64 {
+        match self {
+            ReduceOp::Add => 0.0,
+            ReduceOp::Max => f64::NEG_INFINITY,
+            ReduceOp::Min => f64::INFINITY,
+        }
+    }
+
+    /// Applies the operator to two partials.
+    pub fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Add => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+}
+
+impl fmt::Display for ReduceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReduceOp::Add => write!(f, "add"),
+            ReduceOp::Max => write!(f, "max"),
+            ReduceOp::Min => write!(f, "min"),
+        }
+    }
+}
+
 /// The loop level that carries a dependence box.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Carry {
@@ -72,6 +120,12 @@ pub struct Dependence {
     pub dist: Vec<Interval>,
     /// Global loop ids of the shared prefix the distances refer to.
     pub shared: Vec<usize>,
+    /// `Some(op)` when the dependence only chains associative-commutative
+    /// updates of one accumulator (or connects such an update with its
+    /// pinned initializer) and may therefore be ignored for parallelization
+    /// under accumulator privatization. Set by [`analyze_dependences_with`]
+    /// from IR-level [`ReductionHints`]; always `None` without hints.
+    pub reduction: Option<ReduceOp>,
 }
 
 impl Dependence {
@@ -151,6 +205,33 @@ impl Equation {
 /// Number of constraint-propagation sweeps used to tighten distance boxes.
 const PROPAGATION_PASSES: usize = 3;
 
+/// IR-level facts about reduction statements, fed into
+/// [`analyze_dependences_with`] to mark reduction dependences.
+///
+/// The polyhedral layer cannot see operators — a [`StmtPoly`] only records
+/// *which* elements a statement touches, not *how* it combines them. The IR
+/// layer recognizes the update patterns (`a[..] += e` and the spelled-out
+/// `a[..] = op(a[..], e)` forms) and passes them down here, where they are
+/// matched against the computed dependence endpoints.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReductionHints {
+    /// `(statement id, array id, operator)` of each recognized
+    /// associative-commutative accumulator update.
+    pub updates: Vec<(usize, usize, ReduceOp)>,
+    /// `(statement id, array id)` of each statement that overwrites the
+    /// array with a value loading nothing (a constant initializer). Inits
+    /// are only folded into a reduction when their domain is pinned so they
+    /// execute inside reduction group 0 (see [`analyze_dependences_with`]).
+    pub inits: Vec<(usize, usize)>,
+}
+
+impl ReductionHints {
+    /// True when no update statements were recognized.
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+}
+
 /// Computes all dependence boxes of a program given as polyhedral statement
 /// summaries.
 ///
@@ -180,6 +261,29 @@ const PROPAGATION_PASSES: usize = 3;
 /// assert!(deps.iter().any(|d| d.dist_at(1).lo >= 1));
 /// ```
 pub fn analyze_dependences(stmts: &[StmtPoly]) -> Vec<Dependence> {
+    analyze_dependences_with(stmts, &ReductionHints::default())
+}
+
+/// [`analyze_dependences`] plus reduction classification: dependences that
+/// only chain associative-commutative updates of one accumulator get their
+/// [`Dependence::reduction`] marker set.
+///
+/// A dependence on array `A` is marked with operator `op` when some
+/// recognized update statement `U` of `(A, op)` satisfies:
+///
+/// * at least one endpoint of the dependence is `U`, and
+/// * the other endpoint is `U` itself, or an initializer of `A` whose
+///   domain is *pinned*: every enclosing loop the update's write access
+///   does not index must be restricted (by guards) to counter value `0`,
+///   so the initializer executes inside reduction thread group 0 and the
+///   privatized replicas can start from the operator's identity instead.
+///
+/// Everything else — in particular dependences connecting two *different*
+/// update statements, or an update with an unrelated reader of the
+/// accumulated value — keeps `reduction: None` and constrains
+/// parallelization exactly as before. With empty hints the result is
+/// identical to [`analyze_dependences`].
+pub fn analyze_dependences_with(stmts: &[StmtPoly], hints: &ReductionHints) -> Vec<Dependence> {
     let mut deps = Vec::new();
     for a in stmts {
         for b in stmts {
@@ -198,7 +302,67 @@ pub fn analyze_dependences(stmts: &[StmtPoly]) -> Vec<Dependence> {
             }
         }
     }
+    if !hints.is_empty() {
+        for dep in &mut deps {
+            dep.reduction = classify_reduction(dep, stmts, hints);
+        }
+    }
     deps
+}
+
+/// Decides whether `dep` is a reduction dependence under `hints`; see
+/// [`analyze_dependences_with`] for the rule.
+fn classify_reduction(
+    dep: &Dependence,
+    stmts: &[StmtPoly],
+    hints: &ReductionHints,
+) -> Option<ReduceOp> {
+    for &(u, arr, op) in &hints.updates {
+        if arr != dep.array || (dep.src != u && dep.dst != u) {
+            continue;
+        }
+        let endpoints_ok = [dep.src, dep.dst]
+            .iter()
+            .all(|&e| e == u || is_pinned_init(e, arr, u, stmts, hints));
+        if endpoints_ok {
+            return Some(op);
+        }
+    }
+    None
+}
+
+/// True when statement `init` is a recognized initializer of array `arr`
+/// whose domain is pinned to reduction group 0 relative to update `upd`:
+/// along every enclosing loop the update's write access does not index, the
+/// initializer's guard-tightened bounds must be exactly `[0, 0]`.
+fn is_pinned_init(
+    init: usize,
+    arr: usize,
+    upd: usize,
+    stmts: &[StmtPoly],
+    hints: &ReductionHints,
+) -> bool {
+    if !hints.inits.contains(&(init, arr)) {
+        return false;
+    }
+    let (Some(init_s), Some(upd_s)) = (
+        stmts.iter().find(|s| s.id == init),
+        stmts.iter().find(|s| s.id == upd),
+    ) else {
+        return false;
+    };
+    let Some(write) = upd_s.accesses.iter().find(|a| a.is_write && a.array == arr) else {
+        return false;
+    };
+    let bounds = init_s.tightened_bounds();
+    init_s.loops.iter().enumerate().all(|(k, l)| {
+        let indexed = upd_s
+            .loops
+            .iter()
+            .position(|ul| ul.var == l.var)
+            .is_some_and(|pos| write.indices.iter().any(|ix| ix.coeff(pos) != 0));
+        indexed || bounds[k] == Interval::point(0)
+    })
 }
 
 /// Computes the lex-decomposed dependence boxes for one ordered access pair
@@ -268,6 +432,7 @@ fn dependence_pair(
             carry: Carry::Level(level),
             dist: boxed,
             shared: shared.clone(),
+            reduction: None,
         });
     }
 
@@ -286,6 +451,7 @@ fn dependence_pair(
                 carry: Carry::Equal,
                 dist: boxed,
                 shared,
+                reduction: None,
             });
         }
     }
@@ -516,6 +682,121 @@ mod tests {
         assert!(deps
             .iter()
             .any(|d| d.src == 0 && d.dst == 1 && d.carry == Carry::Equal));
+    }
+
+    #[test]
+    fn reduction_hints_mark_update_self_deps() {
+        // matvec: c[i] = c[i] + ... — a += reduction over j on array 0.
+        let s = matvec_stmt(100);
+        let hints = ReductionHints {
+            updates: vec![(0, 0, ReduceOp::Add)],
+            inits: vec![],
+        };
+        let deps = analyze_dependences_with(std::slice::from_ref(&s), &hints);
+        assert!(!deps.is_empty());
+        // Every dependence here chains the update with itself → all marked.
+        for d in &deps {
+            assert_eq!(d.reduction, Some(ReduceOp::Add), "{d}");
+        }
+        // Without hints nothing is marked and everything else is identical.
+        let plain = analyze_dependences(std::slice::from_ref(&s));
+        assert_eq!(plain.len(), deps.len());
+        for (p, h) in plain.iter().zip(&deps) {
+            assert_eq!(p.reduction, None);
+            assert_eq!(
+                (p.src, p.dst, p.kind, p.carry, &p.dist),
+                (h.src, h.dst, h.kind, h.carry, &h.dist)
+            );
+        }
+    }
+
+    #[test]
+    fn pinned_init_joins_reduction_unpinned_does_not() {
+        // s0 (init, guarded p == 0): acc[s1] = 0 ; s1: acc[s1] += ...
+        // over loops (s1, p). The guard pins p to [0,0], so init↔update
+        // dependences are reduction dependences. Dropping the guard leaves
+        // the init executing at every p — then only update self-deps keep
+        // the marker.
+        let make = |guards: Vec<Guard>| {
+            let s0 = StmtPoly {
+                id: 0,
+                loops: vec![LoopInfo::new(0, 8), LoopInfo::new(1, 8)],
+                guards,
+                position: vec![0, 0, 0],
+                accesses: vec![AccessInfo::write(0, vec![AffExpr::var(0, 2)])],
+            };
+            let s1 = StmtPoly {
+                id: 1,
+                loops: vec![LoopInfo::new(0, 8), LoopInfo::new(1, 8)],
+                guards: vec![],
+                position: vec![0, 0, 1],
+                accesses: vec![
+                    AccessInfo::read(0, vec![AffExpr::var(0, 2)]),
+                    AccessInfo::write(0, vec![AffExpr::var(0, 2)]),
+                ],
+            };
+            vec![s0, s1]
+        };
+        let hints = ReductionHints {
+            updates: vec![(1, 0, ReduceOp::Add)],
+            inits: vec![(0, 0)],
+        };
+
+        let pinned = analyze_dependences_with(&make(vec![Guard::eq(AffExpr::var(1, 2))]), &hints);
+        assert!(pinned.iter().any(|d| d.src != d.dst));
+        for d in &pinned {
+            assert_eq!(d.reduction, Some(ReduceOp::Add), "{d}");
+        }
+
+        let unpinned = analyze_dependences_with(&make(vec![]), &hints);
+        for d in &unpinned {
+            let expect = if d.src == 1 && d.dst == 1 {
+                Some(ReduceOp::Add)
+            } else {
+                None
+            };
+            assert_eq!(d.reduction, expect, "{d}");
+        }
+    }
+
+    #[test]
+    fn unrelated_reader_is_not_a_reduction_dep() {
+        // s0: acc[i] += x ; s1: y[i] = acc[i] — the read in s1 observes the
+        // running partial, so s0↔s1 dependences must keep blocking.
+        let s0 = StmtPoly {
+            id: 0,
+            loops: vec![LoopInfo::new(0, 8), LoopInfo::new(1, 8)],
+            guards: vec![],
+            position: vec![0, 0, 0],
+            accesses: vec![
+                AccessInfo::read(0, vec![AffExpr::var(0, 2)]),
+                AccessInfo::write(0, vec![AffExpr::var(0, 2)]),
+            ],
+        };
+        let s1 = StmtPoly {
+            id: 1,
+            loops: vec![LoopInfo::new(0, 8), LoopInfo::new(1, 8)],
+            guards: vec![],
+            position: vec![0, 0, 1],
+            accesses: vec![
+                AccessInfo::read(0, vec![AffExpr::var(0, 2)]),
+                AccessInfo::write(1, vec![AffExpr::var(0, 2)]),
+            ],
+        };
+        let hints = ReductionHints {
+            updates: vec![(0, 0, ReduceOp::Add)],
+            inits: vec![],
+        };
+        let deps = analyze_dependences_with(&[s0, s1], &hints);
+        assert!(deps.iter().any(|d| d.src == 0 && d.dst == 1));
+        for d in &deps {
+            let expect = if d.src == 0 && d.dst == 0 {
+                Some(ReduceOp::Add)
+            } else {
+                None
+            };
+            assert_eq!(d.reduction, expect, "{d}");
+        }
     }
 
     #[test]

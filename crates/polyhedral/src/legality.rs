@@ -7,6 +7,9 @@
 //!
 //! * [`is_level_parallel`] — the paper's rule that a level can be
 //!   parallelized iff every active dependence has distance exactly zero there;
+//! * [`is_level_parallel_with_reductions`] — the same rule, except that
+//!   reduction-marked dependences are exempt (legal once the accumulator is
+//!   privatized per thread group and partials are combined afterwards);
 //! * [`tilable_prefix`] — the K-independent top-down test used to build the
 //!   loop tree (§3.3): a prefix band of component levels can be rectangularly
 //!   tiled for *any* tile sizes iff every active dependence distance is
@@ -14,6 +17,12 @@
 //! * [`verify_tiling`] — a per-`K` verification that enumerates the feasible
 //!   `(floor, mod)` decompositions of each distance, used to cross-check the
 //!   two fast rules in tests.
+//!
+//! Levels beyond a dependence's distance vector do not constrain it (the
+//! endpoints do not share those loops). That out-of-range convention is
+//! defined once, by [`Dependence::dist_at`] returning `[0, 0]` past the
+//! vector end — every check here queries distances through it rather than
+//! re-deciding the fallback inline.
 
 use crate::dependence::Dependence;
 use crate::interval::{div_floor, Interval};
@@ -33,27 +42,41 @@ pub fn is_active_within(dep: &Dependence, component_start: usize) -> bool {
 /// The paper's parallelization rule (§5.2.1): shared-prefix level `level` can
 /// be parallelized iff every dependence in `deps` has distance exactly `[0,0]`
 /// at that level. Levels beyond a dependence's shared prefix are unconstrained
-/// by it.
+/// by it — [`Dependence::dist_at`] yields `[0,0]` there, which passes.
 pub fn is_level_parallel<'a, I>(deps: I, level: usize) -> bool
 where
     I: IntoIterator<Item = &'a Dependence>,
 {
+    deps.into_iter().all(|d| d.dist_at(level).is_zero())
+}
+
+/// Reduction-aware variant of [`is_level_parallel`]: dependences carrying a
+/// [`Dependence::reduction`] marker are exempt from the zero-distance rule,
+/// because privatizing the accumulator per thread group and combining the
+/// partials afterwards removes the ordering they encode. All other
+/// dependences — including unmarked readers of the running partial —
+/// constrain the level exactly as in the paper's rule. Callers must only use
+/// this when they actually privatize (the marker alone does not make the
+/// original shared-accumulator schedule legal).
+pub fn is_level_parallel_with_reductions<'a, I>(deps: I, level: usize) -> bool
+where
+    I: IntoIterator<Item = &'a Dependence>,
+{
     deps.into_iter()
-        .all(|d| d.dist.get(level).map(|iv| iv.is_zero()).unwrap_or(true))
+        .all(|d| d.reduction.is_some() || d.dist_at(level).is_zero())
 }
 
 /// Length of the longest prefix of `levels` (shared-prefix positions,
 /// outermost first) that can be rectangularly tiled with arbitrary tile
 /// sizes: every dependence must have a non-negative distance at each banded
 /// level. Levels past the returned length must be folded into the leaf
-/// (§3.3).
+/// (§3.3). Out-of-range levels are unconstrained, via [`Dependence::dist_at`]
+/// (its `[0,0]` is non-negative).
 pub fn tilable_prefix(deps: &[&Dependence], levels: &[usize]) -> usize {
     for (i, &lv) in levels.iter().enumerate() {
         let ok = deps.iter().all(|d| {
-            d.dist
-                .get(lv)
-                .map(|iv| iv.is_empty() || iv.lo >= 0)
-                .unwrap_or(true)
+            let iv = d.dist_at(lv);
+            iv.is_empty() || iv.lo >= 0
         });
         if !ok {
             return i;
@@ -219,7 +242,7 @@ pub fn can_be_lex_negative(dims: &[Interval]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dependence::{Carry, DepKind, Dependence};
+    use crate::dependence::{Carry, DepKind, Dependence, ReduceOp};
 
     fn dep(dist: Vec<Interval>, carry: Carry) -> Dependence {
         let shared = (0..dist.len()).collect();
@@ -233,6 +256,7 @@ mod tests {
             carry,
             dist,
             shared,
+            reduction: None,
         }
     }
 
@@ -266,6 +290,47 @@ mod tests {
         let deps = [d1];
         assert!(is_level_parallel(deps.iter(), 0));
         assert!(!is_level_parallel(deps.iter(), 1));
+    }
+
+    #[test]
+    fn out_of_range_levels_are_unconstrained() {
+        // Mismatched-depth vectors: a 1-deep dependence queried at deeper
+        // levels must not constrain them. The fallback is `dist_at`'s
+        // missing-means-zero convention — zero is parallel-compatible and
+        // non-negative, so both checks pass past the vector end.
+        let shallow = dep(vec![Interval::point(1)], Carry::Level(0));
+        let deep = dep(
+            vec![Interval::zero(), Interval::zero(), Interval::point(-1)],
+            Carry::Level(2),
+        );
+        let deps = [shallow, deep];
+        // Level 1: shallow is out of range (passes), deep is zero (passes).
+        assert!(is_level_parallel(deps.iter(), 1));
+        // Level 2: shallow is out of range, deep has distance -1.
+        assert!(!is_level_parallel(deps.iter(), 2));
+        // Way past every vector: vacuously parallel.
+        assert!(is_level_parallel(deps.iter(), 17));
+        // tilable_prefix sees the same convention: the band stops at the
+        // negative in-range distance, never at an out-of-range level.
+        let refs = [&deps[0], &deps[1]];
+        assert_eq!(tilable_prefix(&refs, &[1, 2, 3]), 1);
+        assert_eq!(tilable_prefix(&refs, &[1, 3, 4]), 3);
+    }
+
+    #[test]
+    fn reduction_marked_deps_are_exempt() {
+        let mut red = dep(vec![Interval::zero(), Interval::point(1)], Carry::Level(1));
+        red.reduction = Some(ReduceOp::Add);
+        let blocking = dep(vec![Interval::zero(), Interval::point(1)], Carry::Level(1));
+
+        // The marker alone legalizes the level…
+        let only_red = [red.clone()];
+        assert!(!is_level_parallel(only_red.iter(), 1));
+        assert!(is_level_parallel_with_reductions(only_red.iter(), 1));
+
+        // …but an unmarked dependence at the same level still blocks.
+        let mixed = [red, blocking];
+        assert!(!is_level_parallel_with_reductions(mixed.iter(), 1));
     }
 
     #[test]

@@ -53,11 +53,14 @@ pub mod interval;
 pub mod legality;
 
 pub use affine::{AffExpr, RemapError};
-pub use dependence::{analyze_dependences, Carry, DepKind, Dependence};
+pub use dependence::{
+    analyze_dependences, analyze_dependences_with, Carry, DepKind, Dependence, ReduceOp,
+    ReductionHints,
+};
 pub use domain::{AccessInfo, CmpKind, Guard, LoopInfo, StmtPoly};
 pub use hull::{access_hull, ranges_overlap, shape, union_hull, volume};
 pub use interval::{div_ceil, div_floor, mod_floor, Interval};
 pub use legality::{
-    can_be_lex_negative, is_active_within, is_level_parallel, tilable_prefix, verify_tiling,
-    TilingViolation,
+    can_be_lex_negative, is_active_within, is_level_parallel, is_level_parallel_with_reductions,
+    tilable_prefix, verify_tiling, TilingViolation,
 };

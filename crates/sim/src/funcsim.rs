@@ -11,13 +11,28 @@
 //! Within one component execution no dependence crosses cores (that is what
 //! the parallel-legality flag guarantees), so cores are executed sequentially
 //! without loss of functional fidelity.
+//!
+//! # Privatized reductions
+//!
+//! When [`Component::privatize_reductions`] has split a reduction level
+//! across thread groups, each array marked [`ArrayUse::privatized`] gets a
+//! private accumulator per reduction group. The *primary* group (group 0
+//! along every reduction-parallel level) owns the original memory: it runs
+//! the kernel's own initialization and writes back by plain overwrite,
+//! exactly like the non-reduction path. Every other group seeds its buffer
+//! with the operator's identity on bind — no DMA load, the memory contents
+//! must not be double-counted — and folds its partial into main memory with
+//! [`ReduceOp::combine`] on every unload. Primary cores execute first so
+//! the overwrite (which establishes the initialized partial) lands before
+//! any combine. With no privatized arrays every core is vacuously primary
+//! and the execution order and semantics are unchanged.
 
 use prem_core::{
     build_schedule, ArrayUse, BufferAttr, Component, ComponentSchedule, Platform, Solution,
     TilePlan,
 };
 use prem_ir::{run_block, DataStore, Env, InterpStats, MemStore, Node, Program};
-use prem_polyhedral::Interval;
+use prem_polyhedral::{Interval, ReduceOp};
 use std::cell::RefCell;
 use std::fmt;
 
@@ -298,6 +313,47 @@ impl DataStore for SpmStore<'_, '_> {
     }
 }
 
+/// Folds a canonical range of an SPM buffer into main memory with a
+/// reduction operator: `mem = op(mem, spm)` per element. Used when a
+/// non-primary reduction group unloads its private accumulator.
+fn dma_combine(
+    store: &mut MemStore,
+    arr: &ArrayUse,
+    buffer: &SpmBuffer,
+    bbox: &[i64],
+    range: &[Interval],
+    op: ReduceOp,
+) -> i64 {
+    if range.iter().any(|iv| iv.is_empty()) {
+        return 0;
+    }
+    let mut idx: Vec<i64> = range.iter().map(|iv| iv.lo).collect();
+    let ndims = range.len();
+    let mut bytes = 0i64;
+    'outer: loop {
+        let mut off = 0i64;
+        for ((iv, &b), &i) in range.iter().zip(bbox).zip(&idx) {
+            off = off * b + (i - iv.lo);
+        }
+        let folded = op.combine(store.load(arr.array, &idx), buffer.data[off as usize]);
+        store.store(arr.array, &idx, folded);
+        bytes += arr.elem_bytes;
+        let mut d = ndims;
+        loop {
+            if d == 0 {
+                break 'outer;
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] <= range[d].hi {
+                break;
+            }
+            idx[d] = range[d].lo;
+        }
+    }
+    bytes
+}
+
 /// Copies a canonical range between main memory and an SPM buffer.
 fn dma_copy(
     store: &mut MemStore,
@@ -361,10 +417,45 @@ fn run_component(
         .body
         .clone();
 
-    for (core_idx, core) in schedule.cores.iter().enumerate() {
+    // Reduction-group bookkeeping: a core is *primary* when its thread-group
+    // index is 0 along every reduction-parallel level. Primary cores run the
+    // standard overwrite path and must execute before any non-primary core
+    // folds a partial on top of their result.
+    let has_privatized = comp.arrays.iter().any(|a| a.privatized.is_some());
+    let depth = comp.levels.len();
+    let mut weight = vec![1i64; depth];
+    for j in (0..depth.saturating_sub(1)).rev() {
+        weight[j] = weight[j + 1] * planned.solution.r[j + 1];
+    }
+    let is_primary = |core: usize| -> bool {
+        !has_privatized
+            || comp.levels.iter().enumerate().all(|(j, lv)| {
+                !lv.reduction_parallel || (core as i64 / weight[j]) % planned.solution.r[j] == 0
+            })
+    };
+    let core_order: Vec<usize> = (0..schedule.cores.len())
+        .filter(|&c| is_primary(c))
+        .chain((0..schedule.cores.len()).filter(|&c| !is_primary(c)))
+        .collect();
+
+    for core_idx in core_order {
+        let core = &schedule.cores[core_idx];
         if core.nseg() == 0 {
             continue;
         }
+        // Per array: the reduction operator this core must fold with on
+        // unload (`None` on primary cores and non-privatized arrays).
+        let fold_op: Vec<Option<ReduceOp>> = comp
+            .arrays
+            .iter()
+            .map(|a| {
+                if is_primary(core_idx) {
+                    None
+                } else {
+                    a.privatized
+                }
+            })
+            .collect();
         let mut spm = Spm::new(&comp.arrays, &schedule.bounding_boxes);
         // Per-array swap tracking: last canonical range and swap count.
         let mut last_range: Vec<Option<Vec<Interval>>> = vec![None; comp.arrays.len()];
@@ -393,14 +484,25 @@ fn run_component(
                 let buffer = &mut spm.buffers[ai][buf_idx];
                 if needs_unload {
                     if let Some(old) = buffer.bound.clone() {
-                        stats.unload_bytes += dma_copy(store, arr, buffer, bbox, &old, false);
+                        stats.unload_bytes += match fold_op[ai] {
+                            Some(op) => dma_combine(store, arr, buffer, bbox, &old, op),
+                            None => dma_copy(store, arr, buffer, bbox, &old, false),
+                        };
                     }
                 }
-                match arr.attr {
-                    BufferAttr::Ro | BufferAttr::Rw => {
+                match (arr.attr, fold_op[ai]) {
+                    (_, Some(op)) => {
+                        // Non-primary replica of a privatized accumulator:
+                        // seed with the operator's identity, without touching
+                        // memory — loading would double-count the primary's
+                        // contribution, and any hull element the segment
+                        // never writes folds as a no-op.
+                        buffer.data.fill(op.identity());
+                    }
+                    (BufferAttr::Ro | BufferAttr::Rw, None) => {
                         stats.load_bytes += dma_copy(store, arr, buffer, bbox, &r, true);
                     }
-                    BufferAttr::Wo => {
+                    (BufferAttr::Wo, None) => {
                         // Semantically a bind without a transfer; prefill
                         // with the memory contents so that write-back of any
                         // hull element the segment does not write restores
@@ -437,7 +539,10 @@ fn run_component(
             for buf_idx in 0..2 {
                 let buffer = &mut spm.buffers[ai][buf_idx];
                 if let Some(bound) = buffer.bound.clone() {
-                    stats.unload_bytes += dma_copy(store, arr, buffer, bbox, &bound, false);
+                    stats.unload_bytes += match fold_op[ai] {
+                        Some(op) => dma_combine(store, arr, buffer, bbox, &bound, op),
+                        None => dma_copy(store, arr, buffer, bbox, &bound, false),
+                    };
                     buffer.bound = None;
                 }
             }
@@ -592,6 +697,63 @@ mod tests {
         let platform = Platform::default().with_spm_bytes(4 * 1024);
         check_kernel(&PoolConfig::small(PoolOp::Max).build(), &platform);
         check_kernel(&PoolConfig::small(PoolOp::Sum).build(), &platform);
+    }
+
+    /// Forces thread groups onto the pooling-window reduction level — a
+    /// solution the §5.2.1 rule rejects outright — and checks that the
+    /// privatized execution (identity-seeded replicas, combine on unload)
+    /// still reproduces the interpreter bit for bit within tolerance.
+    #[test]
+    fn privatized_pool_reduction_groups_are_exact() {
+        for op in [PoolOp::Max, PoolOp::Sum] {
+            let program = PoolConfig::window_dominant(op).build();
+            let platform = Platform::default().with_spm_bytes(8 * 1024).with_cores(4);
+            let tree = LoopTree::build(&program).unwrap();
+            let cost = AnalyticCost::new(&program);
+            let base = prem_core::optimize_app(
+                &tree,
+                &program,
+                &platform,
+                &cost,
+                &OptimizerOptions::default(),
+            );
+            let mut component = base.components[0].component.clone();
+            let red = component
+                .levels
+                .iter()
+                .position(|l| l.reduction_parallel)
+                .expect("pool has a reduction-parallel level");
+            assert_eq!(component.levels[red].name, "r");
+
+            // Three thread groups on r: illegal under the paper's rule...
+            let mut solution = Solution::untiled(&component);
+            solution.k[red] = 1;
+            solution.r[red] = 3;
+            assert!(matches!(
+                TilePlan::build(&component, &solution, platform.cores),
+                Err(prem_core::Infeasible::ParallelismViolation { .. })
+            ));
+
+            // ... legal once the accumulator is privatized.
+            assert!(component.privatize_reductions());
+            assert!(component.levels[red].parallel);
+            let planned = vec![PlannedComponent {
+                component,
+                solution,
+            }];
+
+            let mut reference = MemStore::patterned(&program);
+            run_program(&program, &mut reference);
+            let mut prem = MemStore::patterned(&program);
+            let stats = run_app_prem(&program, &planned, &platform, &mut prem).unwrap();
+            assert!(stats.segments > 0);
+            let diff = reference.max_abs_diff(&prem);
+            assert!(
+                diff < 1e-9,
+                "{}: privatized PREM execution diverges by {diff}",
+                program.name
+            );
+        }
     }
 
     #[test]

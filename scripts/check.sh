@@ -21,7 +21,7 @@
 #        fire one request per bundled kernel over a single keep-alive TCP
 #        connection, then saturate a 1-thread/1-slot pool to prove the 503
 #        + Retry-After overload path, and shut everything down.
-#        PREM_TIER1_BUDGET_S=240 scripts/check.sh  # override the budget
+#        PREM_TIER1_BUDGET_S=300 scripts/check.sh  # override the budget
 #        PREM_CHECK_HEAVY=1 scripts/check.sh   # heavier differential
 #        sampling, plus the tier-2 proptest/criterion suite in
 #        crates/heavy (needs vendored or network registry deps; see
@@ -43,11 +43,15 @@ for arg in "$@"; do
 done
 
 # Validate the budget override here instead of letting a typo'd value blow
-# up as a bash arithmetic error 200 lines later.
-TIER1_BUDGET_S="${PREM_TIER1_BUDGET_S:-240}"
+# up as a bash arithmetic error 200 lines later. The default matches the CI
+# setting (.github/workflows/ci.yml): tests/paper_properties alone runs
+# ~250 s on a single-core runner (measured at the PR 7 tree — its SimCost
+# sweeps dominate tier-1), so 240 s stopped being attainable without
+# weakening that suite.
+TIER1_BUDGET_S="${PREM_TIER1_BUDGET_S:-480}"
 if ! [[ "$TIER1_BUDGET_S" =~ ^[0-9]+$ ]]; then
-    echo "WARN: PREM_TIER1_BUDGET_S='${TIER1_BUDGET_S}' is not a whole number of seconds; using the default 240" >&2
-    TIER1_BUDGET_S=240
+    echo "WARN: PREM_TIER1_BUDGET_S='${TIER1_BUDGET_S}' is not a whole number of seconds; using the default 480" >&2
+    TIER1_BUDGET_S=480
 fi
 tier1_s=0
 
@@ -126,16 +130,26 @@ per_kernel = collections.OrderedDict()
 for pt in report["points"]:
     k = per_kernel.setdefault(
         pt["kernel"],
-        {"kernel": pt["kernel"], "search_s": 0.0, "fast_evals": 0, "delta_declines": 0},
+        {
+            "kernel": pt["kernel"],
+            "search_s": 0.0,
+            "fast_evals": 0,
+            "delta_declines": 0,
+            "reduction_deps": 0,
+            "privatized_accumulators": 0,
+        },
     )
     k["search_s"] += pt["search_s"]
     k["fast_evals"] += pt["fast_evals"]
     k["delta_declines"] += pt["delta_declines"]
+    k["reduction_deps"] += pt.get("reduction_deps", 0)
+    k["privatized_accumulators"] += pt.get("privatized_accumulators", 0)
 out = {
     "bench": "fig6_1",
     "mode": report["mode"],
     "adaptive": report["adaptive"],
     "batched": report["batched"],
+    "reductions": report.get("reductions", "0"),
     "kernels": list(per_kernel.values()),
     "total_search_s": sum(k["search_s"] for k in per_kernel.values()),
 }

@@ -158,6 +158,7 @@ fn tie_component() -> Component {
         stride: 1,
         parallel: true,
         tilable: true,
+        reduction_parallel: false,
     };
     Component {
         kernel: "ties".into(),

@@ -369,6 +369,7 @@ fn huge_extent_level_does_not_overflow_tile_bounds() {
         stride: 1,
         parallel: true,
         tilable: true,
+        reduction_parallel: false,
     };
     let comp = Component {
         kernel: "huge".into(),
