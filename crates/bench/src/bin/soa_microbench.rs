@@ -1,0 +1,180 @@
+//! Hermetic microbenchmark: scalar `rebuild_scan` replay vs the SoA lane
+//! walk + lane-parallel `makespan_only_batch` fold, on a synthetic 4-level
+//! nest. The scan tier runs at a mid-descent base (4 tiles per frozen
+//! level) where the frozen columns dominate; the fold tier runs at a
+//! late-search base (fully descended) where per-lane segment counts are
+//! small enough for the interleaved recurrence to engage — each tier is
+//! timed on the search shape its path exists for.
+//!
+//! Reports per-candidate nanoseconds for both paths and their ratio; the
+//! EXPERIMENTS.md "SoA landscape evaluation" section records a reference
+//! run. Results are cross-checked bitwise every iteration, so a divergence
+//! aborts the benchmark instead of timing garbage.
+//!
+//! Usage: `cargo run -p prem-bench --release --bin soa_microbench [--quick|--smoke]`
+
+use prem_bench::{new_report, write_report, RunMode};
+use prem_core::{
+    makespan_only_batch, select_tile_sizes, AnalyticCost, BatchScratch, Component,
+    ComponentAnalysis, CoordinateDelta, CostProvider, MakespanScratch, Platform, Solution,
+    SOA_LANES,
+};
+use prem_ir::{AssignKind, ElemType, Expr, IdxExpr, ProgramBuilder};
+use prem_obs::Json;
+use std::time::Instant;
+
+/// Synthetic 4-level nest: a batched 3-D stencil-ish update with two live
+/// arrays, deep enough that every frozen level contributes columns.
+fn nest4(n: [i64; 4]) -> (prem_ir::Program, Component) {
+    let mut b = ProgramBuilder::new("nest4");
+    let x = b.array("x", vec![n[0], n[1], n[2], n[3]], ElemType::F32);
+    let y = b.array("y", vec![n[0], n[1], n[2], n[3]], ElemType::F32);
+    let i0 = b.begin_loop("b", 0, 1, n[0]);
+    let i1 = b.begin_loop("i", 0, 1, n[1]);
+    let i2 = b.begin_loop("j", 0, 1, n[2]);
+    let i3 = b.begin_loop("k", 0, 1, n[3]);
+    let idx = |v| IdxExpr::var(v);
+    b.stmt(
+        y,
+        vec![idx(i0), idx(i1), idx(i2), idx(i3)],
+        AssignKind::AddAssign,
+        Expr::mul(
+            Expr::load(x, vec![idx(i0), idx(i1), idx(i2), idx(i3)]),
+            Expr::Const(0.5),
+        ),
+    );
+    b.end_loop();
+    b.end_loop();
+    b.end_loop();
+    b.end_loop();
+    let program = b.finish();
+    let tree = prem_core::LoopTree::build(&program).unwrap();
+    let chain: Vec<_> = {
+        let mut chain = Vec::new();
+        let mut node = &tree.roots[0];
+        loop {
+            chain.push(node);
+            match node.children.first() {
+                Some(c) if node.children.len() == 1 => node = c,
+                _ => break,
+            }
+        }
+        chain
+    };
+    let comp = Component::extract(&tree, &program, &chain);
+    (program, comp)
+}
+
+fn main() {
+    let mode = RunMode::from_args();
+    let (reps, n) = match mode {
+        RunMode::Full => (200usize, [8i64, 32, 32, 64]),
+        RunMode::Quick => (50, [8, 32, 32, 64]),
+        RunMode::Smoke => (5, [4, 16, 16, 32]),
+    };
+    let (program, comp) = nest4(n);
+    let cost = AnalyticCost::new(&program);
+    let model = cost.exec_model(&comp);
+    let platform = Platform::default();
+    let cores = platform.cores;
+
+    // Scan the innermost coordinate — the largest candidate list and the
+    // deepest frozen prefix. The base keeps 4 tiles per frozen level
+    // (mid-descent shape): the frozen product space is what the arena
+    // sweep amortizes over, so a trivial `M_i = 1` base would measure
+    // only lane setup.
+    let j = comp.depth() - 1;
+    let base = Solution {
+        k: comp.levels.iter().map(|l| (l.count / 4).max(1)).collect(),
+        r: vec![1, cores as i64, 1, 1],
+    };
+    let cands = select_tile_sizes(&comp, j, base.r[j]);
+    let mut delta = CoordinateDelta::new(&comp, &base, j, cores).expect("context fits");
+
+    println!(
+        "SoA microbench — 4-level nest {n:?}, {} candidates, {reps} reps",
+        cands.len()
+    );
+
+    // One warm-up + cross-check pass per path, outside the timed region.
+    let (scalar_ref, _) = delta.rebuild_scan(&comp, &cands, &model, false);
+    let (soa_ref, stats) = delta.rebuild_scan(&comp, &cands, &model, true);
+    assert!(stats.soa && !stats.fallback, "lane walk did not engage");
+    for (a, b) in scalar_ref.iter().zip(&soa_ref) {
+        match (a, b) {
+            (Ok(a), Ok(b)) => assert!(a.bitwise_eq(b), "scan divergence"),
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            _ => panic!("feasibility divergence"),
+        }
+    }
+
+    let time_scan = |delta: &mut CoordinateDelta, soa: bool| -> f64 {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let (built, _) = delta.rebuild_scan(&comp, &cands, &model, soa);
+            std::hint::black_box(&built);
+        }
+        t0.elapsed().as_secs_f64() / (reps * cands.len()) as f64 * 1e9
+    };
+    let scalar_scan_ns = time_scan(&mut delta, false);
+    let soa_scan_ns = time_scan(&mut delta, true);
+
+    // Fold tier: scalar recurrence vs the lane-interleaved batch
+    // recurrence, SOA_LANES at a time. This tier uses a late-search base
+    // (fully descended: one tile per frozen level), because that is the
+    // shape whose small per-lane segment counts the interleaved fold
+    // accepts; mid-descent lanes have thousands of segments and route
+    // through the scalar fold by design (`BATCH_NSEG_CAP`), so timing
+    // them through the batch entry point would measure the dispatch, not
+    // the interleave. Note the fold is O(100 ns)/candidate either way —
+    // two orders of magnitude below the scan tier — so this tier guards
+    // against regressions rather than demonstrating a speedup.
+    let base_fold = Solution {
+        k: comp.levels.iter().map(|l| l.count).collect(),
+        r: base.r.clone(),
+    };
+    let mut delta_fold = CoordinateDelta::new(&comp, &base_fold, j, cores).expect("context fits");
+    let (fold_ref, _) = delta_fold.rebuild_scan(&comp, &cands, &model, false);
+    let analyses: Vec<&ComponentAnalysis> =
+        fold_ref.iter().filter_map(|r| r.as_ref().ok()).collect();
+    // Late-search folds cost O(100 ns) each — repeat enough for the timed
+    // region to dwarf timer noise.
+    let fold_reps = reps.max(20) * 1000;
+    let mut scratch = MakespanScratch::default();
+    let t0 = Instant::now();
+    for _ in 0..fold_reps {
+        for a in &analyses {
+            std::hint::black_box(&a.makespan_only(&platform, &mut scratch).ok());
+        }
+    }
+    let scalar_fold_ns = t0.elapsed().as_secs_f64() / (fold_reps * analyses.len()) as f64 * 1e9;
+    let mut batch = BatchScratch::default();
+    let t0 = Instant::now();
+    for _ in 0..fold_reps {
+        for chunk in analyses.chunks(SOA_LANES) {
+            std::hint::black_box(&makespan_only_batch(chunk, &platform, &mut batch));
+        }
+    }
+    let soa_fold_ns = t0.elapsed().as_secs_f64() / (fold_reps * analyses.len()) as f64 * 1e9;
+
+    println!("  scan  (rebuild): scalar {scalar_scan_ns:9.1} ns/cand   soa {soa_scan_ns:9.1} ns/cand   x{:.2}", scalar_scan_ns / soa_scan_ns);
+    println!("  fold  (makespan): scalar {scalar_fold_ns:9.1} ns/cand   soa {soa_fold_ns:9.1} ns/cand   x{:.2}", scalar_fold_ns / soa_fold_ns);
+
+    let mut report = new_report("soa_microbench", mode);
+    report
+        .set(
+            "config",
+            Json::obj([
+                ("n".to_string(), Json::from(n.to_vec())),
+                ("candidates".to_string(), Json::from(cands.len())),
+                ("reps".to_string(), Json::from(reps)),
+            ]),
+        )
+        .set("scalar_scan_ns_per_cand", scalar_scan_ns)
+        .set("soa_scan_ns_per_cand", soa_scan_ns)
+        .set("scan_speedup", scalar_scan_ns / soa_scan_ns)
+        .set("scalar_fold_ns_per_cand", scalar_fold_ns)
+        .set("soa_fold_ns_per_cand", soa_fold_ns)
+        .set("fold_speedup", scalar_fold_ns / soa_fold_ns);
+    write_report(&report);
+}

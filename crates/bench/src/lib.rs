@@ -161,6 +161,16 @@ pub fn reductions_enabled() -> bool {
     prem_obs::env_flag("PREM_REDUCTIONS", false)
 }
 
+/// Whether the benches evaluate batched scans through the SoA frozen-delta
+/// arena and the lane-parallel makespan fold (`OptimizerOptions::soa`). On
+/// by default; `PREM_SOA=0` (or `false`/`off`/`no`) restores the scalar
+/// replay, whose selections, makespans and schedules are bitwise identical —
+/// the switch exists for exactly that A/B. Parsed by
+/// [`prem_obs::env_flag`], which warns on unrecognized values.
+pub fn soa_enabled() -> bool {
+    prem_obs::env_flag("PREM_SOA", true)
+}
+
 /// Runs one (kernel, platform, strategy) point.
 pub fn run_point(bench: &Bench, platform: &Platform, strategy: Strategy) -> TimedRun {
     let t0 = Instant::now();
@@ -173,6 +183,7 @@ pub fn run_point(bench: &Bench, platform: &Platform, strategy: Strategy) -> Time
                 adaptive: adaptive_enabled(),
                 batched: batched_enabled(),
                 reductions: reductions_enabled(),
+                soa: soa_enabled(),
                 ..OptimizerOptions::default()
             };
             let (outcome, solve) =
@@ -264,6 +275,9 @@ pub fn run_pairs(run: &TimedRun) -> Vec<(String, Json)> {
         ("delta_declines".into(), t.delta_declines.into()),
         ("batched_scans".into(), t.batched_scans.into()),
         ("scan_truncations".into(), t.scan_truncations.into()),
+        ("soa_scans".into(), t.soa_scans.into()),
+        ("simd_batches".into(), t.simd_batches.into()),
+        ("soa_fallbacks".into(), t.soa_fallbacks.into()),
         ("reduction_deps".into(), t.reduction_deps.into()),
         (
             "privatized_accumulators".into(),
@@ -281,6 +295,7 @@ pub fn new_report(bin: &str, mode: RunMode) -> RunReport {
     r.set("adaptive", if adaptive_enabled() { "1" } else { "0" });
     r.set("batched", if batched_enabled() { "1" } else { "0" });
     r.set("reductions", if reductions_enabled() { "1" } else { "0" });
+    r.set("soa", if soa_enabled() { "1" } else { "0" });
     r
 }
 

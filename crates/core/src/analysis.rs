@@ -32,7 +32,7 @@ use crate::component::{BufferAttr, Component, DimContrib};
 use crate::config::Platform;
 use crate::segments::ComponentSchedule;
 use crate::tiling::{Infeasible, Solution, TilePlan, SEGMENT_CAP};
-use crate::timing::{transfer_time_from_lines, ExecModel, TransferShape};
+use crate::timing::{transfer_time_from_lines, ExecModel};
 use prem_polyhedral::{div_ceil, Interval, ReduceOp};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -604,6 +604,344 @@ impl ComponentAnalysis {
     }
 }
 
+/// Column cap for [`makespan_only_batch`]'s strided scratch
+/// (`cores × (max_nseg + 2) × lanes` cells); chunks past it fold lane by
+/// lane through the scalar path instead of allocating hundreds of MB for a
+/// degenerate tiny-tile chunk.
+const BATCH_CELL_CAP: usize = 1 << 21;
+
+/// Per-lane segment-count cutoff for the interleaved fold. Small-`nseg`
+/// analyses are overhead-dominated in the scalar recurrence, and lane
+/// interleaving amortizes that overhead; past this many segments both folds
+/// stream memory-bound and the batch's padded columns plus the execution
+/// column copy only add traffic, so such lanes take the scalar fold.
+const BATCH_NSEG_CAP: usize = 128;
+
+/// Reusable scratch for [`makespan_only_batch`]: the per-core batch/API
+/// columns of up to [`SOA_LANES`] analyses, lane-minor
+/// (`[(core · stride + j) · lanes + lane]`) so the phase-2 recurrence
+/// reads each lane group as one contiguous stripe.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    bt: Vec<f64>,
+    bo: Vec<u32>,
+    ap: Vec<f64>,
+    ex: Vec<f64>,
+    init: Vec<f64>,
+    prev: Vec<f64>,
+    prev2: Vec<f64>,
+    mem_fin: Vec<f64>,
+    dma: Vec<f64>,
+    makespan: Vec<f64>,
+    max_phase: Vec<f64>,
+    nseg: Vec<usize>,
+    core_g: Vec<usize>,
+    scalar: MakespanScratch,
+}
+
+/// Chunked fold: [`ComponentAnalysis::makespan_only`] for up to
+/// [`SOA_LANES`] analyses per sweep. Phase 1 (batch placement replay) runs
+/// per lane in the exact scalar order into lane-minor columns; phase 2
+/// interleaves the streaming recurrence across lanes — per lane the
+/// operation sequence is identical (extra `j` iterations past a lane's own
+/// segment count touch no state), and feasibility is folded through
+/// branchless selects instead of early-outs, so each returned [`FastEval`]
+/// is bitwise identical to the scalar fold's. Analyses must share one
+/// `(component, cores)` shape; oversized chunks fold lane by lane.
+pub fn makespan_only_batch(
+    analyses: &[&ComponentAnalysis],
+    platform: &Platform,
+    scratch: &mut BatchScratch,
+) -> Vec<Result<FastEval, Infeasible>> {
+    let mut results: Vec<Option<Result<FastEval, Infeasible>>> = vec![None; analyses.len()];
+    let mut lanes: Vec<usize> = Vec::with_capacity(analyses.len());
+    for (l, a) in analyses.iter().enumerate() {
+        if a.spm_bytes_needed > platform.spm_bytes {
+            results[l] = Some(Err(Infeasible::SpmOverflow {
+                needed: a.spm_bytes_needed,
+                capacity: platform.spm_bytes,
+            }));
+        } else {
+            lanes.push(l);
+        }
+    }
+    let finish = |results: Vec<Option<Result<FastEval, Infeasible>>>| {
+        results
+            .into_iter()
+            .map(|r| r.expect("every lane resolved"))
+            .collect()
+    };
+    // Partition the surviving lanes into runs of shape-compatible analyses
+    // whose padded column height stays close to the lanes' own segment
+    // counts. A scan's candidates span an order of magnitude in `nseg`
+    // (`M_j ∝ 1/K_j`), and the interleaved recurrence runs every lane to the
+    // run's max — padding a 1 000-segment lane against a 100 000-segment one
+    // would do 100× its scalar work. Runs keep the inflation under 1.5×;
+    // each lane's own operation sequence is unchanged by the grouping, so
+    // the per-lane results stay bitwise identical regardless of the cuts.
+    let nseg_of = |l: usize| analyses[l].cores.iter().map(|c| c.nseg).max().unwrap_or(0);
+    let mut start = 0usize;
+    while start < lanes.len() {
+        let l0 = lanes[start];
+        let ncores = analyses[l0].cores.len();
+        let mut gmax = nseg_of(l0);
+        if gmax > BATCH_NSEG_CAP {
+            results[l0] = Some(analyses[l0].makespan_only(platform, &mut scratch.scalar));
+            start += 1;
+            continue;
+        }
+        let mut own = gmax + 2;
+        let mut end = start + 1;
+        while end < lanes.len() && end - start < SOA_LANES {
+            let l = lanes[end];
+            if analyses[l].cores.len() != ncores {
+                break;
+            }
+            let n = nseg_of(l);
+            if n > BATCH_NSEG_CAP {
+                break;
+            }
+            let g2 = gmax.max(n);
+            let padded = (g2 + 2) * (end - start + 1);
+            if padded * 2 > (own + n + 2) * 3 || ncores.saturating_mul(padded) > BATCH_CELL_CAP {
+                break;
+            }
+            gmax = g2;
+            own += n + 2;
+            end += 1;
+        }
+        let run = &lanes[start..end];
+        start = end;
+        if run.len() < 2
+            || ncores.saturating_mul(gmax + 2).saturating_mul(run.len()) > BATCH_CELL_CAP
+        {
+            for &l in run {
+                results[l] = Some(analyses[l].makespan_only(platform, &mut scratch.scalar));
+            }
+        } else {
+            fold_run(analyses, run, ncores, gmax, platform, scratch, &mut results);
+        }
+    }
+    finish(results)
+}
+
+/// One interleaved fold over a shape-compatible run of lanes; the column
+/// layout and operation sequence per lane are exactly
+/// [`ComponentAnalysis::makespan_only`]'s.
+fn fold_run(
+    analyses: &[&ComponentAnalysis],
+    lanes: &[usize],
+    ncores: usize,
+    gmax: usize,
+    platform: &Platform,
+    scratch: &mut BatchScratch,
+    results: &mut [Option<Result<FastEval, Infeasible>>],
+) {
+    let stride_j = gmax + 2;
+    let ln = lanes.len();
+    let api = &platform.api;
+    scratch.bt.clear();
+    scratch.bt.resize(ncores * stride_j * ln, 0.0);
+    scratch.bo.clear();
+    scratch.bo.resize(ncores * stride_j * ln, 0);
+    scratch.ap.clear();
+    scratch.ap.resize(ncores * gmax * ln, 0.0);
+    scratch.ex.clear();
+    scratch.ex.resize(ncores * gmax * ln, 0.0);
+    scratch.init.clear();
+    scratch.init.resize(ncores * ln, 0.0);
+    scratch.nseg.clear();
+    scratch.nseg.resize(ncores * ln, 0);
+    scratch.core_g.clear();
+    scratch.core_g.resize(ncores, 0);
+    scratch.max_phase.clear();
+    scratch.max_phase.resize(ln, 0.0);
+
+    // Phase 1, per lane in scalar order (per array, per swap entry, load
+    // before unload — the f64 sums stay bitwise equal to the scalar fold).
+    for (li, &l) in lanes.iter().enumerate() {
+        let a = analyses[l];
+        let narr = a.arrays.len();
+        let mut mp = 0.0f64;
+        for (i, core) in a.cores.iter().enumerate() {
+            let nseg = core.nseg;
+            scratch.nseg[i * ln + li] = nseg;
+            scratch.core_g[i] = scratch.core_g[i].max(nseg);
+            if nseg == 0 {
+                continue;
+            }
+            let mut init = 0.0f64;
+            for (ai, list) in core.swap_lists.iter().enumerate() {
+                let meta = &a.arrays[ai];
+                for (x, e) in list.iter().enumerate() {
+                    if meta.loads {
+                        let batch = if x == 0 { 1 } else { list[x - 1].seg + 1 };
+                        let cost = api.swap_cost(meta.ndims);
+                        if batch <= 2 {
+                            init += cost;
+                        } else {
+                            scratch.ap[(i * gmax + batch - 3) * ln + li] += cost;
+                        }
+                        scratch.bt[(i * stride_j + batch) * ln + li] += transfer_time_from_lines(
+                            e.lines,
+                            e.line_elems,
+                            meta.elem_bytes,
+                            platform,
+                        ) + api.dma_int_handler;
+                        scratch.bo[(i * stride_j + batch) * ln + li] += 1;
+                    }
+                    if meta.unloads {
+                        let batch = match list.get(x + 1) {
+                            Some(next) => next.seg + 1,
+                            None => nseg + 1,
+                        };
+                        if !meta.loads && batch <= nseg {
+                            let cost = api.swap_cost(meta.ndims);
+                            if batch <= 2 {
+                                init += cost;
+                            } else {
+                                scratch.ap[(i * gmax + batch - 3) * ln + li] += cost;
+                            }
+                        }
+                        scratch.bt[(i * stride_j + batch) * ln + li] += transfer_time_from_lines(
+                            e.lines,
+                            e.line_elems,
+                            meta.elem_bytes,
+                            platform,
+                        ) + api.dma_int_handler;
+                        scratch.bo[(i * stride_j + batch) * ln + li] += 1;
+                    }
+                }
+            }
+            init += 2.0 * narr as f64 * api.allocate_buffer + api.dispatch + api.end_segment;
+            for s in 0..nseg {
+                scratch.ap[(i * gmax + s) * ln + li] += api.end_segment;
+            }
+            scratch.ap[(i * gmax + nseg - 1) * ln + li] +=
+                2.0 * narr as f64 * api.deallocate_buffer;
+            scratch.init[i * ln + li] = init;
+
+            mp = mp.max(init);
+            // Copies the lane's execution times into the lane-minor column
+            // while they are already streaming through for the phase max —
+            // phase 2 then reads lane stripes instead of gathering through
+            // three indirections per element.
+            for (s, e) in core.exec_ns.iter().enumerate() {
+                scratch.ex[(i * gmax + s) * ln + li] = *e;
+                mp = mp.max(e + scratch.ap[(i * gmax + s) * ln + li]);
+            }
+            for b in 0..=nseg + 1 {
+                mp = mp.max(scratch.bt[(i * stride_j + b) * ln + li]);
+            }
+        }
+        scratch.max_phase[li] = mp;
+    }
+
+    // Phase 2: the streaming recurrence, lanes interleaved. Per lane the
+    // visit order over (j, core) matches the scalar fold; inactive lanes
+    // keep their state through selects.
+    scratch.prev.clear();
+    scratch.prev.resize(ncores * ln, 0.0);
+    scratch.prev2.clear();
+    scratch.prev2.resize(ncores * ln, 0.0);
+    scratch.mem_fin.clear();
+    scratch.mem_fin.resize(ncores * ln, 0.0);
+    scratch.dma.clear();
+    scratch.dma.resize(ln, 0.0);
+    scratch.makespan.clear();
+    scratch.makespan.resize(ln, 0.0);
+    for i in 0..ncores {
+        for li in 0..ln {
+            scratch.prev[i * ln + li] = scratch.init[i * ln + li];
+            scratch.prev2[i * ln + li] = scratch.init[i * ln + li];
+        }
+    }
+    for j in 1..=gmax + 1 {
+        for i in 0..ncores {
+            // Lanes past their own end (`j > nseg + 1`) are inactive by the
+            // first conjunct, and lanes still in range read `bo` at row `j`
+            // itself — so an all-zero row-`j` stripe proves every lane
+            // inactive. DMA batches are sparse (only boundary segments swap),
+            // which makes this 8-integer test skim most of the grid, exactly
+            // like the scalar fold's `ops == 0` skip.
+            if j > scratch.core_g[i] + 1 {
+                continue;
+            }
+            let row = (i * stride_j + j) * ln;
+            if scratch.bo[row..row + ln].iter().all(|&o| o == 0) {
+                scratch.mem_fin[i * ln..(i + 1) * ln].fill(0.0);
+                continue;
+            }
+            for li in 0..ln {
+                let nseg = scratch.nseg[i * ln + li];
+                let jj = j.min(nseg + 1);
+                let ops = scratch.bo[(i * stride_j + jj) * ln + li];
+                let active = j <= nseg + 1 && ops != 0;
+                let gate = if j == nseg + 1 {
+                    scratch.prev[i * ln + li]
+                } else {
+                    scratch.prev2[i * ln + li]
+                };
+                let start = scratch.dma[li].max(gate);
+                let fin = start + scratch.bt[(i * stride_j + jj) * ln + li];
+                scratch.dma[li] = if active { fin } else { scratch.dma[li] };
+                scratch.mem_fin[i * ln + li] = if active { fin } else { 0.0 };
+                scratch.makespan[li] = if active {
+                    scratch.makespan[li].max(fin)
+                } else {
+                    scratch.makespan[li]
+                };
+            }
+        }
+        for i in 0..ncores {
+            if j > scratch.core_g[i] {
+                continue;
+            }
+            for li in 0..ln {
+                let nseg = scratch.nseg[i * ln + li];
+                let active = j <= nseg;
+                let (e, apv) = if active {
+                    (
+                        scratch.ex[(i * gmax + j - 1) * ln + li],
+                        scratch.ap[(i * gmax + j - 1) * ln + li],
+                    )
+                } else {
+                    (0.0, 0.0)
+                };
+                let p = scratch.prev[i * ln + li];
+                let start = p.max(scratch.mem_fin[i * ln + li]);
+                let fin = start + e + apv;
+                scratch.prev2[i * ln + li] = if active {
+                    p
+                } else {
+                    scratch.prev2[i * ln + li]
+                };
+                scratch.prev[i * ln + li] = if active { fin } else { p };
+                scratch.makespan[li] = if active {
+                    scratch.makespan[li].max(fin)
+                } else {
+                    scratch.makespan[li]
+                };
+            }
+        }
+    }
+
+    for (li, &l) in lanes.iter().enumerate() {
+        let a = analyses[l];
+        let (combine_ns, combine_phase) = combine_time(a.combine_rounds, &a.combine, platform);
+        let mut makespan = scratch.makespan[li];
+        let mut max_phase = scratch.max_phase[li];
+        if combine_ns > 0.0 {
+            makespan += combine_ns;
+            max_phase = max_phase.max(combine_phase);
+        }
+        results[l] = Some(Ok(FastEval {
+            makespan_ns: makespan,
+            max_phase_ns: max_phase,
+        }));
+    }
+}
+
 /// Change-detection state for one (core, array): the most recently bound
 /// canonical range. The buffer is reusable across cores and candidates —
 /// `bound` distinguishes "nothing bound yet on this core" from whatever
@@ -661,12 +999,35 @@ fn bind_tile_array(
         true
     };
     if changed {
-        let shape = TransferShape {
-            range: r.iter().map(|iv| iv.len() as i64).collect(),
-            array: arr.dims.clone(),
-            elem_bytes: arr.elem_bytes,
+        // Allocation-free [`TransferShape`] arithmetic: `alpha`, the line
+        // structure and the volume are integer products over the same
+        // extents in the same order, so the stored values are bitwise what
+        // the materializing struct would compute — without building its two
+        // `Vec`s per changed (tile, array).
+        let n = r.len();
+        let mut alpha = n + 1;
+        for d in (0..n).rev() {
+            if r[d].len() as i64 == arr.dims[d] {
+                alpha = d + 1;
+            } else {
+                break;
+            }
+        }
+        let lines = if alpha <= 2 {
+            1
+        } else {
+            r[..alpha - 2]
+                .iter()
+                .map(|iv| iv.len() as i64)
+                .product::<i64>()
+                .max(1)
         };
-        let bytes = shape.bytes();
+        let line_elems = r[alpha.saturating_sub(2)..]
+            .iter()
+            .map(|iv| iv.len() as i64)
+            .product::<i64>()
+            .max(1);
+        let bytes = r.iter().map(|iv| iv.len() as i64).product::<i64>() * arr.elem_bytes;
         if meta.loads {
             *total_bytes += bytes;
             *total_ops += 1;
@@ -677,8 +1038,8 @@ fn bind_tile_array(
         }
         ca.swap_lists[ai].push(SwapEntry {
             seg: s0 + 1,
-            lines: shape.data_line_num(),
-            line_elems: shape.data_line_size(),
+            lines,
+            line_elems,
         });
         if let Some(rr) = &mut ca.ranges {
             rr[ai].push(r.to_vec());
@@ -704,6 +1065,56 @@ const DELTA_CELL_CAP: usize = 1 << 20;
 /// builds.
 const RANK_CELL_CAP: usize = 1 << 24;
 
+/// Candidates interleaved per sweep of the frozen SoA columns in
+/// [`CoordinateDelta::rebuild_scan`]'s lane walk, and lanes per chunk of
+/// [`makespan_only_batch`].
+pub const SOA_LANES: usize = 8;
+
+/// Per-lane cap on the moving-coordinate term columns (`M_j × slots`);
+/// candidates past it take the scalar walk (a `K_j = 1` scan point of a
+/// huge level would otherwise dominate lane setup).
+const SOA_JTERM_CAP: usize = 1 << 20;
+
+/// Depth cap for the `2^depth` extent-class execution-time table; deeper
+/// nests (not reachable from the paper kernels) take the scalar walk.
+const SOA_DEPTH_CAP: usize = 12;
+
+/// Outcome counters of one [`CoordinateDelta::rebuild_scan`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Candidates rejected by the replayed [`SEGMENT_CAP`] check.
+    pub truncations: usize,
+    /// The scan's tile walks were served by the SoA lane walk.
+    pub soa: bool,
+    /// SoA was requested but (part of) the scan fell back to the scalar
+    /// walk — rank-reduced representation, over-cap term table, or an
+    /// over-deep nest.
+    pub fallback: bool,
+}
+
+/// One candidate of a lane-group walk: its level-`j` geometry snapshot, the
+/// per-`t_j` moving-coordinate term columns, the extent-class execution
+/// table, and the per-candidate walk outputs (exactly the scalar walk's
+/// accumulators).
+struct SoaLane {
+    idx: usize,
+    solution: Solution,
+    m_j: i64,
+    jbox: Vec<Option<Interval>>,
+    add_lo: Vec<i64>,
+    add_hi: Vec<i64>,
+    kill: Vec<u8>,
+    ext_int: Vec<i64>,
+    ext_bnd: Vec<i64>,
+    exec_tab: Vec<f64>,
+    cores_out: Vec<CoreAnalysis>,
+    bounding_boxes: Vec<Vec<i64>>,
+    total_bytes: i64,
+    total_ops: usize,
+    last: Vec<LastRange>,
+    err: Option<Infeasible>,
+}
+
 /// Per-array precompute of a [`CoordinateDelta`].
 #[derive(Debug, Clone)]
 struct ArrayPlan {
@@ -721,19 +1132,31 @@ struct ArrayPlan {
 }
 
 /// Frozen-level state for one core: the reduced tile box over the levels
-/// other than `j`, plus — in the dense representation — one flat interval
-/// arena of per-reduced-tile cells. The arena is tile-major: reduced tile
-/// `ri`'s block starts at `ri * per_tile_cells`, and array `ai`'s slice sits
-/// at offset `cell_off[ai]` within the block (finished hulls for `j_free`
-/// arrays, per-contribution partial sums otherwise; `Interval::empty()`
-/// marks a partial excluded by a frozen-level guard — genuine partials are
-/// never empty since `base` is nonempty and every added term is nonempty).
-/// In the rank-reduced representation the arena stays empty; `box_red` is
-/// kept either way for the foreign-component debug check.
+/// other than `j`, plus — in the dense representation — a flat
+/// structure-of-arrays arena of per-reduced-tile cells, split into parallel
+/// `lo`/`hi` columns so the scan walk streams two homogeneous `i64` columns
+/// instead of pointer-hopping interval structs. The arena is tile-major:
+/// reduced tile `ri`'s block starts at `ri * per_tile_cells`, and array
+/// `ai`'s slice sits at offset `cell_off[ai]` within the block (finished
+/// hulls for `j_free` arrays, per-contribution partial sums otherwise; an
+/// empty interval — `lo > hi` — marks a partial excluded by a frozen-level
+/// guard; genuine partials are never empty since `base` is nonempty and
+/// every added term is nonempty). In the rank-reduced representation the
+/// columns stay empty; `box_red` is kept either way for the
+/// foreign-component debug check.
 #[derive(Debug, Clone)]
 struct FrozenCore {
     box_red: Vec<Interval>,
-    arena: Vec<Interval>,
+    arena_lo: Vec<i64>,
+    arena_hi: Vec<i64>,
+}
+
+impl FrozenCore {
+    /// The interval stored at `cell`.
+    #[inline]
+    fn cell(&self, cell: usize) -> Interval {
+        Interval::new(self.arena_lo[cell], self.arena_hi[cell])
+    }
 }
 
 /// Rank-reduced frozen storage: the partial canonical-range sum
@@ -835,6 +1258,20 @@ pub struct CoordinateDelta {
     per_tile_cells: usize,
     /// Arena offset of each array's cell slice within a reduced tile block.
     cell_off: Vec<usize>,
+    /// `M_i` per level for the frozen levels (entry `j` is the base
+    /// solution's and is ignored — lanes carry their own `M_j`).
+    frozen_m: Vec<i64>,
+    /// Interior / boundary tile extents per frozen level: every tile
+    /// `t < M_i - 1` of level `i` has extent `K_i` and only the last tile
+    /// can clip, so two classes per level describe every reachable extent
+    /// vector (entry `j` is 0; lanes fill theirs from their own ranges).
+    ext_int: Vec<i64>,
+    ext_bnd: Vec<i64>,
+    /// Moving-coordinate term slots: total contribution count across the
+    /// non-`j_free` arrays (the only ones needing a finishing term), and
+    /// each array's offset into a lane's per-`t_j` term row.
+    jslots: usize,
+    jterm_off: Vec<usize>,
     exec_memo: HashMap<Vec<i64>, f64>,
     walk: WalkScratch,
 }
@@ -995,6 +1432,25 @@ impl CoordinateDelta {
                 Some(off)
             })
             .collect();
+        let jslots: usize = plans.iter().filter(|p| !p.j_free).map(|p| p.stride).sum();
+        let jterm_off: Vec<usize> = plans
+            .iter()
+            .scan(0usize, |acc, p| {
+                let off = *acc;
+                if !p.j_free {
+                    *acc += p.stride;
+                }
+                Some(off)
+            })
+            .collect();
+        let ext_int: Vec<i64> = level_ranges
+            .iter()
+            .map(|lr| lr.first().map_or(0, |iv| iv.len() as i64))
+            .collect();
+        let ext_bnd: Vec<i64> = level_ranges
+            .iter()
+            .map(|lr| lr.last().map_or(0, |iv| iv.len() as i64))
+            .collect();
 
         // First pass: per-core reduced boxes and the dense cell total. The
         // core boxes depend only on (m_i, z_i, r_i), so for i ≠ j they match
@@ -1045,7 +1501,8 @@ impl CoordinateDelta {
 
         let mut reduced: Vec<Option<FrozenCore>> = Vec::with_capacity(cores);
         let repr = if dense_cells.is_some_and(|c| c <= DELTA_CELL_CAP) {
-            // Dense: materialize the reduced product space per core.
+            // Dense: materialize the reduced product space per core, column
+            // by column (`lo`/`hi` SoA pair).
             let mut ranges: Vec<Interval> = vec![Interval::empty(); depth];
             for bx in boxes {
                 let Some(box_red) = bx else {
@@ -1053,7 +1510,12 @@ impl CoordinateDelta {
                     continue;
                 };
                 let n_red: usize = box_red.iter().map(|iv| iv.len() as usize).product();
-                let mut arena: Vec<Interval> = Vec::with_capacity(n_red * per_tile_cells);
+                let mut arena_lo: Vec<i64> = Vec::with_capacity(n_red * per_tile_cells);
+                let mut arena_hi: Vec<i64> = Vec::with_capacity(n_red * per_tile_cells);
+                let mut push = |iv: Interval| {
+                    arena_lo.push(iv.lo);
+                    arena_hi.push(iv.hi);
+                };
                 let mut tile_red: Vec<i64> = box_red.iter().map(|iv| iv.lo).collect();
                 'tiles: loop {
                     let mut t = 0usize;
@@ -1071,12 +1533,12 @@ impl CoordinateDelta {
                                 for cb in dim {
                                     hull = hull.hull(&partial_bounds(cb, &ranges, j));
                                 }
-                                arena.push(hull);
+                                push(hull);
                             }
                         } else {
                             for dim in &arr.contribs {
                                 for cb in dim {
-                                    arena.push(partial_bounds(cb, &ranges, j));
+                                    push(partial_bounds(cb, &ranges, j));
                                 }
                             }
                         }
@@ -1094,7 +1556,11 @@ impl CoordinateDelta {
                         tile_red[t] = box_red[t].lo;
                     }
                 }
-                reduced.push(Some(FrozenCore { box_red, arena }));
+                reduced.push(Some(FrozenCore {
+                    box_red,
+                    arena_lo,
+                    arena_hi,
+                }));
             }
             FrozenRepr::Dense
         } else {
@@ -1151,7 +1617,8 @@ impl CoordinateDelta {
             for bx in boxes {
                 reduced.push(bx.map(|box_red| FrozenCore {
                     box_red,
-                    arena: Vec::new(),
+                    arena_lo: Vec::new(),
+                    arena_hi: Vec::new(),
                 }));
             }
             FrozenRepr::Rank(RankTables {
@@ -1173,6 +1640,11 @@ impl CoordinateDelta {
             repr,
             per_tile_cells,
             cell_off,
+            frozen_m: m,
+            ext_int,
+            ext_bnd,
+            jslots,
+            jterm_off,
             exec_memo: HashMap::new(),
             walk: WalkScratch::default(),
         })
@@ -1196,6 +1668,11 @@ impl CoordinateDelta {
             repr: FrozenRepr::Dense,
             per_tile_cells: 0,
             cell_off: Vec::new(),
+            frozen_m: Vec::new(),
+            ext_int: Vec::new(),
+            ext_bnd: Vec::new(),
+            jslots: 0,
+            jterm_off: Vec::new(),
             exec_memo: HashMap::new(),
             walk: WalkScratch::default(),
         }
@@ -1260,21 +1737,47 @@ impl CoordinateDelta {
     /// corresponding [`CoordinateDelta::rebuild`] / from-scratch
     /// [`ComponentAnalysis::build`].
     ///
+    /// With `soa` set and a dense frozen representation, feasible candidates
+    /// are walked [`SOA_LANES`] at a time: the frozen SoA columns are swept
+    /// once per lane group, each lane finishing its partial sums from a
+    /// per-candidate column of precomputed moving-coordinate terms and
+    /// reading tile execution times from a per-candidate extent-class table
+    /// instead of hashing extent vectors. Per-lane visit order, change
+    /// detection and first-error replay are exactly the scalar walk's, so
+    /// every element of the result stays bitwise identical; rank-reduced
+    /// and over-cap contexts fall back to the scalar walk
+    /// ([`ScanStats::fallback`]).
+    ///
     /// With candidates sorted ascending, `M_j` — and so the total segment
     /// count — is non-increasing, which makes [`SEGMENT_CAP`] violations a
     /// prefix of the scan: those candidates are answered by the replayed
-    /// `O(depth)` feasibility checks without walking a single tile. The
-    /// second return value counts them.
+    /// `O(depth)` feasibility checks without walking a single tile.
+    /// [`ScanStats::truncations`] counts them.
     pub fn rebuild_scan(
         &mut self,
         component: &Component,
         candidates: &[i64],
         exec_model: &ExecModel,
-    ) -> (Vec<Result<ComponentAnalysis, Infeasible>>, usize) {
-        let mut out = Vec::with_capacity(candidates.len());
-        let mut truncations = 0usize;
+        soa: bool,
+    ) -> (Vec<Result<ComponentAnalysis, Infeasible>>, ScanStats) {
+        let mut stats = ScanStats::default();
+        // Barren contexts never reach a tile walk (every candidate errors in
+        // the feasibility replay), so they are neither SoA scans nor
+        // fallbacks; rank-reduced contexts decline the lane walk.
+        let barren = self.reduced.is_empty();
+        let lanes_ok = soa
+            && !barren
+            && matches!(self.repr, FrozenRepr::Dense)
+            && component.depth() <= SOA_DEPTH_CAP;
+        if soa && !barren && !lanes_ok {
+            stats.fallback = true;
+        }
+
+        let mut out: Vec<Option<Result<ComponentAnalysis, Infeasible>>> =
+            (0..candidates.len()).map(|_| None).collect();
+        let mut lanes: Vec<SoaLane> = Vec::new();
         let mut plan: Option<TilePlan> = None;
-        for &kj in candidates {
+        for (idx, &kj) in candidates.iter().enumerate() {
             let mut solution = Solution {
                 k: self.k.clone(),
                 r: self.r.clone(),
@@ -1292,19 +1795,393 @@ impl CoordinateDelta {
             };
             if let Err(e) = prepared {
                 if matches!(e, Infeasible::TooManySegments { .. }) {
-                    truncations += 1;
+                    stats.truncations += 1;
                 }
-                out.push(Err(e));
+                out[idx] = Some(Err(e));
                 continue;
             }
             let p = plan.as_ref().expect("plan prepared for feasible candidate");
             if let Err(e) = crate::segments::check_persistence(component, p) {
-                out.push(Err(e));
+                out[idx] = Some(Err(e));
                 continue;
             }
-            out.push(self.rebuild_with(component, p, solution, exec_model));
+            if lanes_ok {
+                let jterm_cells = (p.m[self.j] as usize).saturating_mul(self.jslots);
+                if jterm_cells <= SOA_JTERM_CAP {
+                    lanes.push(self.make_lane(component, p, solution, idx, exec_model));
+                    if lanes.len() == SOA_LANES {
+                        self.walk_lanes(component, &mut lanes, &mut out, exec_model);
+                        stats.soa = true;
+                    }
+                    continue;
+                }
+                stats.fallback = true;
+            }
+            out[idx] = Some(self.rebuild_with(component, p, solution, exec_model));
         }
-        (out, truncations)
+        if !lanes.is_empty() {
+            self.walk_lanes(component, &mut lanes, &mut out, exec_model);
+            stats.soa = true;
+        }
+        (
+            out.into_iter()
+                .map(|o| o.expect("every candidate resolved"))
+                .collect(),
+            stats,
+        )
+    }
+
+    /// Snapshots one feasible candidate into a lane: its solution and level-
+    /// `j` tile geometry from the freshly re-targeted plan, the per-`t_j`
+    /// moving-coordinate term columns (`clip(range_j, guard_j) · coeff_j`
+    /// as `lo`/`hi`/`kill` columns — the column-wise fill pass), and an
+    /// extent-class execution-time table over interior/boundary extents per
+    /// level (lazily completed during the walk; every reachable extent
+    /// vector maps to one of `2^depth` classes because only a level's last
+    /// tile can clip).
+    fn make_lane(
+        &self,
+        component: &Component,
+        plan: &TilePlan,
+        solution: Solution,
+        idx: usize,
+        _exec_model: &ExecModel,
+    ) -> SoaLane {
+        let j = self.j;
+        let m_j = plan.m[j];
+        let ranges_j = plan.level_ranges[j].clone();
+        let jbox: Vec<Option<Interval>> = plan
+            .core_boxes
+            .iter()
+            .map(|bx| bx.as_ref().map(|b| b[j]))
+            .collect();
+
+        let n = m_j as usize * self.jslots;
+        let mut add_lo: Vec<i64> = Vec::with_capacity(n);
+        let mut add_hi: Vec<i64> = Vec::with_capacity(n);
+        let mut kill: Vec<u8> = Vec::with_capacity(n);
+        for rj in &ranges_j {
+            for p in &self.plans {
+                if p.j_free {
+                    continue;
+                }
+                for dim in &p.contrib_j {
+                    for &(coef, guard) in dim {
+                        let clipped = rj.intersect(&guard);
+                        if clipped.is_empty() {
+                            kill.push(1);
+                            add_lo.push(0);
+                            add_hi.push(0);
+                        } else if coef != 0 {
+                            let t = clipped.scale(coef);
+                            kill.push(0);
+                            add_lo.push(t.lo);
+                            add_hi.push(t.hi);
+                        } else {
+                            // Exact additive identity — `x.saturating_add(0)`
+                            // is `x`, matching the scalar walk's coeff == 0
+                            // shortcut bit for bit.
+                            kill.push(0);
+                            add_lo.push(0);
+                            add_hi.push(0);
+                        }
+                    }
+                }
+            }
+        }
+
+        let depth = component.depth();
+        let mut ext_int = self.ext_int.clone();
+        let mut ext_bnd = self.ext_bnd.clone();
+        ext_int[j] = ranges_j[0].len() as i64;
+        ext_bnd[j] = ranges_j[m_j as usize - 1].len() as i64;
+
+        SoaLane {
+            idx,
+            solution,
+            m_j,
+            jbox,
+            add_lo,
+            add_hi,
+            kill,
+            ext_int,
+            ext_bnd,
+            exec_tab: vec![f64::NAN; 1usize << depth],
+            cores_out: Vec::with_capacity(self.cores),
+            bounding_boxes: component
+                .arrays
+                .iter()
+                .map(|a| vec![0; a.dims.len()])
+                .collect(),
+            total_bytes: 0,
+            total_ops: 0,
+            last: vec![LastRange::default(); component.arrays.len()],
+            err: None,
+        }
+    }
+
+    /// The lane-group walk: one sweep of the frozen SoA columns serves every
+    /// lane. The loop nests as (reduced prefix `a` = levels < `j`, lane,
+    /// `t_j`, reduced suffix `b` = levels > `j`); for each lane the visit
+    /// order `(a, t_j, b)` is exactly its full-depth odometer order, so
+    /// per-lane sequential state — change detection, segment numbering,
+    /// first error — evolves identically to the scalar walk while the
+    /// `a`-stripe of the frozen columns stays cache-resident across all
+    /// lanes and `t_j` values. Feasibility of each partial is folded
+    /// branchlessly: empties are mapped to the `(MAX, MIN)` sentinel, which
+    /// makes the hull a plain `min`/`max` with identical semantics to the
+    /// empty-aware scalar hull. Drains `lanes` into `out`.
+    fn walk_lanes(
+        &self,
+        component: &Component,
+        lanes: &mut Vec<SoaLane>,
+        out: &mut [Option<Result<ComponentAnalysis, Infeasible>>],
+        exec_model: &ExecModel,
+    ) {
+        let j = self.j;
+        let depth = component.depth();
+        let narr = component.arrays.len();
+        let mut scratch: Vec<Interval> = Vec::new();
+        let mut ext_scratch: Vec<i64> = vec![0; depth];
+        let mut b_tile: Vec<i64> = Vec::new();
+        let empty_core = |narr: usize| CoreAnalysis {
+            nseg: 0,
+            exec_ns: Vec::new(),
+            swap_lists: vec![Vec::new(); narr],
+            ranges: None,
+        };
+
+        for core in 0..self.cores {
+            let Some(rc) = &self.reduced[core] else {
+                // No frozen tiles on this core for any candidate: the full
+                // box is `None` under every `K_j`.
+                for lane in lanes.iter_mut().filter(|l| l.err.is_none()) {
+                    debug_assert!(lane.jbox[core].is_none());
+                    lane.cores_out.push(empty_core(narr));
+                }
+                continue;
+            };
+            let a_dims = &rc.box_red[..j];
+            let b_dims = &rc.box_red[j..];
+            let len_a: usize = a_dims.iter().map(|iv| iv.len() as usize).product();
+            let len_b: usize = b_dims.iter().map(|iv| iv.len() as usize).product();
+
+            let mut any_active = false;
+            for lane in lanes.iter_mut().filter(|l| l.err.is_none()) {
+                match lane.jbox[core] {
+                    Some(jiv) => {
+                        let nseg = len_a * jiv.len() as usize * len_b;
+                        lane.cores_out.push(CoreAnalysis {
+                            nseg,
+                            exec_ns: Vec::with_capacity(nseg),
+                            swap_lists: vec![Vec::new(); narr],
+                            ranges: None,
+                        });
+                        for l in &mut lane.last {
+                            l.bound = false;
+                        }
+                        any_active = true;
+                    }
+                    None => lane.cores_out.push(empty_core(narr)),
+                }
+            }
+            if !any_active {
+                continue;
+            }
+
+            // Odometer over the reduced prefix (levels < j).
+            let mut a_tile: Vec<i64> = a_dims.iter().map(|iv| iv.lo).collect();
+            let mut a_idx = 0usize;
+            loop {
+                let mut a_mask = 0usize;
+                for (i, &t) in a_tile.iter().enumerate() {
+                    a_mask |= usize::from(t == self.frozen_m[i] - 1) << i;
+                }
+                let a_base = a_idx * len_b * self.per_tile_cells;
+
+                for lane in lanes.iter_mut() {
+                    if lane.err.is_some() {
+                        continue;
+                    }
+                    let Some(jiv) = lane.jbox[core] else {
+                        continue;
+                    };
+                    // Split the lane's fields into independent borrows so the
+                    // active `CoreAnalysis` resolves once per (core, lane)
+                    // instead of once per tile.
+                    let m_j = lane.m_j;
+                    let SoaLane {
+                        kill,
+                        add_lo,
+                        add_hi,
+                        ext_int,
+                        ext_bnd,
+                        exec_tab,
+                        cores_out,
+                        bounding_boxes,
+                        total_bytes,
+                        total_ops,
+                        last,
+                        err,
+                        ..
+                    } = lane;
+                    let ca = cores_out.last_mut().expect("core pushed");
+                    'tj: for tj in jiv.lo..=jiv.hi {
+                        let jbit = usize::from(tj == m_j - 1) << j;
+                        let jrow = tj as usize * self.jslots;
+                        // Odometer over the reduced suffix (levels > j).
+                        b_tile.clear();
+                        b_tile.extend(b_dims.iter().map(|iv| iv.lo));
+                        let mut b_mask = 0usize;
+                        for (t, &v) in b_tile.iter().enumerate() {
+                            b_mask |= usize::from(v == self.frozen_m[j + 1 + t] - 1) << (j + 1 + t);
+                        }
+                        let mut b_idx = 0usize;
+                        loop {
+                            let block = a_base + b_idx * self.per_tile_cells;
+                            let s0 = ca.exec_ns.len();
+                            let mut failed: Option<Infeasible> = None;
+                            for (ai, (arr, p)) in
+                                component.arrays.iter().zip(&self.plans).enumerate()
+                            {
+                                let cells = block + self.cell_off[ai];
+                                scratch.clear();
+                                if p.j_free {
+                                    scratch.extend((0..p.stride).map(|c| rc.cell(cells + c)));
+                                } else {
+                                    let mut off = cells;
+                                    let mut slot = jrow + self.jterm_off[ai];
+                                    for dim in &p.contrib_j {
+                                        let nd = dim.len();
+                                        // Fixed-length slice zips: the bounds
+                                        // checks hoist out and the fold stays
+                                        // branchless select + min/max.
+                                        let pl = &rc.arena_lo[off..off + nd];
+                                        let ph = &rc.arena_hi[off..off + nd];
+                                        let kl = &kill[slot..slot + nd];
+                                        let al = &add_lo[slot..slot + nd];
+                                        let ah = &add_hi[slot..slot + nd];
+                                        let mut hlo = i64::MAX;
+                                        let mut hhi = i64::MIN;
+                                        for c in 0..nd {
+                                            let dead = (pl[c] > ph[c]) | (kl[c] != 0);
+                                            let blo = if dead {
+                                                i64::MAX
+                                            } else {
+                                                pl[c].saturating_add(al[c])
+                                            };
+                                            let bhi = if dead {
+                                                i64::MIN
+                                            } else {
+                                                ph[c].saturating_add(ah[c])
+                                            };
+                                            hlo = hlo.min(blo);
+                                            hhi = hhi.max(bhi);
+                                        }
+                                        off += nd;
+                                        slot += nd;
+                                        scratch.push(Interval::new(hlo, hhi));
+                                    }
+                                }
+                                if let Err(e) = bind_tile_array(
+                                    arr,
+                                    &self.metas[ai],
+                                    self.rw_deps[ai],
+                                    &scratch,
+                                    s0,
+                                    ca,
+                                    ai,
+                                    &mut last[ai],
+                                    &mut bounding_boxes[ai],
+                                    total_bytes,
+                                    total_ops,
+                                ) {
+                                    failed = Some(e);
+                                    break;
+                                }
+                            }
+                            if let Some(e) = failed {
+                                *err = Some(e);
+                                break 'tj;
+                            }
+                            let mask = a_mask | jbit | b_mask;
+                            let mut exec = exec_tab[mask];
+                            if exec.is_nan() {
+                                for (i, e) in ext_scratch.iter_mut().enumerate() {
+                                    *e = if mask >> i & 1 == 1 {
+                                        ext_bnd[i]
+                                    } else {
+                                        ext_int[i]
+                                    };
+                                }
+                                exec = exec_model.tile_time_ns(&ext_scratch);
+                                exec_tab[mask] = exec;
+                            }
+                            ca.exec_ns.push(exec);
+
+                            b_idx += 1;
+                            if b_idx == len_b {
+                                break;
+                            }
+                            let mut t = b_dims.len();
+                            loop {
+                                t -= 1;
+                                b_tile[t] += 1;
+                                let lvl = j + 1 + t;
+                                if b_tile[t] <= b_dims[t].hi {
+                                    b_mask = (b_mask & !(1 << lvl))
+                                        | usize::from(b_tile[t] == self.frozen_m[lvl] - 1) << lvl;
+                                    break;
+                                }
+                                b_tile[t] = b_dims[t].lo;
+                                b_mask = (b_mask & !(1 << lvl))
+                                    | usize::from(b_tile[t] == self.frozen_m[lvl] - 1) << lvl;
+                            }
+                        }
+                    }
+                }
+
+                a_idx += 1;
+                if a_idx == len_a {
+                    break;
+                }
+                let mut t = a_dims.len();
+                loop {
+                    t -= 1;
+                    a_tile[t] += 1;
+                    if a_tile[t] <= a_dims[t].hi {
+                        break;
+                    }
+                    a_tile[t] = a_dims[t].lo;
+                }
+            }
+        }
+
+        for lane in lanes.drain(..) {
+            out[lane.idx] = Some(match lane.err {
+                Some(e) => Err(e),
+                None => {
+                    let mut spm_bytes_needed = 0i64;
+                    for (arr, bb) in component.arrays.iter().zip(&lane.bounding_boxes) {
+                        let bufs = if arr.privatized.is_some() { 3 } else { 2 };
+                        spm_bytes_needed += bufs * arr.elem_bytes * bb.iter().product::<i64>();
+                    }
+                    let (combine_rounds, combine) =
+                        combine_structure(component, &lane.solution, exec_model);
+                    Ok(ComponentAnalysis {
+                        solution: lane.solution,
+                        cores: lane.cores_out,
+                        bounding_boxes: lane.bounding_boxes,
+                        spm_bytes_needed,
+                        total_bytes: lane.total_bytes,
+                        total_ops: lane.total_ops,
+                        combine_rounds,
+                        combine,
+                        arrays: self.metas.clone(),
+                    })
+                }
+            });
+        }
     }
 
     /// The per-candidate tile walk shared by [`CoordinateDelta::rebuild`]
@@ -1399,18 +2276,19 @@ impl CoordinateDelta {
                                 ri += (t - iv.lo) as usize * walk.red_stride[i];
                             }
                         }
-                        let block = &rc.arena[ri * per_tile_cells..(ri + 1) * per_tile_cells];
+                        let block = ri * per_tile_cells;
                         for (ai, (arr, p)) in component.arrays.iter().zip(&*plans).enumerate() {
-                            let cells = &block[cell_off[ai]..cell_off[ai] + p.stride];
+                            let cells = block + cell_off[ai];
                             walk.scratch_range.clear();
                             if p.j_free {
-                                walk.scratch_range.extend_from_slice(cells);
+                                walk.scratch_range
+                                    .extend((0..p.stride).map(|c| rc.cell(cells + c)));
                             } else {
                                 let mut off = 0usize;
                                 for dim in &p.contrib_j {
                                     let mut hull = Interval::empty();
                                     for &(coef, guard) in dim {
-                                        let partial = cells[off];
+                                        let partial = rc.cell(cells + off);
                                         off += 1;
                                         let b = if partial.is_empty() {
                                             Interval::empty()

@@ -90,6 +90,11 @@ pub fn evaluate_two_level_scan(
 ) -> Vec<Option<TwoLevelResult>> {
     /// Cached L1 re-timing, keyed by the L2 bus parameters (as bits).
     type CachedL1 = ((u64, u64), Vec<Vec<f64>>);
+    // Config-invariant per-batch columns, hoisted once per scan: the block
+    // decomposition and DRAM pricing below walk these flat columns instead
+    // of pointer-chasing the batch structs for every config of the sweep
+    // (same values, same order — results are bitwise identical).
+    let cols = BatchColumns::new(schedule);
     let mut out = Vec::with_capacity(cfgs.len());
     let mut l1: Option<CachedL1> = None;
     for cfg in cfgs {
@@ -106,9 +111,40 @@ pub fn evaluate_two_level_scan(
             l1 = Some((key, l1_batch_times(schedule, &l2_platform)));
         }
         let (_, l1_time) = l1.as_ref().expect("computed above");
-        out.push(evaluate_one(schedule, platform, cfg, l1_time));
+        out.push(evaluate_one(schedule, platform, cfg, &cols, l1_time));
     }
     out
+}
+
+/// Flat SoA columns over (core, batch) for the two-level sweep: everything
+/// `evaluate_one` reads from [`crate::segments::Batch`] that does not depend
+/// on the config, in batch-index order per core.
+struct BatchColumns {
+    /// Bytes moved per batch (block decomposition input).
+    bytes: Vec<Vec<i64>>,
+    /// DMA lines (ops) per batch as `f64` (DRAM pricing input).
+    lines: Vec<Vec<f64>>,
+    /// Whether the batch has any op (the L1-gate predicate).
+    nonempty: Vec<Vec<bool>>,
+}
+
+impl BatchColumns {
+    fn new(schedule: &ComponentSchedule) -> Self {
+        let mut cols = BatchColumns {
+            bytes: Vec::with_capacity(schedule.cores.len()),
+            lines: Vec::with_capacity(schedule.cores.len()),
+            nonempty: Vec::with_capacity(schedule.cores.len()),
+        };
+        for core in &schedule.cores {
+            cols.bytes
+                .push(core.batches.iter().map(|b| b.bytes).collect());
+            cols.lines
+                .push(core.batches.iter().map(|b| b.ops.len() as f64).collect());
+            cols.nonempty
+                .push(core.batches.iter().map(|b| !b.is_empty()).collect());
+        }
+        cols
+    }
 }
 
 /// Per-(core, batch) L1 transfer times against the L2-side bus.
@@ -139,6 +175,7 @@ fn evaluate_one(
     schedule: &ComponentSchedule,
     platform: &Platform,
     cfg: &TwoLevelConfig,
+    cols: &BatchColumns,
     l1_time: &[Vec<f64>],
 ) -> Option<TwoLevelResult> {
     let l2_partition = cfg.l2_bytes / 2;
@@ -146,17 +183,16 @@ fn evaluate_one(
     let cores = &schedule.cores;
     let ncores = cores.len();
 
-    // Block decomposition per core: greedy over batch bytes.
+    // Block decomposition per core: greedy over the flat byte column.
     // blocks[i] = list of (first_batch, last_batch, dram_bytes, dram_time).
     let mut blocks: Vec<Vec<(usize, usize, i64)>> = Vec::with_capacity(ncores);
     let mut staged_bytes = 0i64;
-    for core in cores {
-        let nbatches = core.batches.len();
+    for (core, bytes) in cores.iter().zip(&cols.bytes) {
+        let nbatches = bytes.len();
         let mut core_blocks = Vec::new();
         let mut start = 1usize;
         let mut acc = 0i64;
-        for j in 1..nbatches {
-            let b = core.batches[j].bytes;
+        for (j, &b) in bytes.iter().enumerate().skip(1) {
             if b > l2_partition {
                 return None; // one segment's traffic exceeds an L2 partition
             }
@@ -185,11 +221,11 @@ fn evaluate_one(
     // approximated as bytes/bandwidth + a single line overhead per batch in
     // the block.
     let dram_time = |core: usize, blk: &(usize, usize, i64)| -> f64 {
-        // `get` tolerates synthesized blocks that cover more segments than
-        // the (possibly truncated) batch list describes.
-        let nlines: f64 = (blk.0..=blk.1)
-            .filter_map(|j| cores[core].batches.get(j))
-            .map(|b| b.ops.len() as f64)
+        // The range clamp tolerates synthesized blocks that cover more
+        // segments than the (possibly truncated) batch list describes.
+        let lines = &cols.lines[core];
+        let nlines: f64 = lines[blk.0.min(lines.len())..(blk.1 + 1).min(lines.len())]
+            .iter()
             .sum();
         blk.2 as f64 / platform.bus_bytes_per_sec * 1.0e9 + nlines * platform.dma_line_overhead_ns
     };
@@ -248,7 +284,7 @@ fn evaluate_one(
                 if j > nseg + 1 {
                     break;
                 }
-                if cores[i].batches.get(j).is_some_and(|b| !b.is_empty()) {
+                if cols.nonempty[i].get(j).copied().unwrap_or(false) {
                     let gate = if j == nseg + 1 {
                         exec_fin[i][nseg]
                     } else {

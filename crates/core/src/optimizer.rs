@@ -7,7 +7,10 @@
 //! in each tile size. An exhaustive optimizer is provided for validation on
 //! small components.
 
-use crate::analysis::{AnalysisCache, ComponentAnalysis, CoordinateDelta, MakespanScratch};
+use crate::analysis::{
+    makespan_only_batch, AnalysisCache, BatchScratch, ComponentAnalysis, CoordinateDelta,
+    MakespanScratch, SOA_LANES,
+};
 use crate::component::Component;
 use crate::config::Platform;
 use crate::schedule::{evaluate, ScheduleResult};
@@ -71,6 +74,14 @@ pub struct OptimizerOptions {
     /// makespans are bitwise identical to the reduction-oblivious path
     /// (`PREM_REDUCTIONS=1` enables it in the benches).
     pub reductions: bool,
+    /// Structure-of-arrays landscape evaluation: batched scans walk the
+    /// frozen-delta SoA columns [`crate::analysis::SOA_LANES`] candidates at
+    /// a time and fold their makespans through the chunked
+    /// [`crate::analysis::makespan_only_batch`]. Off by default — selections,
+    /// makespans and schedules are bitwise identical either way
+    /// (`PREM_SOA=0` restores the scalar path in the benches); requires
+    /// `batched` to have any effect.
+    pub soa: bool,
 }
 
 impl Default for OptimizerOptions {
@@ -86,6 +97,7 @@ impl Default for OptimizerOptions {
             adaptive: false,
             convergence_eps: 1e-6,
             reductions: false,
+            soa: false,
         }
     }
 }
@@ -100,6 +112,7 @@ impl PartialEq for OptimizerOptions {
             && self.batched == other.batched
             && self.adaptive == other.adaptive
             && self.reductions == other.reductions
+            && self.soa == other.soa
             && self.convergence_eps.to_bits() == other.convergence_eps.to_bits()
             && match (&self.analysis_cache, &other.analysis_cache) {
                 (None, None) => true,
@@ -227,11 +240,15 @@ pub struct MakespanEvaluator<'a> {
     cache: HashMap<Solution, f64>,
     analysis_cache: Option<Arc<AnalysisCache>>,
     scratch: MakespanScratch,
+    batch_scratch: BatchScratch,
     /// Active single-coordinate scan, if any (see
     /// [`MakespanEvaluator::begin_coordinate`]).
     coordinate: Option<CoordinateScan>,
     /// Whether single-coordinate scans may use incremental rebuilds.
     incremental: bool,
+    /// Whether batched scans use the SoA lane walk and the chunked batch
+    /// fold (see [`OptimizerOptions::soa`]).
+    soa: bool,
     #[cfg(debug_assertions)]
     rebuild_checks: usize,
     /// Optional cap on the longest phase (see [`OptimizerOptions`]).
@@ -264,6 +281,16 @@ pub struct MakespanEvaluator<'a> {
     /// Batched-scan candidates answered by the monotone segment-cap
     /// shortcut without walking any tiles.
     pub scan_truncations: usize,
+    /// Batched scans whose rebuild walked the frozen SoA columns with at
+    /// least one multi-candidate lane group.
+    pub soa_scans: usize,
+    /// Chunked batch folds that actually interleaved ≥ 2 landscape points
+    /// through [`makespan_only_batch`].
+    pub simd_batches: usize,
+    /// Scans (or individual oversized candidates) that requested SoA but
+    /// fell back to the scalar replay — rank-reduced contexts, depth over
+    /// the lane cap, or j-term columns past the arena budget.
+    pub soa_fallbacks: usize,
 }
 
 /// One single-coordinate scan: solutions equal to `base` except at
@@ -305,8 +332,10 @@ impl<'a> MakespanEvaluator<'a> {
             cache: HashMap::new(),
             analysis_cache: None,
             scratch: MakespanScratch::default(),
+            batch_scratch: BatchScratch::default(),
             coordinate: None,
             incremental: true,
+            soa: false,
             #[cfg(debug_assertions)]
             rebuild_checks: 0,
             max_phase_ns: None,
@@ -320,6 +349,9 @@ impl<'a> MakespanEvaluator<'a> {
             delta_declines: 0,
             batched_scans: 0,
             scan_truncations: 0,
+            soa_scans: 0,
+            simd_batches: 0,
+            soa_fallbacks: 0,
         }
     }
 
@@ -333,6 +365,13 @@ impl<'a> MakespanEvaluator<'a> {
     /// for A/B equivalence tests).
     pub fn with_incremental(mut self, on: bool) -> Self {
         self.incremental = on;
+        self
+    }
+
+    /// Enables or disables the SoA lane walk + chunked batch fold inside
+    /// batched scans (off by default; bitwise-equivalent either way).
+    pub fn with_soa(mut self, on: bool) -> Self {
+        self.soa = on;
         self
     }
 
@@ -404,8 +443,21 @@ impl<'a> MakespanEvaluator<'a> {
                     }
                 }
                 if let Some(Some(delta)) = &mut scan.delta {
-                    let built =
-                        delta.rebuild(component, solution.k[delta.coordinate()], exec_model);
+                    // Under SoA the single rebuild rides the lane walk as a
+                    // scan of one candidate — same bits (pinned by the
+                    // scan-of-one differential), but the moving-coordinate
+                    // terms come from precomputed columns and tile times
+                    // from the extent-class table instead of hashing extent
+                    // vectors per tile.
+                    let built = if self.soa {
+                        let kj = solution.k[delta.coordinate()];
+                        let (mut v, stats) = delta.rebuild_scan(component, &[kj], exec_model, true);
+                        self.soa_scans += usize::from(stats.soa);
+                        self.soa_fallbacks += usize::from(stats.fallback);
+                        v.pop().expect("one candidate in, one result out")
+                    } else {
+                        delta.rebuild(component, solution.k[delta.coordinate()], exec_model)
+                    };
                     self.incremental_rebuilds += 1;
                     #[cfg(debug_assertions)]
                     {
@@ -467,10 +519,17 @@ impl<'a> MakespanEvaluator<'a> {
         let cores = self.platform.cores;
         let exec_model = self.exec_model;
         let j = scan.j;
+        let soa = self.soa;
         let mut values = vec![f64::INFINITY; candidates.len()];
         // Candidates the batched rebuild must actually analyze: neither the
         // memo, the SPM pre-gate nor the shared cache answered them.
         let mut need: Vec<(usize, i64)> = Vec::new();
+        // Analyses awaiting the recurrence fold. Under `soa` they accumulate
+        // here (cache probes and fresh rebuilds alike) and run lane-batched
+        // through [`makespan_only_batch`] after the rebuild pass; otherwise
+        // each is folded where it appears. Both orders produce bitwise-equal
+        // values and identical counter totals.
+        let mut pending: Vec<(usize, i64, Arc<ComponentAnalysis>)> = Vec::new();
         let mut sol = scan.base.clone();
         for (i, &kj) in candidates.iter().enumerate() {
             sol.k[j] = kj;
@@ -490,11 +549,14 @@ impl<'a> MakespanEvaluator<'a> {
                 .and_then(|c| c.probe(component, &sol, cores, exec_model))
             {
                 self.analysis_reuses += 1;
-                let v = match &entry {
-                    Ok(a) => self.fold_analysis(a),
-                    Err(_) => f64::INFINITY,
-                };
-                self.record_scan_value(&sol, v, i, &mut values);
+                match entry {
+                    Ok(a) if soa => pending.push((i, kj, a)),
+                    Ok(a) => {
+                        let v = self.fold_analysis(&a);
+                        self.record_scan_value(&sol, v, i, &mut values);
+                    }
+                    Err(_) => self.record_scan_value(&sol, f64::INFINITY, i, &mut values),
+                }
                 continue;
             }
             need.push((i, kj));
@@ -514,8 +576,10 @@ impl<'a> MakespanEvaluator<'a> {
                 return None;
             };
             let kjs: Vec<i64> = need.iter().map(|&(_, kj)| kj).collect();
-            let (built, truncated) = delta.rebuild_scan(component, &kjs, exec_model);
-            self.scan_truncations += truncated;
+            let (built, stats) = delta.rebuild_scan(component, &kjs, exec_model, soa);
+            self.scan_truncations += stats.truncations;
+            self.soa_scans += usize::from(stats.soa);
+            self.soa_fallbacks += usize::from(stats.fallback);
             debug_assert_eq!(built.len(), need.len());
             for (&(i, kj), b) in need.iter().zip(built) {
                 self.incremental_rebuilds += 1;
@@ -527,10 +591,35 @@ impl<'a> MakespanEvaluator<'a> {
                     self.evictions += evicted;
                     self.admission_rejects += usize::from(rejected);
                 }
-                let v = match &entry {
-                    Ok(a) => self.fold_analysis(a),
+                match entry {
+                    Ok(a) if soa => pending.push((i, kj, a)),
+                    Ok(a) => {
+                        let v = self.fold_analysis(&a);
+                        self.record_scan_value(&sol, v, i, &mut values);
+                    }
+                    Err(_) => self.record_scan_value(&sol, f64::INFINITY, i, &mut values),
+                }
+            }
+        }
+        // SoA fold: the surviving landscape points run through the chunked
+        // batch recurrence `SOA_LANES` at a time — the lane-interleaved fold
+        // executes each point's exact scalar operation sequence, so every
+        // value is bitwise what `fold_analysis` would have produced.
+        for chunk in pending.chunks(SOA_LANES) {
+            self.simd_batches += usize::from(chunk.len() >= 2);
+            let refs: Vec<&ComponentAnalysis> = chunk.iter().map(|(_, _, a)| a.as_ref()).collect();
+            let folded = makespan_only_batch(&refs, self.platform, &mut self.batch_scratch);
+            debug_assert_eq!(folded.len(), chunk.len());
+            for (&(i, kj, _), res) in chunk.iter().zip(&folded) {
+                self.fast_evals += 1;
+                let v = match res {
+                    Ok(fast) => match self.max_phase_ns {
+                        Some(cap) if fast.max_phase_ns > cap => f64::INFINITY,
+                        _ => fast.makespan_ns,
+                    },
                     Err(_) => f64::INFINITY,
                 };
+                sol.k[j] = kj;
                 self.record_scan_value(&sol, v, i, &mut values);
             }
         }
@@ -665,6 +754,9 @@ struct TierCounters {
     delta_declines: usize,
     batched_scans: usize,
     scan_truncations: usize,
+    soa_scans: usize,
+    simd_batches: usize,
+    soa_fallbacks: usize,
 }
 
 impl TierCounters {
@@ -679,6 +771,9 @@ impl TierCounters {
         self.delta_declines += other.delta_declines;
         self.batched_scans += other.batched_scans;
         self.scan_truncations += other.scan_truncations;
+        self.soa_scans += other.soa_scans;
+        self.simd_batches += other.simd_batches;
+        self.soa_fallbacks += other.soa_fallbacks;
     }
 }
 
@@ -715,6 +810,7 @@ pub struct SearchEngine<'a> {
     analysis_cache: Option<Arc<AnalysisCache>>,
     threads: Option<usize>,
     incremental: bool,
+    soa: bool,
 }
 
 impl<'a> SearchEngine<'a> {
@@ -732,6 +828,7 @@ impl<'a> SearchEngine<'a> {
             analysis_cache: None,
             threads: None,
             incremental: true,
+            soa: false,
         }
     }
 
@@ -762,10 +859,18 @@ impl<'a> SearchEngine<'a> {
         self
     }
 
+    /// Enables or disables SoA landscape evaluation inside batched scans
+    /// (see [`OptimizerOptions::soa`]; bitwise identical either way).
+    pub fn with_soa(mut self, on: bool) -> Self {
+        self.soa = on;
+        self
+    }
+
     fn evaluator(&self) -> MakespanEvaluator<'a> {
         let mut ev = MakespanEvaluator::new(self.component, self.platform, self.exec_model)
             .with_analysis_cache(self.analysis_cache.clone())
-            .with_incremental(self.incremental);
+            .with_incremental(self.incremental)
+            .with_soa(self.soa);
         ev.max_phase_ns = self.max_phase_ns;
         ev
     }
@@ -832,6 +937,9 @@ impl<'a> SearchEngine<'a> {
                         delta_declines: ev.delta_declines,
                         batched_scans: ev.batched_scans,
                         scan_truncations: ev.scan_truncations,
+                        soa_scans: ev.soa_scans,
+                        simd_batches: ev.simd_batches,
+                        soa_fallbacks: ev.soa_fallbacks,
                     };
                     *results[idx].lock().unwrap() =
                         Some((d.solution, d.makespan_ns, telemetry, tiers));
@@ -863,6 +971,9 @@ impl<'a> SearchEngine<'a> {
         telemetry.delta_declines = totals.delta_declines;
         telemetry.batched_scans = totals.batched_scans;
         telemetry.scan_truncations = totals.scan_truncations;
+        telemetry.soa_scans = totals.soa_scans;
+        telemetry.simd_batches = totals.simd_batches;
+        telemetry.soa_fallbacks = totals.soa_fallbacks;
 
         let (solution, m) = best?;
         if !m.is_finite() {
@@ -895,6 +1006,7 @@ pub fn optimize_component(
         .with_max_phase_ns(opts.max_phase_ns)
         .with_analysis_cache(opts.analysis_cache.clone())
         .with_incremental(opts.incremental)
+        .with_soa(opts.soa)
         .descend(opts)
 }
 

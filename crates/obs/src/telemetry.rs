@@ -100,6 +100,16 @@ pub struct SearchTelemetry {
     /// Batched-scan candidates answered by the monotone segment-cap
     /// shortcut without walking any tiles.
     pub scan_truncations: usize,
+    /// Batched scans whose rebuild walked the frozen SoA columns with at
+    /// least one multi-candidate lane group (0 when `PREM_SOA=0`).
+    pub soa_scans: usize,
+    /// Chunked batch folds that interleaved ≥ 2 landscape points through the
+    /// lane-parallel makespan recurrence.
+    pub simd_batches: usize,
+    /// Scans (or individual oversized candidates) that requested SoA but
+    /// fell back to the scalar replay — rank-reduced contexts, depth past
+    /// the lane cap, or j-term columns past the arena budget.
+    pub soa_fallbacks: usize,
     /// Intra-component dependences classified as reduction chains
     /// (associative-commutative accumulator updates). Counted whether or not
     /// the reduction pass is enabled — the detector always runs.
@@ -138,6 +148,9 @@ impl SearchTelemetry {
             delta_declines: 0,
             batched_scans: 0,
             scan_truncations: 0,
+            soa_scans: 0,
+            simd_batches: 0,
+            soa_fallbacks: 0,
             reduction_deps: 0,
             privatized_accumulators: 0,
         }
@@ -220,6 +233,9 @@ impl SearchTelemetry {
         self.delta_declines += other.delta_declines;
         self.batched_scans += other.batched_scans;
         self.scan_truncations += other.scan_truncations;
+        self.soa_scans += other.soa_scans;
+        self.simd_batches += other.simd_batches;
+        self.soa_fallbacks += other.soa_fallbacks;
         self.reduction_deps += other.reduction_deps;
         self.privatized_accumulators += other.privatized_accumulators;
         self.best_makespan_ns = self.best_makespan_ns.min(other.best_makespan_ns);
@@ -273,6 +289,9 @@ impl SearchTelemetry {
                 "scan_truncations".to_string(),
                 Json::from(self.scan_truncations),
             ),
+            ("soa_scans".to_string(), Json::from(self.soa_scans)),
+            ("simd_batches".to_string(), Json::from(self.simd_batches)),
+            ("soa_fallbacks".to_string(), Json::from(self.soa_fallbacks)),
             (
                 "reduction_deps".to_string(),
                 Json::from(self.reduction_deps),
@@ -360,6 +379,9 @@ mod tests {
         t.delta_declines = 2;
         t.batched_scans = 11;
         t.scan_truncations = 4;
+        t.soa_scans = 7;
+        t.simd_batches = 5;
+        t.soa_fallbacks = 1;
         t.reduction_deps = 2;
         t.privatized_accumulators = 1;
         t.absorb(&SearchTelemetry::single(vec![1], 60.0));
@@ -379,6 +401,9 @@ mod tests {
         assert_eq!(t.delta_declines, 2);
         assert_eq!(t.batched_scans, 11);
         assert_eq!(t.scan_truncations, 4);
+        assert_eq!(t.soa_scans, 7);
+        assert_eq!(t.simd_batches, 5);
+        assert_eq!(t.soa_fallbacks, 1);
         assert_eq!(t.reduction_deps, 2);
         assert_eq!(t.privatized_accumulators, 1);
     }
@@ -403,6 +428,9 @@ mod tests {
             "delta_declines",
             "batched_scans",
             "scan_truncations",
+            "soa_scans",
+            "simd_batches",
+            "soa_fallbacks",
             "reduction_deps",
             "privatized_accumulators",
             "convergence_ns",

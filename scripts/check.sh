@@ -29,6 +29,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# All log output lands under results/ (gitignored), never at the repo root:
+# the full run is teed to results/check.log so ad-hoc `... | tee foo.log`
+# invocations stop littering the tree.
+mkdir -p results
+exec > >(tee results/check.log) 2>&1
+
 BENCH_SNAPSHOT=0
 SERVE_SMOKE=0
 for arg in "$@"; do
@@ -135,6 +141,9 @@ for pt in report["points"]:
             "search_s": 0.0,
             "fast_evals": 0,
             "delta_declines": 0,
+            "soa_scans": 0,
+            "simd_batches": 0,
+            "soa_fallbacks": 0,
             "reduction_deps": 0,
             "privatized_accumulators": 0,
         },
@@ -142,6 +151,9 @@ for pt in report["points"]:
     k["search_s"] += pt["search_s"]
     k["fast_evals"] += pt["fast_evals"]
     k["delta_declines"] += pt["delta_declines"]
+    k["soa_scans"] += pt.get("soa_scans", 0)
+    k["simd_batches"] += pt.get("simd_batches", 0)
+    k["soa_fallbacks"] += pt.get("soa_fallbacks", 0)
     k["reduction_deps"] += pt.get("reduction_deps", 0)
     k["privatized_accumulators"] += pt.get("privatized_accumulators", 0)
 out = {
@@ -150,6 +162,7 @@ out = {
     "adaptive": report["adaptive"],
     "batched": report["batched"],
     "reductions": report.get("reductions", "0"),
+    "soa": report.get("soa", "0"),
     "kernels": list(per_kernel.values()),
     "total_search_s": sum(k["search_s"] for k in per_kernel.values()),
 }

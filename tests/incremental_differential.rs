@@ -264,8 +264,28 @@ fn check_scan(
 ) -> usize {
     use prem::core::Infeasible;
     let j = delta.coordinate();
-    let (batched, truncated) = delta.rebuild_scan(comp, cands, model);
+    let (batched, stats) = delta.rebuild_scan(comp, cands, model, false);
+    let truncated = stats.truncations;
     assert_eq!(batched.len(), cands.len());
+    assert!(
+        !stats.soa && !stats.fallback,
+        "{name}: scalar scan flagged SoA"
+    );
+    // The SoA lane walk must reproduce the scalar scan bit for bit,
+    // including which infeasibility class fires.
+    let (soa, soa_stats) = delta.rebuild_scan(comp, cands, model, true);
+    assert_eq!(soa_stats.truncations, truncated, "{name}: SoA truncations");
+    assert_eq!(soa.len(), batched.len());
+    for (&kj, (a, b)) in cands.iter().zip(batched.iter().zip(&soa)) {
+        match (a, b) {
+            (Ok(x), Ok(y)) => assert!(
+                x.bitwise_eq(y),
+                "{name}: SoA scan diverges from scalar at K_j={kj}"
+            ),
+            (Err(x), Err(y)) => assert_eq!(x, y, "{name}: SoA error diverges at K_j={kj}"),
+            _ => panic!("{name}: SoA feasibility diverges from scalar at K_j={kj}"),
+        }
+    }
     let cap_rejects = batched
         .iter()
         .filter(|b| matches!(b, Err(Infeasible::TooManySegments { .. })))

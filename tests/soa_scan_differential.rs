@@ -1,0 +1,288 @@
+//! Differential proof that SoA landscape evaluation is bitwise inert.
+//!
+//! `OptimizerOptions::soa` routes batched single-coordinate scans through
+//! the frozen-delta SoA arena (`SOA_LANES` candidates per sweep of the
+//! frozen columns) and folds the resulting analyses through the
+//! lane-parallel `makespan_only_batch` recurrence. None of that may change
+//! a single bit of any result:
+//!
+//! 1. **Whole-suite equivalence** — on every PolyBench-NN kernel × 3 bus
+//!    speeds, SoA-on and SoA-off produce identical selections, bitwise
+//!    identical makespans, and bitwise identical per-component schedule
+//!    evaluations — while the on-run's telemetry proves the lane path
+//!    actually engaged.
+//! 2. **Reduction-privatized scans** — with `reductions: true` the combine
+//!    phase is priced inside the scan; privatized candidates must vectorize
+//!    without perturbing the selection.
+//! 3. **Two-level sweeps** — schedules chosen under SoA feed
+//!    `evaluate_two_level_scan` unchanged.
+//! 4. **Edge shapes** — a scan list of one candidate and an all-infeasible
+//!    candidate list go through the lane walk and come back identical,
+//!    including which `Infeasible` class fires.
+
+use prem::core::{
+    build_schedule, evaluate_two_level_scan, nondominated_thread_groups, optimize_app,
+    optimize_component, AnalyticCost, Component, CoordinateDelta, CostProvider, Infeasible,
+    LoopTree, OptimizerOptions, Platform, Solution, TwoLevelConfig,
+};
+use prem::ir::Program;
+use prem::kernels::{all_small, PoolConfig, PoolOp};
+
+/// The batched+incremental configuration the benches run, with the SoA lane
+/// walk toggled.
+fn opts(soa: bool) -> OptimizerOptions {
+    OptimizerOptions {
+        batched: true,
+        soa,
+        ..OptimizerOptions::default()
+    }
+}
+
+fn chain_component(tree: &LoopTree, program: &Program) -> Component {
+    let mut chain = Vec::new();
+    let mut node = &tree.roots[0];
+    loop {
+        chain.push(node);
+        match node.children.first() {
+            Some(c) if node.children.len() == 1 && c.tilable => node = c,
+            _ => break,
+        }
+    }
+    Component::extract(tree, program, &chain)
+}
+
+#[test]
+fn soa_is_off_by_default() {
+    assert!(!OptimizerOptions::default().soa, "SoA must be opt-in");
+}
+
+/// Every kernel × 3 bus speeds: identical selections, bitwise-identical
+/// makespans and schedule evaluations, and the on-run must actually walk
+/// the SoA columns somewhere (otherwise this test proves nothing).
+#[test]
+fn soa_matches_scalar_on_every_kernel() {
+    let mut engaged = false;
+    let mut batch_folded = false;
+    for (name, program) in all_small() {
+        let tree = LoopTree::build(&program).unwrap();
+        let cost = AnalyticCost::new(&program);
+        for bus in [16.0, 1.0, 1.0 / 16.0] {
+            let platform = Platform::default()
+                .with_spm_bytes(32 * 1024)
+                .with_bus_gbytes(bus);
+            let off = optimize_app(&tree, &program, &platform, &cost, &opts(false));
+            let on = optimize_app(&tree, &program, &platform, &cost, &opts(true));
+            assert_eq!(
+                off.makespan_ns.to_bits(),
+                on.makespan_ns.to_bits(),
+                "{name}@{bus}: app makespan diverges under SoA"
+            );
+            assert_eq!(off.components.len(), on.components.len());
+            for (a, b) in off.components.iter().zip(&on.components) {
+                assert_eq!(
+                    a.solution, b.solution,
+                    "{name}@{bus}: selections diverge under SoA"
+                );
+                assert_eq!(
+                    a.result.makespan_ns.to_bits(),
+                    b.result.makespan_ns.to_bits(),
+                    "{name}@{bus}: schedule evaluation diverges under SoA"
+                );
+                assert_eq!(
+                    a.result.max_phase_ns.to_bits(),
+                    b.result.max_phase_ns.to_bits(),
+                    "{name}@{bus}: max phase diverges under SoA"
+                );
+                assert_eq!(
+                    a.telemetry.evals, b.telemetry.evals,
+                    "{name}@{bus}: SoA changed how many candidates were evaluated"
+                );
+                assert_eq!(
+                    a.telemetry.soa_scans, 0,
+                    "{name}@{bus}: off path reported SoA scans"
+                );
+                assert_eq!(
+                    a.telemetry.simd_batches, 0,
+                    "{name}@{bus}: off path reported SIMD batches"
+                );
+                engaged |= b.telemetry.soa_scans > 0;
+                batch_folded |= b.telemetry.simd_batches > 0;
+            }
+        }
+    }
+    assert!(engaged, "SoA lane walk never engaged across the suite");
+    assert!(
+        batch_folded,
+        "lane-parallel makespan fold never batched ≥ 2 candidates"
+    );
+}
+
+/// Reduction-privatized scans vectorize too: with `reductions: true` the
+/// pooling kernel privatizes its accumulator and prices a combine phase
+/// inside the landscape — SoA on/off must still agree bit for bit.
+#[test]
+fn soa_matches_scalar_with_privatized_reductions() {
+    let platform = Platform::default().with_spm_bytes(32 * 1024).with_cores(8);
+    for op in [PoolOp::Max, PoolOp::Sum] {
+        let program = PoolConfig::small(op).build();
+        let tree = LoopTree::build(&program).unwrap();
+        let cost = AnalyticCost::new(&program);
+        let mut privatized = false;
+        let mut engaged = false;
+        let mut pair = Vec::new();
+        for soa in [false, true] {
+            let o = OptimizerOptions {
+                reductions: true,
+                ..opts(soa)
+            };
+            pair.push(optimize_app(&tree, &program, &platform, &cost, &o));
+        }
+        let (off, on) = (&pair[0], &pair[1]);
+        assert_eq!(
+            off.makespan_ns.to_bits(),
+            on.makespan_ns.to_bits(),
+            "{op:?}: privatized makespan diverges under SoA"
+        );
+        for (a, b) in off.components.iter().zip(&on.components) {
+            assert_eq!(a.solution, b.solution, "{op:?}: selections diverge");
+            assert_eq!(
+                a.result.makespan_ns.to_bits(),
+                b.result.makespan_ns.to_bits()
+            );
+            privatized |= b.telemetry.privatized_accumulators > 0;
+            engaged |= b.telemetry.soa_scans > 0;
+        }
+        assert!(
+            privatized,
+            "{op:?}: reduction privatization never engaged — the combine-phase \
+             pricing was not exercised"
+        );
+        assert!(
+            engaged,
+            "{op:?}: SoA never engaged on the privatized search"
+        );
+    }
+}
+
+/// Two-level sweeps are downstream of the selection: schedules chosen with
+/// SoA on and off are identical, and the (SoA-hoisted) capacity sweep over
+/// them must produce bitwise-identical results config by config.
+#[test]
+fn soa_selection_feeds_two_level_scan_unchanged() {
+    let (name, program) = all_small().remove(0);
+    let tree = LoopTree::build(&program).unwrap();
+    let comp = chain_component(&tree, &program);
+    let cost = AnalyticCost::new(&program);
+    let model = cost.exec_model(&comp);
+    let platform = Platform::default().with_bus_gbytes(1.0 / 4.0);
+    let off = optimize_component(&comp, &platform, &model, &opts(false)).expect("feasible");
+    let on = optimize_component(&comp, &platform, &model, &opts(true)).expect("feasible");
+    assert_eq!(off.solution, on.solution, "{name}: selections diverge");
+    let sched_off = build_schedule(&comp, &off.solution, &platform, &model).unwrap();
+    let sched_on = build_schedule(&comp, &on.solution, &platform, &model).unwrap();
+    let cfgs: Vec<TwoLevelConfig> = [1 << 20, 2 << 20, 8 << 20]
+        .into_iter()
+        .map(|l2_bytes| TwoLevelConfig {
+            l2_bytes,
+            ..TwoLevelConfig::default()
+        })
+        .collect();
+    let a = evaluate_two_level_scan(&sched_off, &platform, &cfgs);
+    let b = evaluate_two_level_scan(&sched_on, &platform, &cfgs);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        match (x, y) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                assert_eq!(x.makespan_ns.to_bits(), y.makespan_ns.to_bits());
+                assert_eq!(x.blocks_per_core, y.blocks_per_core);
+                assert_eq!(x.staged_bytes, y.staged_bytes);
+            }
+            _ => panic!("{name}: two-level feasibility diverges"),
+        }
+    }
+}
+
+/// A scan list of exactly one candidate still goes through the lane walk
+/// (one lane) and must match the scalar replay bit for bit.
+#[test]
+fn scan_list_of_one_matches() {
+    let (name, program) = all_small().remove(0);
+    let tree = LoopTree::build(&program).unwrap();
+    let comp = chain_component(&tree, &program);
+    let cost = AnalyticCost::new(&program);
+    let model = cost.exec_model(&comp);
+    let cores = Platform::default().cores;
+    let r = nondominated_thread_groups(&comp, cores).remove(0);
+    let base = Solution {
+        k: comp.levels.iter().map(|l| l.count).collect(),
+        r,
+    };
+    let j = comp.depth() - 1;
+    let mut delta = CoordinateDelta::new(&comp, &base, j, cores).expect("context fits");
+    let kj = base.k[j];
+    let (scalar, s_stats) = delta.rebuild_scan(&comp, &[kj], &model, false);
+    let (lanes, l_stats) = delta.rebuild_scan(&comp, &[kj], &model, true);
+    assert!(!s_stats.soa);
+    assert!(
+        l_stats.soa && !l_stats.fallback,
+        "{name}: single-candidate scan fell off the lane path"
+    );
+    assert_eq!(scalar.len(), 1);
+    assert_eq!(lanes.len(), 1);
+    match (&scalar[0], &lanes[0]) {
+        (Ok(a), Ok(b)) => assert!(a.bitwise_eq(b), "{name}: scan-of-one diverges"),
+        (Err(a), Err(b)) => assert_eq!(a, b),
+        _ => panic!("{name}: scan-of-one feasibility diverges"),
+    }
+}
+
+/// Every candidate infeasible (small K_j overflows the segment cap on a
+/// 1024×1024 nest): the lane walk must report the exact same `Infeasible`
+/// class per candidate and never fabricate a feasible analysis.
+#[test]
+fn all_infeasible_scan_matches() {
+    use prem::ir::{AssignKind, ElemType, Expr, IdxExpr, ProgramBuilder};
+    let n = 1024i64;
+    let mut b = ProgramBuilder::new("big");
+    let a = b.array("A", vec![n, n], ElemType::F32);
+    let i = b.begin_loop("i", 0, 1, n);
+    let j = b.begin_loop("j", 0, 1, n);
+    b.stmt(
+        a,
+        vec![IdxExpr::var(i), IdxExpr::var(j)],
+        AssignKind::Assign,
+        Expr::Const(1.0),
+    );
+    b.end_loop();
+    b.end_loop();
+    let program = b.finish();
+    let tree = LoopTree::build(&program).unwrap();
+    let comp = chain_component(&tree, &program);
+    let cost = AnalyticCost::new(&program);
+    let model = cost.exec_model(&comp);
+    let cores = 2usize;
+    // K = [1, K_j]: already 1024 outer tiles, so small K_j blows the cap
+    // (the cap is 2^17; K_j ≤ 4 means ≥ 2^18 tiles).
+    let base = Solution {
+        k: vec![1, n],
+        r: vec![1, 1],
+    };
+    let mut delta = CoordinateDelta::new(&comp, &base, 1, cores).expect("context fits");
+    let cands = [1i64, 2, 4];
+    let (scalar, s_stats) = delta.rebuild_scan(&comp, &cands, &model, false);
+    let (lanes, _) = delta.rebuild_scan(&comp, &cands, &model, true);
+    assert!(
+        scalar
+            .iter()
+            .all(|r| matches!(r, Err(Infeasible::TooManySegments { .. }))),
+        "expected an all-infeasible candidate list"
+    );
+    assert_eq!(s_stats.truncations, cands.len());
+    for (s, l) in scalar.iter().zip(&lanes) {
+        match (s, l) {
+            (Err(a), Err(b)) => assert_eq!(a, b, "infeasibility class diverges"),
+            _ => panic!("lane walk fabricated a feasible analysis"),
+        }
+    }
+}
